@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3a
+//	experiments -run all -scale 10 -reps 1
+//
+// Each experiment prints the rows/series of the corresponding figure; see
+// DESIGN.md for the per-experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"factorgraph/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	scale := flag.Int("scale", 1, "divide the paper's graph sizes by this factor")
+	reps := flag.Int("reps", 3, "repetitions averaged per data point")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	maxEdges := flag.Int("maxedges", 1_000_000, "largest graph in scalability sweeps")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Scale: *scale, Reps: *reps, Seed: *seed, MaxEdges: *maxEdges,
+		Quiet: *quiet, Progress: os.Stderr,
+	}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,91 @@
+// Citations: topic classification on a Cora-like citation graph — the
+// homophilous case.
+//
+// The paper notes (§2.5) that with network structure alone (no paper text,
+// only 21 estimated parameters for k=7) it reaches ~66% accuracy on Cora at
+// ~5% labeled nodes, versus 81.5% for a GCN that additionally reads the
+// documents' words. This example runs the replica: estimate the 7-class
+// compatibility matrix, check it discovers homophily (dominant diagonal),
+// and classify the remaining papers. It also shows that here — unlike the
+// heterophilous examples — a homophily baseline is competitive, which is
+// exactly why estimation (rather than assuming either structure) is the
+// safe default.
+//
+// Run: go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"factorgraph"
+	"factorgraph/internal/core"
+	"factorgraph/internal/datasets"
+	"factorgraph/internal/graph"
+	"factorgraph/internal/metrics"
+	"factorgraph/internal/propagation"
+)
+
+func main() {
+	ds, err := datasets.ByName("Cora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ds.Replica(1, 3) // full published size: n=2708, m=10858
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := graph.FromCSR(res.Graph.Adj)
+	fmt.Printf("Cora replica: n=%d m=%d k=%d (7 ML topics)\n\n", g.N, g.M, ds.K)
+
+	seeds, err := factorgraph.SampleSeeds(res.Labels, ds.K, 0.052, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	est, err := factorgraph.EstimateDCEr(g, seeds, ds.K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated %d free parameters in %s\n", core.NumFree(ds.K), est.Runtime)
+
+	// Did estimation discover the homophily? The diagonal (same-topic
+	// citation rate) should dominate on average.
+	var diagSum, offSum float64
+	for i := 0; i < ds.K; i++ {
+		for j := 0; j < ds.K; j++ {
+			if i == j {
+				diagSum += est.H.At(i, j)
+			} else {
+				offSum += est.H.At(i, j)
+			}
+		}
+	}
+	diagAvg := diagSum / float64(ds.K)
+	offAvg := offSum / float64(ds.K*(ds.K-1))
+	fmt.Printf("homophily discovered: avg diagonal %.2f vs avg off-diagonal %.2f: %v\n\n",
+		diagAvg, offAvg, diagAvg > offAvg)
+
+	pred, err := factorgraph.Propagate(g, seeds, ds.K, est.H)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topic accuracy, 5.2%% labels, structure only (DCEr): %.3f\n",
+		factorgraph.MacroAccuracy(pred, res.Labels, seeds, ds.K))
+
+	gsPred, err := factorgraph.Propagate(g, seeds, ds.K, ds.H)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topic accuracy with published gold standard:         %.3f\n",
+		factorgraph.MacroAccuracy(gsPred, res.Labels, seeds, ds.K))
+
+	// On a homophilous graph the classic baselines work too — the point of
+	// estimation is not having to know which regime you are in.
+	mrw, err := propagation.MultiRankWalk(g.Adj, seeds, ds.K, propagation.MRWOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topic accuracy with MultiRankWalk (assumes homophily): %.3f\n",
+		metrics.MacroAccuracy(mrw, res.Labels, seeds, ds.K))
+}

@@ -1,0 +1,94 @@
+// Email: the paper's motivating Example 1.1.
+//
+// A corporate email network has three classes of users: marketing (class
+// 0), engineers (class 1) and C-level executives (class 2). Marketing and
+// engineering email each other constantly (heterophily); executives mostly
+// email amongst themselves (homophily). Given the labels of a handful of
+// employees, who does everyone else work for?
+//
+// This mixed homophily/heterophily pattern breaks random-walk methods; the
+// example shows compatibility estimation recovering the org structure from
+// 30 known employees out of 15,000, and compares against a harmonic
+// homophily baseline.
+//
+// Run: go run ./examples/email
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"factorgraph"
+	"factorgraph/internal/metrics"
+	"factorgraph/internal/propagation"
+)
+
+func main() {
+	// Communication compatibilities: marketing↔engineering heavy,
+	// executives cliquish (Figure 1b's pattern).
+	orgH := factorgraph.NewMatrix([][]float64{
+		{0.15, 0.70, 0.15},
+		{0.70, 0.15, 0.15},
+		{0.15, 0.15, 0.70},
+	})
+	classNames := []string{"marketing", "engineering", "executives"}
+
+	// 15k employees: 40% marketing, 50% engineers, 10% executives; email
+	// volume follows a heavy-tailed degree distribution.
+	g, truth, err := factorgraph.Generate(factorgraph.GenerateConfig{
+		N: 15000, M: 180000,
+		Alpha:    []float64{0.4, 0.5, 0.1},
+		H:        orgH,
+		PowerLaw: true,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// HR gave us ~30 known roles (0.2%).
+	seeds, err := factorgraph.SampleSeeds(truth, 3, 0.002, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	known := 0
+	for _, s := range seeds {
+		if s != factorgraph.Unlabeled {
+			known++
+		}
+	}
+	fmt.Printf("known roles: %d of %d employees\n\n", known, g.N)
+
+	// Estimate who-emails-whom compatibilities and classify everyone.
+	pred, est, err := factorgraph.Classify(g, seeds, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated communication compatibilities (%s, %s):\n%s\n",
+		est.Method, est.Runtime, est.H)
+	acc := factorgraph.MacroAccuracy(pred, truth, seeds, 3)
+	fmt.Printf("role prediction accuracy (DCEr + LinBP): %.3f\n", acc)
+
+	// Homophily baseline: harmonic functions assume colleagues email their
+	// own team — exactly wrong for marketing/engineering.
+	hom, err := propagation.Harmonic(g.Adj, seeds, 3, propagation.HarmonicOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("role prediction accuracy (homophily):    %.3f\n",
+		metrics.MacroAccuracy(hom, truth, seeds, 3))
+
+	// Per-team breakdown.
+	fmt.Println("\nper-team accuracy:")
+	cm := metrics.ConfusionMatrix(pred, truth, seeds, 3)
+	for c, name := range classNames {
+		var total, correct float64
+		for j := 0; j < 3; j++ {
+			total += cm.At(c, j)
+		}
+		correct = cm.At(c, c)
+		if total > 0 {
+			fmt.Printf("  %-12s %.3f (%d employees)\n", name, correct/total, int(total))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Pokec: gender prediction on a social-network replica (Figure 7g's
+// dataset, the paper's largest graph).
+//
+// The Pokec social network exhibits mild heterophily — members interact
+// slightly more with the opposite gender (published compatibilities
+// [[0.44, 0.56], [0.56, 0.44]]). With only ~0.01% of genders disclosed, a
+// two-value compatibility matrix must be estimated from the graph alone.
+// Mild skew is the hard case: the signal per edge is weak, which is
+// exactly where distance-ℓ statistics and restarts matter.
+//
+// The replica preserves the published n/m ratio (average degree 37.5) and
+// the published H at a reduced size; pass -scale to change it.
+//
+// Run: go run ./examples/pokec [-scale 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"factorgraph"
+	"factorgraph/internal/datasets"
+	"factorgraph/internal/graph"
+	"factorgraph/internal/metrics"
+)
+
+func main() {
+	scale := flag.Int("scale", 40, "shrink factor for the 1.6M-node graph")
+	// At the default 1/40 replica scale, 0.2% disclosed ≈ 80 seeds — the
+	// same absolute signal the paper's full-size graph has near 0.005%.
+	f := flag.Float64("f", 0.002, "fraction of disclosed genders")
+	flag.Parse()
+
+	ds, err := datasets.ByName("Pokec-Gender")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replicating %s: published n=%d m=%d k=%d, running at scale 1/%d\n",
+		ds.Name, ds.N, ds.M, ds.K, *scale)
+	res, err := ds.Replica(*scale, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := graph.FromCSR(res.Graph.Adj)
+	fmt.Printf("replica: n=%d m=%d avg-degree=%.1f\n\n", g.N, g.M, g.AvgDegree())
+
+	seeds, err := factorgraph.SampleSeeds(res.Labels, ds.K, *f, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	est, err := factorgraph.EstimateDCEr(g, seeds, ds.K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published gender compatibilities:\n%s\n", ds.H)
+	fmt.Printf("estimated from %.3g%% disclosed genders (in %s):\n%s\n",
+		100**f, est.Runtime, est.H)
+	fmt.Printf("estimation L2 error: %.3f\n\n", metrics.L2(est.H, ds.H))
+
+	pred, err := factorgraph.Propagate(g, seeds, ds.K, est.H)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gender prediction accuracy (DCEr):          %.3f\n",
+		factorgraph.MacroAccuracy(pred, res.Labels, seeds, ds.K))
+
+	gsPred, err := factorgraph.Propagate(g, seeds, ds.K, ds.H)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gender prediction accuracy (gold standard): %.3f\n",
+		factorgraph.MacroAccuracy(gsPred, res.Labels, seeds, ds.K))
+}

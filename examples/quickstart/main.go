@@ -1,0 +1,65 @@
+// Quickstart: automatic node classification without knowing how classes
+// connect.
+//
+// We plant a heterophilous 3-class graph (classes 1 and 2 prefer each
+// other; class 3 keeps to itself), reveal the labels of just 1% of the
+// nodes, and let the library (1) estimate the class-compatibility matrix H
+// with DCEr and (2) propagate the seed labels with linearized belief
+// propagation. Standard homophily-based label propagation would fail here;
+// with the estimated H, accuracy matches the gold standard.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"factorgraph"
+)
+
+func main() {
+	// The unobserved truth: how the three classes connect (Figure 1b).
+	planted := factorgraph.NewMatrix([][]float64{
+		{0.2, 0.6, 0.2},
+		{0.6, 0.2, 0.2},
+		{0.2, 0.2, 0.6},
+	})
+
+	// A synthetic world that follows these compatibilities.
+	g, truth, err := factorgraph.Generate(factorgraph.GenerateConfig{
+		N: 10000, M: 125000, K: 3, H: planted, PowerLaw: true, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// We only observe 1% of the labels.
+	seeds, err := factorgraph.SampleSeeds(truth, 3, 0.01, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// End-to-end: estimate H, then label every node.
+	pred, est, err := factorgraph.Classify(g, seeds, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("estimated H with %s in %s:\n%s\n", est.Method, est.Runtime, est.H)
+	fmt.Printf("planted H:\n%s\n", planted)
+	fmt.Printf("accuracy on the 99%% unlabeled nodes: %.3f\n",
+		factorgraph.MacroAccuracy(pred, truth, seeds, 3))
+
+	// Compare against knowing the gold standard compatibilities.
+	gs, err := factorgraph.GoldStandard(g, truth, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gsPred, err := factorgraph.Propagate(g, seeds, 3, gs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gold-standard accuracy:                    %.3f\n",
+		factorgraph.MacroAccuracy(gsPred, truth, seeds, 3))
+}

@@ -1,0 +1,101 @@
+package factorgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSketchesShapeAndStochasticity(t *testing.T) {
+	g, _, seeds, _ := endToEndFixture(t, 0.2)
+	sketches, err := Sketches(g, seeds, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sketches) != 4 {
+		t.Fatalf("%d sketches, want 4", len(sketches))
+	}
+	for l, p := range sketches {
+		if p.Rows != 3 || p.Cols != 3 {
+			t.Fatalf("sketch %d is %d×%d", l, p.Rows, p.Cols)
+		}
+		// Variant-1 normalization: rows sum to 1 (or 0 for unobserved
+		// classes, which should not happen at f=0.2 on this graph).
+		for i := 0; i < 3; i++ {
+			s := 0.0
+			for j := 0; j < 3; j++ {
+				s += p.At(i, j)
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Errorf("sketch %d row %d sums to %v", l, i, s)
+			}
+		}
+	}
+}
+
+func TestSketchesApproachUniformWithLength(t *testing.T) {
+	// Hℓ → uniform as ℓ grows (doubly stochastic mixing); the sketches
+	// must inherit this.
+	g, _, seeds, _ := endToEndFixture(t, 0.5)
+	sketches, err := Sketches(g, seeds, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(m *Matrix) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range m.Data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi - lo
+	}
+	if spread(sketches[4]) > spread(sketches[0]) {
+		t.Errorf("sketch spread grew with path length: %v -> %v",
+			spread(sketches[0]), spread(sketches[4]))
+	}
+}
+
+func TestEstimateDCErAutoFacade(t *testing.T) {
+	g, truth, seeds, planted := endToEndFixture(t, 0.05)
+	est, lambda, err := EstimateDCErAuto(g, seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != "DCEr-auto" || lambda <= 0 {
+		t.Errorf("metadata: %+v lambda=%v", est, lambda)
+	}
+	var l2 float64
+	for i := range planted.Data {
+		d := est.H.Data[i] - planted.Data[i]
+		l2 += d * d
+	}
+	if math.Sqrt(l2) > 0.2 {
+		t.Errorf("auto estimate L2 %v", math.Sqrt(l2))
+	}
+	pred, err := Propagate(g, seeds, 3, est.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := MacroAccuracy(pred, truth, seeds, 3); acc < 0.5 {
+		t.Errorf("auto end-to-end accuracy %v", acc)
+	}
+}
+
+func TestWeightedGraphPropagation(t *testing.T) {
+	// A node tied between two opposite seeds follows the heavier edge.
+	// Graph: 1 —(w=5)— 0 —(w=1)— 2, heterophilous H, seeds at 1 and 2.
+	g, err := NewWeightedGraph(3, [][2]int32{{0, 1}, {0, 2}}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewMatrix([][]float64{{0.1, 0.9}, {0.9, 0.1}})
+	seeds := []int{Unlabeled, 0, 0}
+	beliefs, err := PropagateBeliefs(g, seeds, 2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both neighbors are class 0 under heterophily → node 0 should be
+	// class 1, with the heavy edge dominating the magnitude.
+	if beliefs.At(0, 1) <= beliefs.At(0, 0) {
+		t.Errorf("weighted heterophily propagation wrong: %v", beliefs.Row(0))
+	}
+}

@@ -1,0 +1,302 @@
+// Package factorgraph is the public API of this reproduction of
+// "Factorized Graph Representations for Semi-Supervised Learning from
+// Sparse Data" (Krishna Kumar P., Langton, Gatterbauer; SIGMOD 2020).
+//
+// The package solves automatic node classification (Problem 1.2): given an
+// undirected graph, a handful of labeled seed nodes and NO knowledge of how
+// classes connect, it (1) estimates the k×k class-compatibility matrix H
+// from factorized graph representations — small sketches built from
+// non-backtracking path statistics — and (2) propagates the seed labels
+// with linearized belief propagation modulated by the estimated H.
+//
+// Quick start:
+//
+//	g, _ := factorgraph.NewGraph(n, edges)          // build the graph
+//	est, _ := factorgraph.EstimateDCEr(g, seeds, k) // learn H from sparse labels
+//	pred, _ := factorgraph.Propagate(g, seeds, k, est.H)
+//
+// The heavy lifting lives in internal packages (sparse CSR kernel,
+// generator, estimators, experiment harness); this facade re-exports the
+// workflow a downstream user needs.
+package factorgraph
+
+import (
+	"fmt"
+	"time"
+
+	"factorgraph/internal/core"
+	"factorgraph/internal/dense"
+	"factorgraph/internal/gen"
+	"factorgraph/internal/graph"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+	"factorgraph/internal/propagation"
+)
+
+// Unlabeled marks an unknown node class in a label slice.
+const Unlabeled = labels.Unlabeled
+
+// Graph is an undirected graph; see NewGraph.
+type Graph = graph.Graph
+
+// Matrix is a dense matrix; compatibility matrices are k×k Matrix values.
+type Matrix = dense.Matrix
+
+// NewGraph builds an undirected, unweighted graph on n nodes from an edge
+// list (node ids in [0, n)).
+func NewGraph(n int, edges [][2]int32) (*Graph, error) {
+	return graph.New(n, edges, nil)
+}
+
+// NewWeightedGraph builds an undirected weighted graph.
+func NewWeightedGraph(n int, edges [][2]int32, weights []float64) (*Graph, error) {
+	return graph.New(n, edges, weights)
+}
+
+// NewMatrix builds a matrix from rows; used to specify known compatibility
+// matrices in examples and tests.
+func NewMatrix(rows [][]float64) *Matrix { return dense.FromRows(rows) }
+
+// Estimate is the result of a compatibility estimation.
+type Estimate struct {
+	// H is the estimated k×k symmetric doubly-stochastic compatibility
+	// matrix.
+	H *Matrix
+	// Runtime is the wall-clock estimation time.
+	Runtime time.Duration
+	// Method records which estimator produced the result.
+	Method string
+}
+
+// EstimateOptions tunes the DCE/DCEr estimators; the zero value reproduces
+// the paper's recommended settings (ℓmax=5, λ=10, normalization variant 1,
+// non-backtracking paths).
+type EstimateOptions struct {
+	// LMax is the maximum path length ℓmax (default 5).
+	LMax int
+	// Lambda is the distance-weight ratio λ (default 10).
+	Lambda float64
+	// Restarts overrides the number of restarts (default 1 for DCE,
+	// 10 for DCEr).
+	Restarts int
+	// Seed drives restart sampling (DCEr only).
+	Seed uint64
+}
+
+func summarize(g *Graph, seeds []int, k, lmax int) (*core.Summaries, error) {
+	if lmax == 0 {
+		lmax = 5
+	}
+	return core.Summarize(g.Adj, seeds, k, core.SummaryOptions{
+		LMax: lmax, NonBacktracking: true, Variant: core.Variant1,
+	})
+}
+
+// EstimateDCEr learns H with distant compatibility estimation with
+// restarts — the paper's recommended method: robust down to ~1 labeled
+// node in 10,000.
+func EstimateDCEr(g *Graph, seeds []int, k int, opts ...EstimateOptions) (*Estimate, error) {
+	return estimateDCE("DCEr", g, seeds, k, 10, opts...)
+}
+
+// EstimateDCE learns H with single-start distant compatibility estimation
+// (sufficient when labels are not extremely sparse).
+func EstimateDCE(g *Graph, seeds []int, k int, opts ...EstimateOptions) (*Estimate, error) {
+	return estimateDCE("DCE", g, seeds, k, 1, opts...)
+}
+
+func estimateDCE(method string, g *Graph, seeds []int, k, defRestarts int, opts ...EstimateOptions) (*Estimate, error) {
+	var o EstimateOptions
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("factorgraph: at most one EstimateOptions")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	start := time.Now()
+	s, err := summarize(g, seeds, k, o.LMax)
+	if err != nil {
+		return nil, err
+	}
+	restarts := o.Restarts
+	if restarts == 0 {
+		restarts = defRestarts
+	}
+	lambda := o.Lambda
+	if lambda == 0 {
+		lambda = 10
+	}
+	h, err := core.EstimateDCE(s, core.DCEOptions{Lambda: lambda, Restarts: restarts, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{H: h, Runtime: time.Since(start), Method: method}, nil
+}
+
+// EstimateDCErAuto is DCEr with automatic selection of the λ
+// hyperparameter by sketch-level cross-validation over the seed labels
+// (the paper's stated future work). Returns the estimate and the λ chosen.
+func EstimateDCErAuto(g *Graph, seeds []int, k int) (*Estimate, float64, error) {
+	start := time.Now()
+	h, lambda, err := core.EstimateDCErAuto(g.Adj, seeds, k, core.AutoLambdaOptions{})
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Estimate{H: h, Runtime: time.Since(start), Method: "DCEr-auto"}, lambda, nil
+}
+
+// EstimateMCE learns H from direct neighbor statistics only (myopic
+// compatibility estimation) — fastest, but needs enough labeled neighbor
+// pairs.
+func EstimateMCE(g *Graph, seeds []int, k int) (*Estimate, error) {
+	start := time.Now()
+	s, err := summarize(g, seeds, k, 1)
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.EstimateMCE(s, core.MCEOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{H: h, Runtime: time.Since(start), Method: "MCE"}, nil
+}
+
+// EstimateLCE learns H by minimizing the LinBP energy with the seed labels
+// substituted for the unknown beliefs (linear compatibility estimation).
+func EstimateLCE(g *Graph, seeds []int, k int) (*Estimate, error) {
+	start := time.Now()
+	h, err := core.EstimateLCE(g.Adj, seeds, k, core.LCEOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{H: h, Runtime: time.Since(start), Method: "LCE"}, nil
+}
+
+// EstimateHoldout learns H with the textbook seed/holdout baseline
+// (accuracy maximization with inference as a subroutine). Orders of
+// magnitude slower than the sketch-based estimators; provided as the
+// paper's baseline.
+func EstimateHoldout(g *Graph, seeds []int, k int, splits int) (*Estimate, error) {
+	start := time.Now()
+	h, err := core.EstimateHoldout(g.Adj, seeds, k, core.HoldoutOptions{Splits: splits})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{H: h, Runtime: time.Since(start), Method: "Holdout"}, nil
+}
+
+// Sketches returns the factorized graph representations themselves: the
+// ℓmax observed statistics matrices P̂⁽ℓ⁾ over non-backtracking paths
+// (normalization variant 1). These k×k sketches are what all estimation
+// runs on; exposing them lets downstream users build their own objectives.
+func Sketches(g *Graph, seeds []int, k, lmax int) ([]*Matrix, error) {
+	s, err := summarize(g, seeds, k, lmax)
+	if err != nil {
+		return nil, err
+	}
+	return s.P, nil
+}
+
+// GoldStandard measures the compatibility matrix from a fully labeled
+// graph (the relative label frequencies between neighbors).
+func GoldStandard(g *Graph, truth []int, k int) (*Matrix, error) {
+	return core.GoldStandard(g.Adj, truth, k)
+}
+
+// Propagate labels every node with linearized belief propagation under the
+// compatibility matrix h (paper defaults: s=0.5, 10 iterations). seeds uses
+// Unlabeled for unknown nodes; the return value has a class for every node.
+func Propagate(g *Graph, seeds []int, k int, h *Matrix) ([]int, error) {
+	x, err := labels.Matrix(seeds, k)
+	if err != nil {
+		return nil, err
+	}
+	return propagation.LinBPLabels(g.Adj, x, h, propagation.DefaultLinBPOptions())
+}
+
+// PropagateBeliefs is Propagate but returns the full n×k belief matrix.
+func PropagateBeliefs(g *Graph, seeds []int, k int, h *Matrix) (*Matrix, error) {
+	x, err := labels.Matrix(seeds, k)
+	if err != nil {
+		return nil, err
+	}
+	return propagation.LinBP(g.Adj, x, h, propagation.DefaultLinBPOptions())
+}
+
+// Classify is the end-to-end pipeline of the paper: estimate H with DCEr,
+// then propagate — automatic node classification with no prior knowledge
+// of class compatibilities.
+func Classify(g *Graph, seeds []int, k int) ([]int, *Estimate, error) {
+	est, err := EstimateDCEr(g, seeds, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := Propagate(g, seeds, k, est.H)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pred, est, nil
+}
+
+// Accuracy scores predictions on the nodes that are labeled in truth but
+// not seeds (micro-averaged).
+func Accuracy(pred, truth, seeds []int) float64 {
+	return metrics.Accuracy(pred, truth, seeds)
+}
+
+// MacroAccuracy macro-averages per-class accuracies (the paper's measure
+// under class imbalance).
+func MacroAccuracy(pred, truth, seeds []int, k int) float64 {
+	return metrics.MacroAccuracy(pred, truth, seeds, k)
+}
+
+// GenerateConfig plants a synthetic graph; see Generate.
+type GenerateConfig struct {
+	N, M  int       // nodes and edges
+	Alpha []float64 // class distribution (nil ⇒ balanced over K)
+	K     int       // used when Alpha is nil
+	H     *Matrix   // symmetric doubly-stochastic compatibility matrix
+	// PowerLaw switches from uniform to power-law (coefficient 0.3)
+	// degrees.
+	PowerLaw bool
+	Seed     uint64
+}
+
+// Generate creates a synthetic graph with planted class sizes, per-pair
+// edge counts and degree distribution (the paper's generator, Section 5),
+// returning the graph and ground-truth labels.
+func Generate(cfg GenerateConfig) (*Graph, []int, error) {
+	alpha := cfg.Alpha
+	if alpha == nil {
+		if cfg.K < 2 {
+			return nil, nil, fmt.Errorf("factorgraph: need Alpha or K ≥ 2")
+		}
+		alpha = gen.Balanced(cfg.K)
+	}
+	var dist gen.DegreeDist = gen.Uniform{}
+	if cfg.PowerLaw {
+		dist = gen.PowerLaw{Exponent: 0.3}
+	}
+	res, err := gen.Generate(gen.Config{
+		N: cfg.N, M: cfg.M, Alpha: alpha, H: cfg.H, Dist: dist, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Graph, res.Labels, nil
+}
+
+// SkewedH builds the paper's parametric k-class compatibility matrix with
+// skew h (HFromSkew for k=3, its generalization otherwise).
+func SkewedH(k int, h float64) *Matrix {
+	if k == 3 {
+		return core.HFromSkew(h)
+	}
+	return core.HPlanted(k, h)
+}
+
+// SampleSeeds draws a stratified random fraction f of the true labels, the
+// paper's seed-sampling protocol.
+func SampleSeeds(truth []int, k int, f float64, seed uint64) ([]int, error) {
+	return sampleStratified(truth, k, f, seed)
+}

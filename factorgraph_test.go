@@ -1,0 +1,176 @@
+package factorgraph
+
+import (
+	"math"
+	"testing"
+)
+
+// endToEndFixture generates a heterophilous graph with sparse seeds.
+func endToEndFixture(t *testing.T, f float64) (*Graph, []int, []int, *Matrix) {
+	t.Helper()
+	h := SkewedH(3, 8)
+	g, truth, err := Generate(GenerateConfig{N: 3000, M: 36000, K: 3, H: h, PowerLaw: true, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := SampleSeeds(truth, 3, f, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, truth, seeds, h
+}
+
+func TestClassifyEndToEnd(t *testing.T) {
+	g, truth, seeds, planted := endToEndFixture(t, 0.05)
+	pred, est, err := Classify(g, seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != "DCEr" || est.Runtime <= 0 {
+		t.Errorf("estimate metadata wrong: %+v", est)
+	}
+	// Estimated H close to planted.
+	var l2 float64
+	for i := range planted.Data {
+		d := est.H.Data[i] - planted.Data[i]
+		l2 += d * d
+	}
+	if math.Sqrt(l2) > 0.15 {
+		t.Errorf("estimated H L2 = %v from planted", math.Sqrt(l2))
+	}
+	// End-to-end accuracy comparable to gold standard propagation.
+	gs, err := GoldStandard(g, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsPred, err := Propagate(g, seeds, 3, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accGS := MacroAccuracy(gsPred, truth, seeds, 3)
+	accDCEr := MacroAccuracy(pred, truth, seeds, 3)
+	if accGS-accDCEr > 0.05 {
+		t.Errorf("DCEr accuracy %v vs GS %v", accDCEr, accGS)
+	}
+	if accDCEr < 0.5 {
+		t.Errorf("end-to-end accuracy %v too low", accDCEr)
+	}
+}
+
+func TestEstimatorsAgreeWhenDense(t *testing.T) {
+	g, _, seeds, planted := endToEndFixture(t, 0.5)
+	for _, est := range []func() (*Estimate, error){
+		func() (*Estimate, error) { return EstimateDCEr(g, seeds, 3) },
+		func() (*Estimate, error) { return EstimateDCE(g, seeds, 3) },
+		func() (*Estimate, error) { return EstimateMCE(g, seeds, 3) },
+	} {
+		e, err := est()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l2 float64
+		for i := range planted.Data {
+			d := e.H.Data[i] - planted.Data[i]
+			l2 += d * d
+		}
+		if math.Sqrt(l2) > 0.1 {
+			t.Errorf("%s: L2 %v from planted at f=0.5", e.Method, math.Sqrt(l2))
+		}
+	}
+}
+
+func TestEstimateOptionsValidation(t *testing.T) {
+	g, _, seeds, _ := endToEndFixture(t, 0.1)
+	if _, err := EstimateDCEr(g, seeds, 3, EstimateOptions{}, EstimateOptions{}); err == nil {
+		t.Error("expected error for multiple option structs")
+	}
+	e, err := EstimateDCEr(g, seeds, 3, EstimateOptions{LMax: 3, Lambda: 5, Restarts: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.H.Rows != 3 {
+		t.Errorf("bad H shape %d", e.H.Rows)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, _, err := Generate(GenerateConfig{N: 10, M: 5}); err == nil {
+		t.Error("expected error without Alpha or K")
+	}
+	if _, _, err := Generate(GenerateConfig{N: 10, M: 5, K: 2, H: NewMatrix([][]float64{{1}})}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestNewGraphAndAccuracyHelpers(t *testing.T) {
+	g, err := NewGraph(3, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M != 2 {
+		t.Errorf("n=%d m=%d", g.N, g.M)
+	}
+	wg, err := NewWeightedGraph(2, [][2]int32{{0, 1}}, []float64{2})
+	if err != nil || wg.Adj.At(0, 1) != 2 {
+		t.Errorf("weighted graph: %v", err)
+	}
+	pred := []int{0, 1, 1}
+	truth := []int{0, 1, 0}
+	seeds := []int{0, Unlabeled, Unlabeled}
+	if a := Accuracy(pred, truth, seeds); a != 0.5 {
+		t.Errorf("Accuracy = %v", a)
+	}
+	if a := MacroAccuracy(pred, truth, seeds, 2); a != 0.5 {
+		t.Errorf("MacroAccuracy = %v", a)
+	}
+}
+
+func TestHoldoutFacade(t *testing.T) {
+	h := SkewedH(3, 8)
+	g, truth, err := Generate(GenerateConfig{N: 600, M: 6000, K: 3, H: h, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := SampleSeeds(truth, 3, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EstimateHoldout(g, seeds, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Method != "Holdout" || e.H.Rows != 3 {
+		t.Errorf("holdout estimate: %+v", e)
+	}
+}
+
+func TestLCEFacade(t *testing.T) {
+	g, _, seeds, _ := endToEndFixture(t, 0.5)
+	e, err := EstimateLCE(g, seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Method != "LCE" {
+		t.Errorf("method %s", e.Method)
+	}
+}
+
+func TestPropagateBeliefs(t *testing.T) {
+	g, _, seeds, h := endToEndFixture(t, 0.1)
+	f, err := PropagateBeliefs(g, seeds, 3, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows != g.N || f.Cols != 3 {
+		t.Errorf("beliefs shape %dx%d", f.Rows, f.Cols)
+	}
+}
+
+func TestSkewedHShapes(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		h := SkewedH(k, 4)
+		if h.Rows != k || h.Cols != k {
+			t.Errorf("SkewedH(%d) shape %dx%d", k, h.Rows, h.Cols)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package factorgraph_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"factorgraph/internal/graph"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+)
+
+// TestCLIPipeline exercises the factorgraph binary end to end:
+// gen → estimate (saving H) → propagate (reusing the saved H), checking
+// the files it produces and the accuracy of its predictions.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "factorgraph-bin")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/factorgraph")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building CLI: %v", err)
+	}
+
+	edges := filepath.Join(dir, "g.tsv")
+	truthPath := filepath.Join(dir, "truth.tsv")
+	seedsPath := filepath.Join(dir, "seeds.tsv")
+	hPath := filepath.Join(dir, "h.json")
+	predPath := filepath.Join(dir, "pred.tsv")
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Full truth for scoring, then a sparse seed file for the pipeline.
+	run("gen", "-n", "3000", "-m", "36000", "-k", "3", "-skew", "8",
+		"-seed", "5", "-edges", edges, "-labels", truthPath)
+	run("gen", "-n", "3000", "-m", "36000", "-k", "3", "-skew", "8",
+		"-seed", "5", "-f", "0.05", "-edges", edges, "-labels", seedsPath)
+
+	out := run("estimate", "-edges", edges, "-labels", seedsPath, "-k", "3",
+		"-method", "dcer", "-hout", hPath)
+	if !strings.Contains(out, "method=DCEr") || !strings.Contains(out, "estimated H:") {
+		t.Errorf("estimate output unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(hPath); err != nil {
+		t.Fatalf("H file not written: %v", err)
+	}
+
+	out = run("propagate", "-edges", edges, "-labels", seedsPath, "-k", "3",
+		"-hfile", hPath, "-out", predPath)
+	if !strings.Contains(out, "loaded H from") {
+		t.Errorf("propagate output unexpected:\n%s", out)
+	}
+
+	// Score the CLI's predictions against the truth file.
+	truthF, err := os.Open(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer truthF.Close()
+	truth, err := graph.ReadLabels(truthF, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedsF, err := os.Open(seedsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedsF.Close()
+	seeds, err := graph.ReadLabels(seedsF, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predF, err := os.Open(predPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer predF.Close()
+	pred, err := graph.ReadLabels(predF, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := labels.NumLabeled(pred); n != 3000 {
+		t.Errorf("predictions cover %d of 3000 nodes", n)
+	}
+	if acc := metrics.MacroAccuracy(pred, truth, seeds, 3); acc < 0.6 {
+		t.Errorf("CLI end-to-end accuracy %v, want > 0.6 at h=8 f=0.05", acc)
+	}
+
+	stats := run("stats", "-edges", edges)
+	if !strings.Contains(stats, "nodes=3000") || !strings.Contains(stats, "edges=36000") {
+		t.Errorf("stats output unexpected: %s", stats)
+	}
+}
+
+// TestExperimentsCLIList checks the experiments binary lists the registry.
+func TestExperimentsCLIList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments-bin")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/experiments").CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"fig3a", "fig6k", "fig7", "ablation-nb"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("-list missing %s:\n%s", id, out)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package bp implements standard loopy belief propagation on the pairwise
+// Markov random field defined by a graph and an edge potential
+// (Section 2.2 of the paper). It exists as the reference point LinBP
+// linearizes: the update equations are the paper's
+//
+//	f_i ← Z_i⁻¹ x_i ⊙ ∏_{j∈N(i)} m_{ji}
+//	m_{ij} ← H(x_i ⊙ ∏_{v∈N(i)\j} m_{vi})
+//
+// with per-edge message vectors, optional damping, and residual-based
+// convergence detection. BP has well-known convergence problems on loopy
+// graphs — the experiments use it to show where linearization pays off.
+package bp
+
+import (
+	"fmt"
+	"math"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/sparse"
+)
+
+// Options configures BP.
+type Options struct {
+	// MaxIterations bounds message-passing rounds (default 100).
+	MaxIterations int
+	// Tol stops iteration when the largest message change falls below it
+	// (default 1e-6).
+	Tol float64
+	// Damping blends new messages with old: m ← (1−Damping)·m_new +
+	// Damping·m_old. 0 disables damping; 0.1–0.5 often rescues
+	// convergence on loopy graphs (default 0).
+	Damping float64
+	// Epsilon controls potential strength: the edge potential used is
+	// H^ε-like interpolation (1−ε)·uniform + ε·H, keeping BP in its
+	// convergent regime for small ε. 0 means use H as given.
+	Epsilon float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+}
+
+// Result carries the BP outcome.
+type Result struct {
+	// Beliefs is the n×k matrix of normalized posterior beliefs.
+	Beliefs *dense.Matrix
+	// Iterations actually performed.
+	Iterations int
+	// Converged reports whether the message residual fell below Tol.
+	Converged bool
+	// MaxResidual is the final largest message change.
+	MaxResidual float64
+}
+
+// Run executes loopy BP. w is the symmetric adjacency matrix; seed labels
+// anchor the priors (labeled nodes get a spiked prior, unlabeled a uniform
+// one); h is the k×k compatibility (edge potential) matrix.
+func Run(w *sparse.CSR, seed []int, k int, h *dense.Matrix, opts Options) (*Result, error) {
+	if len(seed) != w.N {
+		return nil, fmt.Errorf("bp: %d seed labels for %d nodes", len(seed), w.N)
+	}
+	if h.Rows != k || h.Cols != k {
+		return nil, fmt.Errorf("bp: H is %d×%d, want %d×%d", h.Rows, h.Cols, k, k)
+	}
+	opts.defaults()
+
+	pot := h.Clone()
+	if opts.Epsilon > 0 {
+		uni := 1 / float64(k)
+		for i := range pot.Data {
+			pot.Data[i] = (1-opts.Epsilon)*uni + opts.Epsilon*pot.Data[i]
+		}
+	}
+	for _, v := range pot.Data {
+		if v < 0 {
+			return nil, fmt.Errorf("bp: negative potential entry %v (BP multiplies messages; use Epsilon to soften)", v)
+		}
+	}
+
+	// Directed-edge message storage: for CSR entry p of row i (edge i→j at
+	// position p), messages[p] is m_{i→j}. reverse[p] locates m_{j→i}.
+	nnz := w.NNZ()
+	reverse := make([]int, nnz)
+	for i := 0; i < w.N; i++ {
+		for p := w.IndPtr[i]; p < w.IndPtr[i+1]; p++ {
+			j := int(w.Indices[p])
+			// Find position of edge j→i.
+			lo, hi := w.IndPtr[j], w.IndPtr[j+1]
+			row := w.Indices[lo:hi]
+			q := search32(row, int32(i))
+			if q < 0 {
+				return nil, fmt.Errorf("bp: adjacency not symmetric at (%d,%d)", i, j)
+			}
+			reverse[p] = lo + q
+		}
+	}
+
+	// Priors: spiked for labeled nodes, uniform otherwise.
+	const spike = 0.9
+	prior := dense.New(w.N, k)
+	for i := 0; i < w.N; i++ {
+		row := prior.Row(i)
+		if c := seed[i]; c != labels.Unlabeled {
+			if c < 0 || c >= k {
+				return nil, fmt.Errorf("bp: node %d has label %d outside [0,%d)", i, c, k)
+			}
+			for j := range row {
+				row[j] = (1 - spike) / float64(k-1)
+			}
+			row[c] = spike
+		} else {
+			for j := range row {
+				row[j] = 1 / float64(k)
+			}
+		}
+	}
+
+	msgs := make([]float64, nnz*k)
+	next := make([]float64, nnz*k)
+	for p := 0; p < nnz; p++ {
+		for c := 0; c < k; c++ {
+			msgs[p*k+c] = 1 / float64(k)
+		}
+	}
+
+	prod := make([]float64, k)
+	pre := make([]float64, k)
+	out := make([]float64, k)
+	res := &Result{}
+	for it := 1; it <= opts.MaxIterations; it++ {
+		maxDelta := 0.0
+		for i := 0; i < w.N; i++ {
+			// Total product of incoming messages times prior (in logs we
+			// would be safer, but k and degrees here are modest and we
+			// re-normalize per message).
+			start, end := w.IndPtr[i], w.IndPtr[i+1]
+			copy(prod, prior.Row(i))
+			for p := start; p < end; p++ {
+				q := reverse[p] // message j→i
+				for c := 0; c < k; c++ {
+					prod[c] *= msgs[q*k+c]
+				}
+				normalizeVec(prod)
+			}
+			for p := start; p < end; p++ {
+				q := reverse[p]
+				// Cavity: divide out the recipient's message (guard zeros).
+				for c := 0; c < k; c++ {
+					in := msgs[q*k+c]
+					if in > 1e-300 {
+						pre[c] = prod[c] / in
+					} else {
+						pre[c] = prod[c]
+					}
+				}
+				normalizeVec(pre)
+				// Modulate through the potential: out_e = Σ_c pre_c·H_ce.
+				for e := 0; e < k; e++ {
+					s := 0.0
+					for c := 0; c < k; c++ {
+						s += pre[c] * pot.At(c, e)
+					}
+					out[e] = s
+				}
+				normalizeVec(out)
+				for c := 0; c < k; c++ {
+					nv := out[c]
+					if opts.Damping > 0 {
+						nv = (1-opts.Damping)*nv + opts.Damping*msgs[p*k+c]
+					}
+					if d := math.Abs(nv - msgs[p*k+c]); d > maxDelta {
+						maxDelta = d
+					}
+					next[p*k+c] = nv
+				}
+			}
+		}
+		msgs, next = next, msgs
+		res.Iterations = it
+		res.MaxResidual = maxDelta
+		if maxDelta < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Final beliefs.
+	beliefs := dense.New(w.N, k)
+	for i := 0; i < w.N; i++ {
+		row := beliefs.Row(i)
+		copy(row, prior.Row(i))
+		for p := w.IndPtr[i]; p < w.IndPtr[i+1]; p++ {
+			q := reverse[p]
+			for c := 0; c < k; c++ {
+				row[c] *= msgs[q*k+c]
+			}
+			normalizeVec(row)
+		}
+	}
+	res.Beliefs = beliefs
+	return res, nil
+}
+
+// Labels runs BP and returns argmax labels.
+func Labels(w *sparse.CSR, seed []int, k int, h *dense.Matrix, opts Options) ([]int, *Result, error) {
+	res, err := Run(w, seed, k, h, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dense.ArgmaxRows(res.Beliefs), res, nil
+}
+
+func normalizeVec(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		u := 1 / float64(len(v))
+		for i := range v {
+			v[i] = u
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// search32 finds x in a sorted int32 slice, returning its index or −1.
+func search32(row []int32, x int32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo] == x {
+		return lo
+	}
+	return -1
+}

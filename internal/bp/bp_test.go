@@ -1,0 +1,263 @@
+package bp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/sparse"
+)
+
+func ring(t *testing.T, n int) *sparse.CSR {
+	t.Helper()
+	edges := make([][2]int32, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int32{int32(i), int32((i + 1) % n)}
+	}
+	w, err := sparse.NewSymmetricFromEdges(n, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func seedVec(n int, known map[int]int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = labels.Unlabeled
+	}
+	for i, c := range known {
+		s[i] = c
+	}
+	return s
+}
+
+func TestBPTreeExact(t *testing.T) {
+	// On a tree (path graph) BP is exact and must converge.
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	w, err := sparse.NewSymmetricFromEdges(5, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero := dense.FromRows([][]float64{{0.1, 0.9}, {0.9, 0.1}})
+	seed := seedVec(5, map[int]int{0: 0})
+	pred, res, err := Labels(w, seed, 2, hetero, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("BP did not converge on a tree (residual %v)", res.MaxResidual)
+	}
+	want := []int{0, 1, 0, 1, 0}
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Errorf("node %d labeled %d, want %d", i, pred[i], want[i])
+		}
+	}
+}
+
+func TestBPHeterophilyRing(t *testing.T) {
+	w := ring(t, 12)
+	hetero := dense.FromRows([][]float64{{0.1, 0.9}, {0.9, 0.1}})
+	seed := seedVec(12, map[int]int{0: 0})
+	pred, _, err := Labels(w, seed, 2, hetero, Options{Damping: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if pred[i] != i%2 {
+			t.Fatalf("node %d labeled %d, want %d (%v)", i, pred[i], i%2, pred)
+		}
+	}
+}
+
+func TestBPHomophilyCliques(t *testing.T) {
+	var edges [][2]int32
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int32{int32(i), int32(j)})
+			edges = append(edges, [2]int32{int32(i + 5), int32(j + 5)})
+		}
+	}
+	edges = append(edges, [2]int32{4, 5})
+	w, err := sparse.NewSymmetricFromEdges(10, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo := dense.FromRows([][]float64{{0.9, 0.1}, {0.1, 0.9}})
+	seed := seedVec(10, map[int]int{0: 0, 9: 1})
+	pred, _, err := Labels(w, seed, 2, homo, Options{Damping: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if pred[i] != 0 || pred[i+5] != 1 {
+			t.Fatalf("clique labeling wrong: %v", pred)
+		}
+	}
+}
+
+func TestBPBeliefsNormalized(t *testing.T) {
+	w := ring(t, 10)
+	h := dense.FromRows([][]float64{{0.3, 0.7}, {0.7, 0.3}})
+	seed := seedVec(10, map[int]int{0: 0, 5: 1})
+	res, err := Run(w, seed, 2, h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s := 0.0
+		for _, v := range res.Beliefs.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("belief out of range at node %d: %v", i, res.Beliefs.Row(i))
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("beliefs of node %d sum to %v", i, s)
+		}
+	}
+}
+
+func TestBPErrors(t *testing.T) {
+	w := ring(t, 4)
+	h2 := dense.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	if _, err := Run(w, []int{0}, 2, h2, Options{}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := Run(w, seedVec(4, nil), 3, h2, Options{}); err == nil {
+		t.Error("expected shape error")
+	}
+	neg := dense.FromRows([][]float64{{-0.5, 1.5}, {1.5, -0.5}})
+	if _, err := Run(w, seedVec(4, nil), 2, neg, Options{}); err == nil {
+		t.Error("expected negative-potential error")
+	}
+	if _, err := Run(w, seedVec(4, map[int]int{0: 7}), 2, h2, Options{}); err == nil {
+		t.Error("expected out-of-range label error")
+	}
+}
+
+func TestBPEpsilonSoftening(t *testing.T) {
+	// Strong potentials on a loopy graph may oscillate; epsilon-softened
+	// potentials converge.
+	w := ring(t, 9) // odd ring frustrates 2-class heterophily
+	h := dense.FromRows([][]float64{{0.0, 1.0}, {1.0, 0.0}})
+	seed := seedVec(9, map[int]int{0: 0})
+	hard, err := Run(w, seed, 2, h, Options{MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := Run(w, seed, 2, h, Options{MaxIterations: 200, Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !soft.Converged {
+		t.Errorf("softened BP should converge (residual %v)", soft.MaxResidual)
+	}
+	// Document behaviour: the frustrated hard potential may not converge.
+	_ = hard
+}
+
+// Property: on random graphs BP with softened potentials returns finite,
+// normalized beliefs regardless of convergence.
+func TestBPRobustnessProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(91, 92))
+	f := func() bool {
+		n := 5 + r.IntN(15)
+		var edges [][2]int32
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.3 {
+					edges = append(edges, [2]int32{int32(i), int32(j)})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		w, err := sparse.NewSymmetricFromEdges(n, edges, nil)
+		if err != nil {
+			return false
+		}
+		k := 2 + r.IntN(2)
+		h := dense.New(k, k)
+		for i := range h.Data {
+			h.Data[i] = r.Float64()
+		}
+		h = dense.RowNormalize(h)
+		seed := make([]int, n)
+		for i := range seed {
+			if r.Float64() < 0.3 {
+				seed[i] = r.IntN(k)
+			} else {
+				seed[i] = labels.Unlabeled
+			}
+		}
+		res, err := Run(w, seed, k, h, Options{MaxIterations: 30, Damping: 0.2})
+		if err != nil {
+			return false
+		}
+		for _, v := range res.Beliefs.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBPvsLinBPAgreement: in the weak-potential regime where both are
+// well-behaved, BP and LinBP should broadly agree on labels (LinBP is the
+// linearization of BP around the uninformative point).
+func TestBPvsLinBPAgreement(t *testing.T) {
+	w := ring(t, 30)
+	h := dense.FromRows([][]float64{{0.35, 0.65}, {0.65, 0.35}})
+	seed := seedVec(30, map[int]int{0: 0, 15: 1})
+	bpPred, res, err := Labels(w, seed, 2, h, Options{Epsilon: 0.5, Damping: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BP did not converge: residual %v", res.MaxResidual)
+	}
+	x, err := labels.Matrix(seed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := linbpLabels(w, x, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range bpPred {
+		if bpPred[i] == lin[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(bpPred)); frac < 0.9 {
+		t.Errorf("BP and LinBP agree on only %.2f of nodes", frac)
+	}
+}
+
+// linbpLabels is a minimal local LinBP to avoid an import cycle with the
+// propagation package's tests.
+func linbpLabels(w *sparse.CSR, x *dense.Matrix, h *dense.Matrix) ([]int, error) {
+	k := h.Rows
+	ht := dense.AddScalar(h, -1.0/float64(k))
+	rhoW := w.SpectralRadius(100)
+	rhoH := dense.SpectralRadiusSym(ht, 200)
+	eps := 0.5 / (rhoW * rhoH)
+	hs := dense.Scale(ht, eps)
+	xt := dense.AddScalar(x, -1.0/float64(k))
+	f := xt.Clone()
+	for it := 0; it < 10; it++ {
+		f = dense.Add(xt, w.MulDense(dense.Mul(f, hs)))
+	}
+	return dense.ArgmaxRows(f), nil
+}

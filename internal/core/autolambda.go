@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/sparse"
+)
+
+// AutoLambdaOptions configures EstimateDCErAuto.
+type AutoLambdaOptions struct {
+	// Grid is the λ candidates (default {1, 3, 10, 30}).
+	Grid []float64
+	// Folds is the number of seed re-splits averaged per candidate
+	// (default 3).
+	Folds int
+	// Restarts per DCE run (default 10, as in DCEr).
+	Restarts int
+	// LMax for the summaries (default 5).
+	LMax int
+	// Seed drives splits and restarts.
+	Seed uint64
+}
+
+func (o *AutoLambdaOptions) defaults() {
+	if len(o.Grid) == 0 {
+		o.Grid = []float64{1, 3, 10, 30}
+	}
+	if o.Folds == 0 {
+		o.Folds = 3
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 10
+	}
+	if o.LMax == 0 {
+		o.LMax = 5
+	}
+}
+
+// EstimateDCErAuto extends DCEr with automatic selection of the single
+// hyperparameter λ — the paper's stated future work ("Fine-tuning of λ on
+// real datasets remains interesting future work", §5.3). For each
+// candidate λ it estimates H on summaries built from half the seed labels
+// and scores the fit of H's powers against the *held-out* half's
+// summaries (a sketch-level cross-validation: every step runs on k×k
+// matrices, so the selection adds only O(folds·|grid|) sketch builds and
+// optimizations). The λ with the best held-out fit wins; the final H is
+// re-estimated on all seeds.
+func EstimateDCErAuto(w *sparse.CSR, seed []int, k int, opts AutoLambdaOptions) (*dense.Matrix, float64, error) {
+	opts.defaults()
+	if labels.NumLabeled(seed) < 2 {
+		return nil, 0, fmt.Errorf("core: auto-lambda needs at least 2 labeled nodes")
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x853c49e6748fea9b))
+
+	scores := make([]float64, len(opts.Grid))
+	valid := make([]int, len(opts.Grid))
+	for fold := 0; fold < opts.Folds; fold++ {
+		train, hold, err := labels.SplitSeedHoldout(seed, k, 0.5, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		if labels.NumLabeled(train) == 0 || labels.NumLabeled(hold) == 0 {
+			continue
+		}
+		sTrain, err := Summarize(w, train, k, SummaryOptions{LMax: opts.LMax, NonBacktracking: true, Variant: Variant1})
+		if err != nil {
+			return nil, 0, err
+		}
+		sHold, err := Summarize(w, hold, k, SummaryOptions{LMax: opts.LMax, NonBacktracking: true, Variant: Variant1})
+		if err != nil {
+			return nil, 0, err
+		}
+		for gi, lambda := range opts.Grid {
+			est, err := EstimateDCE(sTrain, DCEOptions{Lambda: lambda, Restarts: opts.Restarts, Seed: opts.Seed + uint64(fold)})
+			if err != nil {
+				return nil, 0, err
+			}
+			// Validation: weighted distance of est's powers from the
+			// held-out statistics. A fixed moderate weighting (λ=3)
+			// scores all candidates on the same scale.
+			valObj, err := NewDCEObjective(sHold, PathWeights(3, opts.LMax))
+			if err != nil {
+				return nil, 0, err
+			}
+			h, err := ToFree(est)
+			if err != nil {
+				return nil, 0, err
+			}
+			scores[gi] += valObj.Value(h)
+			valid[gi]++
+		}
+	}
+	bestIdx := -1
+	for gi := range opts.Grid {
+		if valid[gi] == 0 {
+			continue
+		}
+		if bestIdx < 0 || scores[gi]/float64(valid[gi]) < scores[bestIdx]/float64(valid[bestIdx]) {
+			bestIdx = gi
+		}
+	}
+	if bestIdx < 0 {
+		return nil, 0, fmt.Errorf("core: auto-lambda could not evaluate any fold (too few labels per class)")
+	}
+	bestLambda := opts.Grid[bestIdx]
+
+	sAll, err := Summarize(w, seed, k, SummaryOptions{LMax: opts.LMax, NonBacktracking: true, Variant: Variant1})
+	if err != nil {
+		return nil, 0, err
+	}
+	h, err := EstimateDCE(sAll, DCEOptions{Lambda: bestLambda, Restarts: opts.Restarts, Seed: opts.Seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, bestLambda, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+)
+
+func TestEstimateDCErAutoRecoversH(t *testing.T) {
+	res, sample, H := makeLabeledGraph(t, 5000, 60000, 8, 0.05, 21)
+	est, lambda, err := EstimateDCErAuto(res.Graph.Adj, sample, 3, AutoLambdaOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range []float64{1, 3, 10, 30} {
+		if lambda == g {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selected lambda %v not in default grid", lambda)
+	}
+	if d := metrics.L2(est, H); d > 0.15 {
+		t.Errorf("auto-lambda DCEr L2 = %v from planted H", d)
+	}
+	if !IsSymmetricDoublyStochastic(est, 1e-6) {
+		t.Error("estimate violates constraints")
+	}
+}
+
+func TestEstimateDCErAutoDenseLabels(t *testing.T) {
+	// With plentiful labels every candidate λ fits well (the validation
+	// scores are within noise of each other); whatever λ wins, the final
+	// estimate must be accurate.
+	res, sample, H := makeLabeledGraph(t, 3000, 36000, 8, 0.5, 23)
+	est, _, err := EstimateDCErAuto(res.Graph.Adj, sample, 3, AutoLambdaOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.L2(est, H); d > 0.05 {
+		t.Errorf("auto-lambda L2 = %v at f=0.5", d)
+	}
+}
+
+func TestEstimateDCErAutoErrors(t *testing.T) {
+	res, _, _ := makeLabeledGraph(t, 200, 1000, 3, 1, 25)
+	unl := make([]int, res.Graph.N)
+	for i := range unl {
+		unl[i] = labels.Unlabeled
+	}
+	if _, _, err := EstimateDCErAuto(res.Graph.Adj, unl, 3, AutoLambdaOptions{}); err == nil {
+		t.Error("expected too-few-labels error")
+	}
+}

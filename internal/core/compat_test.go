@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"factorgraph/internal/dense"
+)
+
+func TestNumFree(t *testing.T) {
+	for _, tc := range []struct{ k, want int }{{2, 1}, {3, 3}, {4, 6}, {7, 21}} {
+		if got := NumFree(tc.k); got != tc.want {
+			t.Errorf("NumFree(%d) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestFromFreeK3PaperExample(t *testing.T) {
+	// Paper §4: for k=3, H reconstructed from h = [H11, H21, H22]:
+	// last column 1−row sums, corner H11+2H21+H22−1.
+	h := []float64{0.2, 0.6, 0.2}
+	H, err := FromFree(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dense.FromRows([][]float64{
+		{0.2, 0.6, 0.2},
+		{0.6, 0.2, 0.2},
+		{0.2, 0.2, 0.6},
+	})
+	if !dense.Equal(H, want, 1e-12) {
+		t.Errorf("FromFree = \n%v want \n%v", H, want)
+	}
+}
+
+func TestFromFreeErrors(t *testing.T) {
+	if _, err := FromFree([]float64{1}, 1); err == nil {
+		t.Error("expected error for k=1")
+	}
+	if _, err := FromFree([]float64{1, 2}, 3); err == nil {
+		t.Error("expected error for wrong parameter count")
+	}
+}
+
+func TestToFreeErrors(t *testing.T) {
+	if _, err := ToFree(dense.New(2, 3)); err == nil {
+		t.Error("expected error for non-square")
+	}
+	if _, err := ToFree(dense.New(1, 1)); err == nil {
+		t.Error("expected error for k=1")
+	}
+}
+
+// Property: FromFree always produces a symmetric matrix with unit row and
+// column sums, for arbitrary free parameters (Eq. 6 invariant).
+func TestFromFreeInvariantProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 22))
+	f := func() bool {
+		k := 2 + r.IntN(6)
+		h := make([]float64, NumFree(k))
+		for i := range h {
+			h[i] = r.NormFloat64()
+		}
+		H, err := FromFree(h, k)
+		if err != nil {
+			return false
+		}
+		return IsSymmetricDoublyStochastic(H, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ToFree(FromFree(h)) == h (round trip).
+func TestFreeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(23, 24))
+	f := func() bool {
+		k := 2 + r.IntN(6)
+		h := make([]float64, NumFree(k))
+		for i := range h {
+			h[i] = r.NormFloat64()
+		}
+		H, err := FromFree(h, k)
+		if err != nil {
+			return false
+		}
+		back, err := ToFree(H)
+		if err != nil {
+			return false
+		}
+		for i := range h {
+			if math.Abs(back[i]-h[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform(4)
+	for _, v := range u.Data {
+		if v != 0.25 {
+			t.Fatalf("Uniform entry %v", v)
+		}
+	}
+	uf := UniformFree(4)
+	H, _ := FromFree(uf, 4)
+	if !dense.Equal(H, u, 1e-12) {
+		t.Error("UniformFree does not reconstruct the uniform matrix")
+	}
+}
+
+func TestIsSymmetricDoublyStochastic(t *testing.T) {
+	good := HFromSkew(3)
+	if !IsSymmetricDoublyStochastic(good, 1e-9) {
+		t.Error("HFromSkew(3) should be doubly stochastic")
+	}
+	bad := dense.FromRows([][]float64{{0.5, 0.5}, {0.3, 0.7}})
+	if IsSymmetricDoublyStochastic(bad, 1e-9) {
+		t.Error("asymmetric matrix accepted")
+	}
+	bad2 := dense.FromRows([][]float64{{0.5, 0.4}, {0.4, 0.5}})
+	if IsSymmetricDoublyStochastic(bad2, 1e-9) {
+		t.Error("non-stochastic matrix accepted")
+	}
+	if IsSymmetricDoublyStochastic(dense.New(2, 3), 1e-9) {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestHFromSkew(t *testing.T) {
+	h8 := HFromSkew(8)
+	want := dense.FromRows([][]float64{
+		{0.1, 0.8, 0.1},
+		{0.8, 0.1, 0.1},
+		{0.1, 0.1, 0.8},
+	})
+	if !dense.Equal(h8, want, 1e-12) {
+		t.Errorf("HFromSkew(8) = \n%v", h8)
+	}
+	h3 := HFromSkew(3)
+	want3 := dense.FromRows([][]float64{
+		{0.2, 0.6, 0.2},
+		{0.6, 0.2, 0.2},
+		{0.2, 0.2, 0.6},
+	})
+	if !dense.Equal(h3, want3, 1e-12) {
+		t.Errorf("HFromSkew(3) = \n%v", h3)
+	}
+}
+
+func TestHPlanted(t *testing.T) {
+	if !dense.Equal(HPlanted(3, 8), HFromSkew(8), 1e-12) {
+		t.Error("HPlanted(3, h) should match HFromSkew(h)")
+	}
+	for k := 2; k <= 8; k++ {
+		H := HPlanted(k, 5)
+		if !IsSymmetricDoublyStochastic(H, 1e-9) {
+			t.Errorf("HPlanted(%d, 5) not doubly stochastic:\n%v", k, H)
+		}
+		// Skew must be present: max/min entry ratio = 5.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range H.Data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if math.Abs(hi/lo-5) > 1e-9 {
+			t.Errorf("HPlanted(%d, 5) skew = %v, want 5", k, hi/lo)
+		}
+	}
+}
+
+// Property: ProjectGradient matches a finite-difference derivative of any
+// smooth function composed with FromFree. We use f(H) = <C, H> whose
+// full-matrix gradient is exactly C.
+func TestProjectGradientProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(25, 26))
+	f := func() bool {
+		k := 2 + r.IntN(5)
+		c := dense.New(k, k)
+		for i := range c.Data {
+			c.Data[i] = r.NormFloat64()
+		}
+		h := make([]float64, NumFree(k))
+		for i := range h {
+			h[i] = 1/float64(k) + 0.1*r.NormFloat64()
+		}
+		got := ProjectGradient(c)
+		// Finite differences of f(h) = <C, FromFree(h)>.
+		eps := 1e-6
+		for p := range h {
+			hp := append([]float64(nil), h...)
+			hp[p] += eps
+			hm := append([]float64(nil), h...)
+			hm[p] -= eps
+			Hp, _ := FromFree(hp, k)
+			Hm, _ := FromFree(hm, k)
+			fd := (dense.Dot(c, Hp) - dense.Dot(c, Hm)) / (2 * eps)
+			if math.Abs(fd-got[p]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/gen"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+	"factorgraph/internal/optimize"
+)
+
+// makeLabeledGraph generates a planted graph and a stratified seed sample.
+func makeLabeledGraph(t *testing.T, n, m int, h float64, f float64, seed uint64) (*gen.Result, []int, *dense.Matrix) {
+	t.Helper()
+	H := HFromSkew(h)
+	res, err := gen.Generate(gen.Config{N: n, M: m, Alpha: gen.Balanced(3), H: H, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(seed, 99))
+	sample, err := labels.SampleStratified(res.Labels, 3, f, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sample, H
+}
+
+func TestPathWeights(t *testing.T) {
+	w := PathWeights(10, 3)
+	if len(w) != 3 {
+		t.Fatalf("len = %d", len(w))
+	}
+	// Ratios must be λ; normalization to sum 1.
+	if math.Abs(w[1]/w[0]-10) > 1e-9 || math.Abs(w[2]/w[1]-10) > 1e-9 {
+		t.Errorf("weight ratios wrong: %v", w)
+	}
+	sum := w[0] + w[1] + w[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+// Property (Proposition 4.7): the analytic DCE gradient matches central
+// finite differences for random P̂ matrices and random parameter points.
+func TestDCEGradientMatchesFiniteDifferenceProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(41, 42))
+	f := func() bool {
+		k := 2 + r.IntN(4)
+		lmax := 1 + r.IntN(4)
+		s := &Summaries{K: k, LMax: lmax, P: make([]*dense.Matrix, lmax), M: make([]*dense.Matrix, lmax)}
+		for l := 0; l < lmax; l++ {
+			p := dense.New(k, k)
+			for i := range p.Data {
+				p.Data[i] = r.Float64()
+			}
+			s.P[l] = p
+			s.M[l] = p
+		}
+		obj, err := NewDCEObjective(s, PathWeights(5, lmax))
+		if err != nil {
+			return false
+		}
+		h := UniformFree(k)
+		for i := range h {
+			h[i] += 0.2 * r.NormFloat64()
+		}
+		got := obj.Grad(h)
+		want := optimize.FiniteDiffGrad(obj.Value, h, 1e-6)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-4*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosestDoublyStochasticProjectsStochasticMatrix(t *testing.T) {
+	// A matrix that is already symmetric doubly stochastic is its own
+	// projection.
+	H := HFromSkew(3)
+	got, err := ClosestDoublyStochastic(H, optimize.GDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dense.FrobeniusDist(got, H); d > 1e-6 {
+		t.Errorf("projection moved a feasible point by %v", d)
+	}
+}
+
+func TestMCERecoversHOnFullyLabeledGraph(t *testing.T) {
+	res, _, H := makeLabeledGraph(t, 3000, 30000, 8, 1, 5)
+	sums, err := Summarize(res.Graph.Adj, res.Labels, 3, DefaultSummaryOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateMCE(sums, MCEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.L2(est, H); d > 0.03 {
+		t.Errorf("MCE L2 from planted H = %v on fully labeled graph\n%v", d, est)
+	}
+}
+
+func TestDCERecoversHSparseLabels(t *testing.T) {
+	// At f=0.05 with n=5000 MCE degrades but DCE with ℓmax=5 stays close.
+	res, sample, H := makeLabeledGraph(t, 5000, 60000, 8, 0.05, 6)
+	sums, err := Summarize(res.Graph.Adj, sample, 3, DefaultSummaryOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateDCE(sums, DefaultDCErOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.L2(est, H); d > 0.15 {
+		t.Errorf("DCEr L2 from planted H = %v at f=0.05\n%v", d, est)
+	}
+}
+
+func TestDCErBeatsOrMatchesDCEEnergy(t *testing.T) {
+	res, sample, _ := makeLabeledGraph(t, 4000, 40000, 8, 0.01, 8)
+	sums, err := Summarize(res.Graph.Adj, sample, 3, DefaultSummaryOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := PathWeights(10, sums.LMax)
+	obj, err := NewDCEObjective(sums, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dce, err := EstimateDCE(sums, DCEOptions{Lambda: 10, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcer, err := EstimateDCE(sums, DCEOptions{Lambda: 10, Restarts: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, _ := ToFree(dce)
+	hr, _ := ToFree(dcer)
+	if obj.Value(hr) > obj.Value(hd)+1e-9 {
+		t.Errorf("DCEr energy %v worse than DCE %v", obj.Value(hr), obj.Value(hd))
+	}
+}
+
+func TestDCErParallelRestartsDeterministic(t *testing.T) {
+	res, sample, _ := makeLabeledGraph(t, 3000, 30000, 8, 0.01, 14)
+	sums, err := Summarize(res.Graph.Adj, sample, 3, DefaultSummaryOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DCEOptions{Lambda: 10, Restarts: 10, Seed: 4}
+	a, err := EstimateDCE(sums, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateDCE(sums, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(a, b, 0) {
+		t.Error("parallel restarts are not deterministic")
+	}
+}
+
+func TestEstimateDCEErrors(t *testing.T) {
+	s := &Summaries{K: 3, LMax: 1, P: []*dense.Matrix{Uniform(3)}, M: []*dense.Matrix{Uniform(3)}}
+	if _, err := EstimateDCE(s, DCEOptions{Lambda: -1}); err == nil {
+		t.Error("expected negative-lambda error")
+	}
+	if _, err := NewDCEObjective(s, []float64{1, 1}); err == nil {
+		t.Error("expected too-many-weights error")
+	}
+}
+
+func TestLCERecoversHOnFullyLabeledGraph(t *testing.T) {
+	res, _, H := makeLabeledGraph(t, 3000, 30000, 8, 1, 9)
+	est, err := EstimateLCE(res.Graph.Adj, res.Labels, 3, LCEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LCE minimizes a different (propagation-flavored) energy; it should
+	// still identify the heterophily structure: H01 is the largest entry of
+	// row 0 and H22 the largest of row 2.
+	if est.At(0, 1) <= est.At(0, 0) || est.At(0, 1) <= est.At(0, 2) {
+		t.Errorf("LCE missed heterophily structure:\n%v (planted\n%v)", est, H)
+	}
+	if est.At(2, 2) <= est.At(2, 0) {
+		t.Errorf("LCE missed homophily of class 3:\n%v", est)
+	}
+}
+
+func TestLCEErrors(t *testing.T) {
+	res, _, _ := makeLabeledGraph(t, 100, 500, 3, 1, 10)
+	if _, err := EstimateLCE(res.Graph.Adj, []int{0}, 3, LCEOptions{}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	unl := make([]int, res.Graph.N)
+	for i := range unl {
+		unl[i] = labels.Unlabeled
+	}
+	if _, err := EstimateLCE(res.Graph.Adj, unl, 3, LCEOptions{}); err == nil {
+		t.Error("expected no-labels error")
+	}
+}
+
+func TestHoldoutRecoversStructure(t *testing.T) {
+	res, sample, H := makeLabeledGraph(t, 1000, 10000, 8, 0.2, 12)
+	est, err := EstimateHoldout(res.Graph.Adj, sample, 3, HoldoutOptions{
+		Splits: 2,
+		NM:     optimize.NMOptions{MaxIter: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSymmetricDoublyStochastic(est, 1e-6) {
+		t.Errorf("holdout estimate not doubly stochastic:\n%v", est)
+	}
+	// Structure check: strong 0↔1 heterophily should be detected.
+	if est.At(0, 1) <= est.At(0, 0) {
+		t.Errorf("holdout missed heterophily:\nest\n%v planted\n%v", est, H)
+	}
+}
+
+func TestHoldoutErrors(t *testing.T) {
+	res, _, _ := makeLabeledGraph(t, 100, 500, 3, 1, 13)
+	if _, err := EstimateHoldout(res.Graph.Adj, []int{0}, 3, HoldoutOptions{}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	one := make([]int, res.Graph.N)
+	for i := range one {
+		one[i] = labels.Unlabeled
+	}
+	one[0] = 0
+	if _, err := EstimateHoldout(res.Graph.Adj, one, 3, HoldoutOptions{}); err == nil {
+		t.Error("expected too-few-labels error")
+	}
+}
+
+func TestHeuristicHL(t *testing.T) {
+	// MovieLens-like: clear two-level structure → heuristic close to a
+	// doubly-stochastic matrix with matching high/low positions.
+	gs := dense.FromRows([][]float64{
+		{0.08, 0.45, 0.47},
+		{0.45, 0.02, 0.53},
+		{0.47, 0.53, 0.00},
+	})
+	h, err := HeuristicHL(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MovieLens has one high entry pair per row ([L H H; H L H; H H L]),
+	// so the scaled pattern is doubly stochastic.
+	if !IsSymmetricDoublyStochastic(h, 1e-9) {
+		t.Errorf("MovieLens heuristic should be row-constant:\n%v", h)
+	}
+	// High positions must dominate low positions by exactly 2×.
+	if h.At(0, 1) != 2*h.At(0, 0) || h.At(1, 2) != 2*h.At(1, 1) {
+		t.Errorf("heuristic lost the H/L pattern:\n%v", h)
+	}
+	if _, err := HeuristicHL(dense.New(2, 3)); err == nil {
+		t.Error("expected non-square error")
+	}
+
+	// Prop-37's pattern [H L H; L L H; H H L] has non-constant row sums —
+	// the heuristic must NOT repair that (the point of Figure 12).
+	prop37 := dense.FromRows([][]float64{
+		{0.35, 0.26, 0.38},
+		{0.26, 0.12, 0.61},
+		{0.38, 0.61, 0.00},
+	})
+	hp, err := HeuristicHL(prop37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := dense.RowSums(hp)
+	if math.Abs(rs[0]-rs[1]) < 1e-9 {
+		t.Errorf("Prop-37 heuristic rows should be imbalanced: %v", rs)
+	}
+}
+
+func TestSinkhorn(t *testing.T) {
+	m := dense.FromRows([][]float64{{1, 2}, {2, 1}})
+	s := Sinkhorn(m, 50)
+	if !IsSymmetricDoublyStochastic(s, 1e-6) {
+		t.Errorf("Sinkhorn result not doubly stochastic:\n%v", s)
+	}
+}
+
+// Property: restartPoints always returns r points, the first being uniform,
+// all valid parameter vectors.
+func TestRestartPointsProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(43, 44))
+	f := func() bool {
+		k := 2 + r.IntN(6)
+		rr := 1 + r.IntN(12)
+		pts := restartPoints(k, rr, r.Uint64())
+		if len(pts) < 1 {
+			return false
+		}
+		for i, p := range pts {
+			if len(p) != NumFree(k) {
+				return false
+			}
+			if i == 0 {
+				for _, v := range p {
+					if math.Abs(v-1/float64(k)) > 1e-12 {
+						return false
+					}
+				}
+			}
+			if _, err := FromFree(p, k); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

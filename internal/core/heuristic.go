@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"factorgraph/internal/dense"
+)
+
+// HeuristicHL reproduces the heuristic of Appendix E.1 used by prior work
+// [15, 18, 29]: assume H has only two kinds of entries, a high value H and
+// a low value L, and assume their positions can be guessed correctly from
+// the gold standard. Entries of gs above the midpoint (min+max)/2 become
+// H = 2/(k·avg row pattern), the rest L = H/2, scaled globally so the
+// average row sums to 1 — but NOT row-balanced: the whole point of
+// Figure 12 is that when the binary pattern has non-constant row sums
+// (Prop-37's [H L H; L L H; H H L]), the quantization distorts propagation
+// and the heuristic collapses, whereas patterns with one H per row
+// (MovieLens) survive. Row-balancing the matrix would silently repair the
+// heuristic and erase the paper's finding.
+func HeuristicHL(gs *dense.Matrix) (*dense.Matrix, error) {
+	if gs.Rows != gs.Cols {
+		return nil, fmt.Errorf("core: gold standard is %d×%d, want square", gs.Rows, gs.Cols)
+	}
+	k := gs.Rows
+	lo, hi := gs.Data[0], gs.Data[0]
+	for _, v := range gs.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	mid := (lo + hi) / 2
+	out := dense.New(k, k)
+	for i := range gs.Data {
+		if gs.Data[i] > mid {
+			out.Data[i] = 2
+		} else {
+			out.Data[i] = 1
+		}
+	}
+	// Guessing positions from a symmetric gold standard yields a symmetric
+	// pattern; enforce it against rounding asymmetries in gs.
+	out = dense.Symmetrize(out)
+	// Global scale only: average row sum 1 (ϵ is immaterial under the
+	// LinBP scaling; the row-sum imbalance is what matters).
+	total := dense.Sum(out)
+	if total > 0 {
+		dense.ScaleInPlace(out, float64(k)/total)
+	}
+	return out, nil
+}
+
+// Sinkhorn performs iters rounds of alternating row/column normalization,
+// driving a positive matrix toward doubly stochastic. For symmetric input
+// the result stays (numerically) symmetric.
+func Sinkhorn(m *dense.Matrix, iters int) *dense.Matrix {
+	out := m.Clone()
+	k := out.Rows
+	for it := 0; it < iters; it++ {
+		for i := 0; i < k; i++ {
+			row := out.Row(i)
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			if s > 0 {
+				for j := range row {
+					row[j] /= s
+				}
+			}
+		}
+		cs := dense.ColSums(out)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if cs[j] > 0 {
+					out.Data[i*k+j] /= cs[j]
+				}
+			}
+		}
+	}
+	return out
+}

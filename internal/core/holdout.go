@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+	"factorgraph/internal/optimize"
+	"factorgraph/internal/propagation"
+	"factorgraph/internal/sparse"
+)
+
+// HoldoutOptions configures the textbook baseline of §4.1.
+type HoldoutOptions struct {
+	// Splits is the number of seed/holdout partitions b; the energy is the
+	// negative compound accuracy over all of them (Eq. 7). Default 1.
+	Splits int
+	// SeedFrac is the fraction of labeled nodes kept as propagation seeds
+	// in each split. Default 0.5.
+	SeedFrac float64
+	// Seed drives the partitioning.
+	Seed uint64
+	// LinBP configures the inner inference subroutine.
+	LinBP propagation.LinBPOptions
+	// NM configures the Nelder–Mead search over the k* free parameters
+	// (gradient-free, because accuracy is a step function of H).
+	NM optimize.NMOptions
+}
+
+func (o *HoldoutOptions) defaults() {
+	if o.Splits == 0 {
+		o.Splits = 1
+	}
+	if o.SeedFrac == 0 {
+		o.SeedFrac = 0.5
+	}
+	if o.LinBP == (propagation.LinBPOptions{}) {
+		o.LinBP = propagation.DefaultLinBPOptions()
+	}
+}
+
+// EstimateHoldout learns H by repeatedly running label propagation as a
+// black-box subroutine: it splits the available labels into Seed/Holdout
+// sets, propagates from Seed under a candidate H, scores accuracy on
+// Holdout, and searches the k*-dimensional parameter space with Nelder–Mead
+// for the accuracy-maximizing matrix. Each energy evaluation performs
+// inference over the whole graph, which is why this baseline is orders of
+// magnitude slower than the sketch-based estimators (Figure 3b).
+func EstimateHoldout(w *sparse.CSR, seed []int, k int, opts HoldoutOptions) (*dense.Matrix, error) {
+	if len(seed) != w.N {
+		return nil, fmt.Errorf("core: %d seed labels for %d nodes", len(seed), w.N)
+	}
+	opts.defaults()
+	if labels.NumLabeled(seed) < 2 {
+		return nil, fmt.Errorf("core: holdout needs at least 2 labeled nodes, have %d", labels.NumLabeled(seed))
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0xda3e39cb94b95bdb))
+	type split struct {
+		x       *dense.Matrix // seed part as belief matrix
+		holdout []int         // holdout part as label vector
+	}
+	splits := make([]split, 0, opts.Splits)
+	for b := 0; b < opts.Splits; b++ {
+		s, h, err := labels.SplitSeedHoldout(seed, k, opts.SeedFrac, rng)
+		if err != nil {
+			return nil, err
+		}
+		if labels.NumLabeled(h) == 0 {
+			return nil, fmt.Errorf("core: holdout split %d has no holdout labels", b)
+		}
+		x, err := labels.Matrix(s, k)
+		if err != nil {
+			return nil, err
+		}
+		splits = append(splits, split{x: x, holdout: h})
+	}
+
+	energy := func(h []float64) float64 {
+		H, err := FromFree(h, k)
+		if err != nil {
+			panic(err)
+		}
+		total := 0.0
+		for _, sp := range splits {
+			pred, err := propagation.LinBPLabels(w, sp.x, H, opts.LinBP)
+			if err != nil {
+				return 1e6 // propagate as a bad candidate rather than aborting the search
+			}
+			acc := metrics.MacroAccuracyOn(pred, sp.holdout, k)
+			total += acc
+		}
+		return -total
+	}
+	res, err := optimize.NelderMead(energy, UniformFree(k), opts.NM)
+	if err != nil {
+		return nil, err
+	}
+	return FromFree(res.X, k)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/optimize"
+	"factorgraph/internal/sparse"
+)
+
+// LCEOptions configures linear compatibility estimation (§4.2).
+type LCEOptions struct {
+	// LBFGS configures the solver. Every objective evaluation touches an
+	// n×k residual, so the quasi-Newton solver's low evaluation count
+	// matters here more than anywhere else.
+	LBFGS optimize.LBFGSOptions
+}
+
+// EstimateLCE minimizes E(H) = ‖X − WXH‖² (Eq. 8), the energy obtained by
+// substituting the sparse labels X for the unknown beliefs F in the LinBP
+// objective (Proposition 3.2). The problem is convex; following the paper,
+// each evaluation works with the full n×k residual (N = WX is precomputed,
+// but the per-iteration cost still scales with the graph size — this is
+// exactly what MCE/DCE avoid and why they are faster on large graphs).
+func EstimateLCE(w *sparse.CSR, seed []int, k int, opts LCEOptions) (*dense.Matrix, error) {
+	if len(seed) != w.N {
+		return nil, fmt.Errorf("core: %d seed labels for %d nodes", len(seed), w.N)
+	}
+	if labels.NumLabeled(seed) == 0 {
+		return nil, fmt.Errorf("core: no labeled nodes")
+	}
+	x, err := labels.Matrix(seed, k)
+	if err != nil {
+		return nil, err
+	}
+	n := w.MulDense(x) // N = WX, n×k
+
+	obj := optimize.FuncObjective{
+		F: func(h []float64) float64 {
+			H, err := FromFree(h, k)
+			if err != nil {
+				panic(err)
+			}
+			r := dense.Sub(x, dense.Mul(n, H))
+			fr := dense.Frobenius(r)
+			return fr * fr
+		},
+		G: func(h []float64) []float64 {
+			H, err := FromFree(h, k)
+			if err != nil {
+				panic(err)
+			}
+			// ∂‖X−NH‖²/∂H = −2Nᵀ(X − NH).
+			r := dense.Sub(x, dense.Mul(n, H))
+			g := dense.Scale(dense.Mul(dense.Transpose(n), r), -2)
+			return ProjectGradient(g)
+		},
+	}
+	lopts := opts.LBFGS
+	if lopts.MaxIter == 0 {
+		lopts.MaxIter = 200
+	}
+	res, err := optimize.LBFGS(obj, UniformFree(k), lopts)
+	if err != nil {
+		return nil, err
+	}
+	return FromFree(res.X, k)
+}

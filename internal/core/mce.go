@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/optimize"
+)
+
+// MCEOptions configures myopic compatibility estimation (§4.3).
+type MCEOptions struct {
+	// Variant selects the normalization of the neighbor-statistics matrix
+	// (default Variant1, the paper's consistently best choice).
+	Variant Normalization
+	// GD configures the inner solver for the convex projection Eq. 12.
+	GD optimize.GDOptions
+}
+
+// EstimateMCE finds the symmetric doubly-stochastic matrix closest (in
+// Frobenius norm, Eq. 12) to the observed neighbor-statistics matrix
+// P̂ = normalize(XᵀWX). MCE is DCE restricted to ℓmax = 1: it is "myopic"
+// because it only sees directly-neighboring labeled pairs.
+func EstimateMCE(s *Summaries, opts MCEOptions) (*dense.Matrix, error) {
+	if opts.Variant == 0 {
+		opts.Variant = Variant1
+	}
+	phat, err := opts.Variant.Normalize(s.M[0])
+	if err != nil {
+		return nil, err
+	}
+	return ClosestDoublyStochastic(phat, opts.GD)
+}
+
+// ClosestDoublyStochastic minimizes E(H) = ‖H − P̂‖² over symmetric
+// doubly-stochastic matrices via the free-parameter encoding. The problem
+// is convex, so gradient descent from the uniform start finds the global
+// optimum.
+func ClosestDoublyStochastic(phat *dense.Matrix, gd optimize.GDOptions) (*dense.Matrix, error) {
+	if phat.Rows != phat.Cols {
+		return nil, fmt.Errorf("core: P̂ is %d×%d, want square", phat.Rows, phat.Cols)
+	}
+	k := phat.Rows
+	sym := dense.Symmetrize(phat)
+	obj := optimize.FuncObjective{
+		F: func(h []float64) float64 {
+			H, err := FromFree(h, k)
+			if err != nil {
+				panic(err)
+			}
+			d := dense.FrobeniusDist(H, phat)
+			return d * d
+		},
+		G: func(h []float64) []float64 {
+			H, err := FromFree(h, k)
+			if err != nil {
+				panic(err)
+			}
+			// ∂‖H−P̂‖²/∂H = 2H − (P̂+P̂ᵀ), exact for arbitrary P̂.
+			g := dense.Sub(dense.Scale(H, 2), dense.Scale(sym, 2))
+			return ProjectGradient(g)
+		},
+	}
+	res, err := optimize.GradientDescent(obj, UniformFree(k), gd)
+	if err != nil {
+		return nil, err
+	}
+	return FromFree(res.X, k)
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/sparse"
+)
+
+// Normalization selects how the raw label-count matrices M⁽ℓ⁾ are turned
+// into observed statistics matrices P̂⁽ℓ⁾ (Section 4.3).
+type Normalization int
+
+const (
+	// Variant1 is the row-stochastic normalization diag(M1)⁻¹M (Eq. 9),
+	// the paper's recommended default.
+	Variant1 Normalization = iota + 1
+	// Variant2 is the LGC-style symmetric normalization
+	// diag(M1)^(−1/2)·M·diag(M1)^(−1/2) (Eq. 10).
+	Variant2
+	// Variant3 scales M so the average entry is 1/k (Eq. 11).
+	Variant3
+)
+
+// Normalize applies the selected variant to a k×k statistics matrix.
+func (v Normalization) Normalize(m *dense.Matrix) (*dense.Matrix, error) {
+	switch v {
+	case Variant1:
+		return dense.RowNormalize(m), nil
+	case Variant2:
+		return dense.SymNormalize(m), nil
+	case Variant3:
+		return dense.ScaleNormalize(m), nil
+	default:
+		return nil, fmt.Errorf("core: unknown normalization variant %d", int(v))
+	}
+}
+
+// SummaryOptions configures Summarize.
+type SummaryOptions struct {
+	// LMax is the maximum path length ℓmax (default 5, the paper's
+	// recommended setting, Result 1).
+	LMax int
+	// NonBacktracking selects the consistent NB-path statistics of §4.5
+	// (default in the paper; the full-path variant exists for Fig 5a).
+	NonBacktracking bool
+	// Variant selects the normalization (default Variant1).
+	Variant Normalization
+}
+
+func (o *SummaryOptions) defaults() {
+	if o.LMax == 0 {
+		o.LMax = 5
+	}
+	if o.Variant == 0 {
+		o.Variant = Variant1
+	}
+}
+
+// DefaultSummaryOptions returns ℓmax=5, non-backtracking, variant 1.
+func DefaultSummaryOptions() SummaryOptions {
+	return SummaryOptions{LMax: 5, NonBacktracking: true, Variant: Variant1}
+}
+
+// Summaries holds the factorized graph representations: for each path
+// length ℓ ∈ [ℓmax], the raw k×k label-count matrix M⁽ℓ⁾ = XᵀW⁽ℓ⁾X and its
+// normalized statistics matrix P̂⁽ℓ⁾. Their size is independent of the
+// graph — this is the sketch all estimation runs on (Figure 2).
+type Summaries struct {
+	K    int
+	LMax int
+	M    []*dense.Matrix // M[ℓ−1] = M⁽ℓ⁾
+	P    []*dense.Matrix // P[ℓ−1] = P̂⁽ℓ⁾
+}
+
+// Summarize computes the graph summaries of Algorithm 4.4 in O(mkℓmax):
+//
+//	N⁽¹⁾ = WX,  N⁽²⁾ = WN⁽¹⁾ − DX,  N⁽ℓ⁾ = WN⁽ℓ⁻¹⁾ − (D−I)N⁽ℓ⁻²⁾
+//	M⁽ℓ⁾ = XᵀN⁽ℓ⁾,  P̂⁽ℓ⁾ = normalize(M⁽ℓ⁾)
+//
+// (non-backtracking recurrence, Proposition 4.3). With
+// opts.NonBacktracking = false it instead uses the plain powers
+// N⁽ℓ⁾ = WN⁽ℓ⁻¹⁾, whose statistics are biased (Theorem 4.1) — kept for the
+// Figure 5a comparison.
+//
+// seed is the sparse label vector (labels.Unlabeled for unknown nodes).
+func Summarize(w *sparse.CSR, seed []int, k int, opts SummaryOptions) (*Summaries, error) {
+	if len(seed) != w.N {
+		return nil, fmt.Errorf("core: %d seed labels for %d nodes", len(seed), w.N)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("core: k=%d, need at least 2 classes", k)
+	}
+	opts.defaults()
+	if labels.NumLabeled(seed) == 0 {
+		return nil, fmt.Errorf("core: no labeled nodes to summarize")
+	}
+	x, err := labels.Matrix(seed, k)
+	if err != nil {
+		return nil, err
+	}
+	deg := w.Degrees()
+
+	s := &Summaries{K: k, LMax: opts.LMax, M: make([]*dense.Matrix, opts.LMax), P: make([]*dense.Matrix, opts.LMax)}
+	var prev, cur *dense.Matrix // N⁽ℓ⁻²⁾, N⁽ℓ⁻¹⁾
+	for l := 1; l <= opts.LMax; l++ {
+		var next *dense.Matrix
+		switch {
+		case l == 1:
+			next = w.MulDense(x)
+		case l == 2 && opts.NonBacktracking:
+			next = w.MulDense(cur)
+			// Subtract DX: row i scaled by degree of i.
+			for i := 0; i < w.N; i++ {
+				if seed[i] == labels.Unlabeled {
+					continue // X row is zero
+				}
+				next.Data[i*k+seed[i]] -= deg[i]
+			}
+		case opts.NonBacktracking:
+			next = w.MulDense(cur)
+			// Subtract (D−I)·N⁽ℓ⁻²⁾.
+			for i := 0; i < w.N; i++ {
+				c := deg[i] - 1
+				if c == 0 {
+					continue
+				}
+				nrow := next.Data[i*k : (i+1)*k]
+				prow := prev.Data[i*k : (i+1)*k]
+				for j := range nrow {
+					nrow[j] -= c * prow[j]
+				}
+			}
+		default:
+			next = w.MulDense(cur)
+		}
+		prev, cur = cur, next
+
+		// M⁽ℓ⁾ = XᵀN⁽ℓ⁾: only labeled rows of X contribute.
+		m := dense.New(k, k)
+		for i, c := range seed {
+			if c == labels.Unlabeled {
+				continue
+			}
+			mrow := m.Row(c)
+			nrow := next.Data[i*k : (i+1)*k]
+			for j, v := range nrow {
+				mrow[j] += v
+			}
+		}
+		s.M[l-1] = m
+		p, err := opts.Variant.Normalize(m)
+		if err != nil {
+			return nil, err
+		}
+		s.P[l-1] = p
+	}
+	return s, nil
+}
+
+// GoldStandard measures the "true" compatibility matrix from a fully (or
+// maximally) labeled graph: the row-normalized neighbor label-count matrix
+// |XᵀWX|_row (Section 5.3: "if we know all labels in a graph, then we can
+// simply measure the relative frequencies of classes between neighboring
+// nodes").
+func GoldStandard(w *sparse.CSR, truth []int, k int) (*dense.Matrix, error) {
+	s, err := Summarize(w, truth, k, SummaryOptions{LMax: 1, Variant: Variant1})
+	if err != nil {
+		return nil, err
+	}
+	return s.P[0], nil
+}
+
+// ExplicitNBPowers returns W⁽ℓ⁾NB for ℓ = 1..lmax as explicit sparse
+// matrices via the recurrence of Proposition 4.3:
+//
+//	W⁽¹⁾ = W, W⁽²⁾ = W² − D, W⁽ℓ⁾ = W·W⁽ℓ⁻¹⁾ − (D−I)·W⁽ℓ⁻²⁾.
+//
+// This is the expensive strategy Figure 5b benchmarks against the
+// factorized Algorithm 4.4; intermediate results densify quickly.
+func ExplicitNBPowers(w *sparse.CSR, lmax int) ([]*sparse.CSR, error) {
+	if lmax < 1 {
+		return nil, fmt.Errorf("core: lmax=%d, want ≥ 1", lmax)
+	}
+	deg := w.Degrees()
+	out := make([]*sparse.CSR, lmax)
+	out[0] = w
+	if lmax == 1 {
+		return out, nil
+	}
+	w2, err := sparse.Mul(w, w)
+	if err != nil {
+		return nil, err
+	}
+	negD := make([]float64, w.N)
+	for i, d := range deg {
+		negD[i] = -d
+	}
+	out[1], err = sparse.AddDiag(w2, negD)
+	if err != nil {
+		return nil, err
+	}
+	for l := 3; l <= lmax; l++ {
+		prod, err := sparse.Mul(w, out[l-2])
+		if err != nil {
+			return nil, err
+		}
+		// prod − (D−I)·out[l−3]: scale rows of the older matrix.
+		older := out[l-3]
+		coords := make([]sparse.Coord, 0, prod.NNZ()+older.NNZ())
+		for i := 0; i < prod.N; i++ {
+			for p := prod.IndPtr[i]; p < prod.IndPtr[i+1]; p++ {
+				wv := 1.0
+				if prod.Data != nil {
+					wv = prod.Data[p]
+				}
+				coords = append(coords, sparse.Coord{Row: int32(i), Col: prod.Indices[p], W: wv})
+			}
+			c := deg[i] - 1
+			if c == 0 {
+				continue
+			}
+			for p := older.IndPtr[i]; p < older.IndPtr[i+1]; p++ {
+				wv := 1.0
+				if older.Data != nil {
+					wv = older.Data[p]
+				}
+				coords = append(coords, sparse.Coord{Row: int32(i), Col: older.Indices[p], W: -c * wv})
+			}
+		}
+		out[l-1], err = sparse.NewFromCoords(prod.N, coords)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/gen"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/sparse"
+)
+
+// pathGraph builds the 3-node path 0–1–2 of Figure 4.
+func pathGraph(t *testing.T) *sparse.CSR {
+	t.Helper()
+	w, err := sparse.NewSymmetricFromEdges(3, [][2]int32{{0, 1}, {1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestFigure4NonBacktracking reproduces the paper's Figure 4 illustration:
+// with full paths, blue node 0 counts itself as a distance-2 neighbor
+// (N⁽²⁾ row [1,0,1]); non-backtracking paths remove the echo ([0,0,1]).
+func TestFigure4NonBacktracking(t *testing.T) {
+	w := pathGraph(t)
+	seed := []int{0, 1, 2} // classes blue=0, orange=1, green=2
+
+	full, err := Summarize(w, seed, 3, SummaryOptions{LMax: 2, NonBacktracking: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M⁽²⁾ counts all length-2 paths: node 0 reaches {0, 2}.
+	if got := full.M[1].At(0, 0); got != 1 {
+		t.Errorf("full paths M⁽²⁾[0][0] = %v, want 1 (backtracking echo)", got)
+	}
+
+	nb, err := Summarize(w, seed, 3, SummaryOptions{LMax: 2, NonBacktracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.M[1].At(0, 0); got != 0 {
+		t.Errorf("NB M⁽²⁾[0][0] = %v, want 0", got)
+	}
+	if got := nb.M[1].At(0, 2); got != 1 {
+		t.Errorf("NB M⁽²⁾[0][2] = %v, want 1", got)
+	}
+}
+
+// bruteForceNB counts non-backtracking paths of length l between every node
+// pair by explicit DFS over edges (u_{j} ≠ u_{j+2} definition, §4.5).
+func bruteForceNB(w *sparse.CSR, l int) *dense.Matrix {
+	n := w.N
+	out := dense.New(n, n)
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		adj[i] = w.Indices[w.IndPtr[i]:w.IndPtr[i+1]]
+	}
+	var walk func(prev, cur, depth, start int)
+	walk = func(prev, cur, depth, start int) {
+		if depth == l {
+			out.Set(start, cur, out.At(start, cur)+1)
+			return
+		}
+		for _, nxt := range adj[cur] {
+			if int(nxt) == prev {
+				continue
+			}
+			walk(cur, int(nxt), depth+1, start)
+		}
+	}
+	for s := 0; s < n; s++ {
+		walk(-1, s, 0, s)
+	}
+	return out
+}
+
+// Property (Proposition 4.3): the recurrence W⁽ℓ⁾NB matches brute-force
+// enumeration of non-backtracking paths on random graphs up to length 5.
+func TestNBRecurrenceMatchesBruteForceProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 32))
+	f := func() bool {
+		n := 3 + r.IntN(6)
+		var edges [][2]int32
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.5 {
+					edges = append(edges, [2]int32{int32(i), int32(j)})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		w, err := sparse.NewSymmetricFromEdges(n, edges, nil)
+		if err != nil {
+			return false
+		}
+		const lmax = 5
+		powers, err := ExplicitNBPowers(w, lmax)
+		if err != nil {
+			return false
+		}
+		for l := 1; l <= lmax; l++ {
+			if !dense.Equal(powers[l-1].ToDense(), bruteForceNB(w, l), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Algorithm 4.4): the factorized summaries equal the explicit
+// ones, M⁽ℓ⁾ = Xᵀ·W⁽ℓ⁾NB·X, on random graphs with random partial labels.
+func TestFactorizedEqualsExplicitProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(33, 34))
+	f := func() bool {
+		n := 4 + r.IntN(8)
+		k := 2 + r.IntN(3)
+		var edges [][2]int32
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.5 {
+					edges = append(edges, [2]int32{int32(i), int32(j)})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		w, err := sparse.NewSymmetricFromEdges(n, edges, nil)
+		if err != nil {
+			return false
+		}
+		seed := make([]int, n)
+		labeled := 0
+		for i := range seed {
+			if r.Float64() < 0.6 {
+				seed[i] = r.IntN(k)
+				labeled++
+			} else {
+				seed[i] = labels.Unlabeled
+			}
+		}
+		if labeled == 0 {
+			seed[0] = 0
+		}
+		const lmax = 4
+		sums, err := Summarize(w, seed, k, SummaryOptions{LMax: lmax, NonBacktracking: true})
+		if err != nil {
+			return false
+		}
+		x, _ := labels.Matrix(seed, k)
+		xt := dense.Transpose(x)
+		powers, err := ExplicitNBPowers(w, lmax)
+		if err != nil {
+			return false
+		}
+		for l := 1; l <= lmax; l++ {
+			want := dense.Mul(xt, powers[l-1].MulDense(x))
+			if !dense.Equal(sums.M[l-1], want, 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestW2NBIdentity checks W⁽²⁾NB = W² − D on a concrete graph (§4.5).
+func TestW2NBIdentity(t *testing.T) {
+	w, err := sparse.NewSymmetricFromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers, err := ExplicitNBPowers(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := w.ToDense()
+	w2 := dense.Mul(wd, wd)
+	for i, d := range w.Degrees() {
+		w2.Set(i, i, w2.At(i, i)-d)
+	}
+	if !dense.Equal(powers[1].ToDense(), w2, 1e-9) {
+		t.Errorf("W⁽²⁾NB ≠ W² − D:\n%v vs\n%v", powers[1].ToDense(), w2)
+	}
+}
+
+// TestConsistencyTheorem41 verifies Theorem 4.1 statistically: on a fully
+// labeled balanced synthetic graph, P̂⁽ℓ⁾NB ≈ Hℓ while the full-path
+// statistic overestimates the diagonal (Example 4.2 / Figure 5a).
+func TestConsistencyTheorem41(t *testing.T) {
+	H := HFromSkew(3) // [0.2 0.6 0.2; ...]
+	res, err := gen.Generate(gen.Config{
+		N: 4000, M: 40000, Alpha: gen.Balanced(3), H: H, Dist: gen.Uniform{}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Summarize(res.Graph.Adj, res.Labels, 3, SummaryOptions{LMax: 2, NonBacktracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Summarize(res.Graph.Adj, res.Labels, 3, SummaryOptions{LMax: 2, NonBacktracking: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := dense.Mul(H, H) // diag 0.44, off 0.28
+	// NB statistic close to H².
+	if d := dense.FrobeniusDist(nb.P[1], h2); d > 0.05 {
+		t.Errorf("NB P̂⁽²⁾ too far from H²: L2 = %v\n%v", d, nb.P[1])
+	}
+	// Full-path statistic biased upward on the diagonal by O(1/d).
+	diagBiasNB := nb.P[1].At(0, 0) - h2.At(0, 0)
+	diagBiasFull := full.P[1].At(0, 0) - h2.At(0, 0)
+	if diagBiasFull < 0.01 {
+		t.Errorf("full-path statistic should overestimate the diagonal, bias = %v", diagBiasFull)
+	}
+	if math.Abs(diagBiasNB) > diagBiasFull {
+		t.Errorf("NB bias %v should be smaller than full-path bias %v", diagBiasNB, diagBiasFull)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	w := pathGraph(t)
+	if _, err := Summarize(w, []int{0, 1}, 3, SummaryOptions{}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := Summarize(w, []int{-1, -1, -1}, 3, SummaryOptions{}); err == nil {
+		t.Error("expected no-labels error")
+	}
+	if _, err := Summarize(w, []int{0, 1, 2}, 1, SummaryOptions{}); err == nil {
+		t.Error("expected k<2 error")
+	}
+	if _, err := Summarize(w, []int{0, 5, 1}, 3, SummaryOptions{}); err == nil {
+		t.Error("expected out-of-range label error")
+	}
+	if _, err := Summarize(w, []int{0, 1, 2}, 3, SummaryOptions{Variant: 99}); err == nil {
+		t.Error("expected unknown-variant error")
+	}
+}
+
+func TestNormalizationVariants(t *testing.T) {
+	m := dense.FromRows([][]float64{{2, 2}, {1, 3}})
+	v1, err := Variant1.Normalize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1.At(0, 0)-0.5) > 1e-12 || math.Abs(v1.At(1, 1)-0.75) > 1e-12 {
+		t.Errorf("variant 1 wrong: %v", v1)
+	}
+	// Variant 2 preserves symmetry of symmetric inputs (M = XᵀWX is
+	// symmetric on undirected graphs).
+	ms := dense.FromRows([][]float64{{2, 1}, {1, 3}})
+	v2, err := Variant2.Normalize(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v2.At(0, 1)-v2.At(1, 0)) > 1e-9 {
+		t.Errorf("variant 2 not symmetric: %v", v2)
+	}
+	v3, err := Variant3.Normalize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dense.Sum(v3)/4-0.5) > 1e-12 {
+		t.Errorf("variant 3 average ≠ 1/k: %v", v3)
+	}
+}
+
+func TestGoldStandardFullyLabeled(t *testing.T) {
+	// On a fully labeled planted graph the measured GS equals the planted
+	// pair-count distribution row-normalized.
+	H := HFromSkew(8)
+	res, err := gen.Generate(gen.Config{
+		N: 3000, M: 30000, Alpha: gen.Balanced(3), H: H, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := GoldStandard(res.Graph.Adj, res.Labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dense.FrobeniusDist(gs, H); d > 0.02 {
+		t.Errorf("gold standard L2 from planted H = %v\n%v", d, gs)
+	}
+}
+
+func TestExplicitNBPowersErrors(t *testing.T) {
+	w := pathGraph(t)
+	if _, err := ExplicitNBPowers(w, 0); err == nil {
+		t.Error("expected lmax<1 error")
+	}
+	one, err := ExplicitNBPowers(w, 1)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("lmax=1: %v %d", err, len(one))
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"factorgraph/internal/gen"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+)
+
+// TestDCErOnWeightedGraph: the estimators operate on the weighted
+// adjacency matrix W throughout (§2.1); label-independent edge weights
+// must not bias the estimate.
+func TestDCErOnWeightedGraph(t *testing.T) {
+	H := HFromSkew(8)
+	res, err := gen.Generate(gen.Config{
+		N: 5000, M: 60000, Alpha: gen.Balanced(3), H: H, Seed: 31, WeightJitter: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(31, 1))
+	sample, err := labels.SampleStratified(res.Labels, 3, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := Summarize(res.Graph.Adj, sample, 3, DefaultSummaryOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateDCE(sums, DefaultDCErOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.L2(est, H); d > 0.15 {
+		t.Errorf("DCEr on weighted graph: L2 = %v\n%v", d, est)
+	}
+}
+
+// TestGoldStandardWeighted: weighted neighbor statistics still recover the
+// planted H on a fully labeled weighted graph.
+func TestGoldStandardWeighted(t *testing.T) {
+	H := HFromSkew(3)
+	res, err := gen.Generate(gen.Config{
+		N: 3000, M: 30000, Alpha: gen.Balanced(3), H: H, Seed: 33, WeightJitter: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := GoldStandard(res.Graph.Adj, res.Labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.L2(gs, H); d > 0.03 {
+		t.Errorf("weighted gold standard L2 = %v", d)
+	}
+}

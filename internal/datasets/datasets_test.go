@@ -1,0 +1,133 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"factorgraph/internal/dense"
+)
+
+func TestAllDatasetsWellFormed(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("%d datasets, want 8", len(all))
+	}
+	for _, d := range all {
+		t.Run(d.Name, func(t *testing.T) {
+			if d.N <= 0 || d.M <= 0 || d.K < 2 {
+				t.Errorf("bad stats n=%d m=%d k=%d", d.N, d.M, d.K)
+			}
+			if len(d.Alpha) != d.K {
+				t.Errorf("alpha has %d entries for k=%d", len(d.Alpha), d.K)
+			}
+			var sum float64
+			for _, a := range d.Alpha {
+				if a <= 0 {
+					t.Errorf("non-positive alpha %v", a)
+				}
+				sum += a
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("alpha sums to %v", sum)
+			}
+			if d.H.Rows != d.K || d.H.Cols != d.K {
+				t.Errorf("H is %d×%d for k=%d", d.H.Rows, d.H.Cols, d.K)
+			}
+			// H must be exactly symmetric doubly stochastic after
+			// rebalancing, and within ~rounding distance of the published
+			// figure-13 values (2-decimal rounding ⇒ entries move < 0.03).
+			for i := 0; i < d.K; i++ {
+				rs := 0.0
+				for j := 0; j < d.K; j++ {
+					rs += d.H.At(i, j)
+					if math.Abs(d.H.At(i, j)-d.H.At(j, i)) > 1e-9 {
+						t.Errorf("H asymmetric at (%d,%d)", i, j)
+					}
+					if d.H.At(i, j) < 0 {
+						t.Errorf("H negative at (%d,%d)", i, j)
+					}
+				}
+				if math.Abs(rs-1) > 1e-6 {
+					t.Errorf("H row %d sums to %v", i, rs)
+				}
+			}
+			if d.Description == "" {
+				t.Error("missing description")
+			}
+		})
+	}
+}
+
+func TestPublishedValuesPreserved(t *testing.T) {
+	// Rebalancing must stay close to the printed Figure-13 values.
+	ml := MovieLens()
+	published := dense.FromRows([][]float64{
+		{0.08, 0.45, 0.47},
+		{0.45, 0.02, 0.53},
+		{0.47, 0.53, 0.00},
+	})
+	if d := dense.FrobeniusDist(ml.H, published); d > 0.05 {
+		t.Errorf("MovieLens H moved %v from published values:\n%v", d, ml.H)
+	}
+	pokec := PokecGender()
+	if math.Abs(pokec.H.At(0, 1)-0.56) > 0.01 {
+		t.Errorf("Pokec H01 = %v, want ≈0.56", pokec.H.At(0, 1))
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("Cora")
+	if err != nil || d.Name != "Cora" {
+		t.Errorf("ByName(Cora): %v %v", d.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected unknown-dataset error")
+	}
+}
+
+func TestReplicaSmallScale(t *testing.T) {
+	for _, d := range []Dataset{Cora(), MovieLens()} {
+		res, err := d.Replica(4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if res.Graph.N != d.N/4 {
+			t.Errorf("%s: n=%d want %d", d.Name, res.Graph.N, d.N/4)
+		}
+		if res.Graph.M != d.M/4 {
+			t.Errorf("%s: m=%d want %d", d.Name, res.Graph.M, d.M/4)
+		}
+		// Average degree preserved within 5%.
+		if got, want := res.Graph.AvgDegree(), 2*float64(d.M)/float64(d.N); math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: avg degree %v, want ≈%v", d.Name, got, want)
+		}
+	}
+}
+
+func TestReplicaErrors(t *testing.T) {
+	d := Cora()
+	if _, err := d.Replica(0, 1); err == nil {
+		t.Error("expected scale<1 error")
+	}
+	if _, err := d.Replica(1000000, 1); err == nil {
+		t.Error("expected too-small error")
+	}
+}
+
+func TestSkew(t *testing.T) {
+	if s := MovieLens().Skew(); s < 5 {
+		t.Errorf("MovieLens skew %v, want large", s)
+	}
+	if s := PokecGender().Skew(); math.Abs(s-0.56/0.44) > 0.05 {
+		t.Errorf("Pokec skew %v", s)
+	}
+}
+
+func TestHomophilyFlags(t *testing.T) {
+	homo := map[string]bool{"Cora": true, "Citeseer": true, "Hep-Th": true}
+	for _, d := range All() {
+		if d.Homophilous != homo[d.Name] {
+			t.Errorf("%s homophilous=%v", d.Name, d.Homophilous)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package dense
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// matrixJSON is the on-disk form of a Matrix: explicit rows keep the file
+// human-readable and diffable (compatibility matrices are tiny).
+type matrixJSON struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// WriteJSON serializes the matrix as {"rows": [[...], ...]}.
+func WriteJSON(w io.Writer, m *Matrix) error {
+	rows := make([][]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		rows[i] = append([]float64(nil), m.Row(i)...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(matrixJSON{Rows: rows})
+}
+
+// ReadJSON parses a matrix written by WriteJSON, validating that the rows
+// are rectangular and non-empty.
+func ReadJSON(r io.Reader) (*Matrix, error) {
+	var mj matrixJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&mj); err != nil {
+		return nil, fmt.Errorf("dense: decoding matrix JSON: %w", err)
+	}
+	if len(mj.Rows) == 0 {
+		return nil, fmt.Errorf("dense: matrix JSON has no rows")
+	}
+	cols := len(mj.Rows[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("dense: matrix JSON has empty rows")
+	}
+	for i, row := range mj.Rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("dense: matrix JSON row %d has %d entries, want %d", i, len(row), cols)
+		}
+	}
+	return FromRows(mj.Rows), nil
+}

@@ -1,0 +1,36 @@
+package dense
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{0.2, 0.6, 0.2}, {0.6, 0.2, 0.2}, {0.2, 0.2, 0.6}})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, back, 0) {
+		t.Errorf("round trip changed matrix:\n%v vs\n%v", m, back)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"rows": []}`,
+		`{"rows": [[]]}`,
+		`{"rows": [[1,2],[3]]}`,
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"factorgraph/internal/core"
+)
+
+func init() {
+	register("breakdown", Breakdown)
+}
+
+// Breakdown decomposes DCEr's runtime into its two stages (the paper's
+// Figure 2 and the §4.8/§5.2 discussion): the O(mkℓmax) graph
+// summarization, which scales with the graph, and the O(k⁴r) optimization,
+// which does not. The crossover explains why "DCE and DCEr are effectively
+// equal for large graphs" (Fig 6k): the sketch computation dominates, so
+// the 10 restarts come for free.
+func Breakdown(cfg Config) (*Table, error) {
+	cfg.defaults()
+	t := &Table{
+		ID:      "breakdown",
+		Title:   "DCEr phase timing: graph summarization vs sketch optimization",
+		Params:  fmt.Sprintf("d=5, h=8, f=0.01, r=10, maxEdges=%d", cfg.MaxEdges),
+		Columns: []string{"m", "summarize[s]", "optimize r=10[s]", "optimize share"},
+		Notes:   "Optimization time is flat in m (it runs on k×k sketches); its share goes to 0 as the graph grows.",
+	}
+	const d = 5
+	for _, m := range grow(1000, cfg.MaxEdges, 10) {
+		n := 2 * m / d
+		res, err := syntheticGraph(n, d, 8, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sl, err := sampleSeeds(res.Labels, 3, 0.01, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		sums, err := core.Summarize(res.Graph.Adj, sl, 3, core.DefaultSummaryOptions())
+		if err != nil {
+			return nil, err
+		}
+		summarizeTime := time.Since(start)
+		start = time.Now()
+		if _, err := core.EstimateDCE(sums, core.DefaultDCErOptions()); err != nil {
+			return nil, err
+		}
+		optimizeTime := time.Since(start)
+		share := optimizeTime.Seconds() / (optimizeTime.Seconds() + summarizeTime.Seconds())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m), fmtT(summarizeTime), fmtT(optimizeTime), fmtF(share),
+		})
+		cfg.logf("breakdown: m=%d", m)
+	}
+	return t, nil
+}

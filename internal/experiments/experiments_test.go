@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg shrinks everything so the whole registry runs in CI time.
+func quickCfg() Config {
+	return Config{Scale: 20, Reps: 1, Seed: 42, MaxEdges: 20000, Quiet: true}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"ablation-bp", "ablation-ec", "ablation-nb", "ablation-optimizer",
+		"breakdown",
+		"fig10", "fig12", "fig13", "fig14", "fig3a", "fig3b", "fig5a", "fig5b",
+		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
+		"fig6i", "fig6j", "fig6k", "fig6l", "fig7", "fig7d", "fig8",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("have %d experiments %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Error("expected unknown-experiment error")
+	}
+}
+
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig3aShape(t *testing.T) {
+	tab, err := Run("fig3a", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 || len(tab.Columns) != 7 {
+		t.Fatalf("bad table shape: %d rows, %d cols", len(tab.Rows), len(tab.Columns))
+	}
+	// At full labels (last row) every estimator should be usable and GS
+	// accuracy should beat random (1/3).
+	last := tab.Rows[len(tab.Rows)-1]
+	gs := parse(t, last[1])
+	if gs < 0.4 {
+		t.Errorf("GS accuracy at f=1 is %v, want > 0.4", gs)
+	}
+	// DCEr (column 5) should track GS within 0.1 at high f.
+	dcer := parse(t, last[5])
+	if gs-dcer > 0.1 {
+		t.Errorf("DCEr %v far below GS %v at f=1", dcer, gs)
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	tab, err := Run("fig3b", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatalf("need ≥2 sizes, got %d", len(tab.Rows))
+	}
+	// Times must be positive.
+	for _, row := range tab.Rows {
+		if parse(t, row[1]) < 0 {
+			t.Errorf("negative DCEr time in %v", row)
+		}
+	}
+}
+
+func TestFig5aConsistencyShape(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Scale = 2 // needs a moderately large graph for the statistics
+	tab, err := Run("fig5a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 5 path lengths, got %d", len(tab.Rows))
+	}
+	// For every ℓ, the NB estimate must be closer to Hℓ than the full-path
+	// estimate at ℓ≥2 (Theorem 4.1's point).
+	for _, row := range tab.Rows[1:] {
+		hl := parse(t, row[1])
+		full := parse(t, row[2])
+		nb := parse(t, row[3])
+		if abs(nb-hl) > abs(full-hl)+0.02 {
+			t.Errorf("l=%s: NB estimate %v further from H^l=%v than full %v", row[0], nb, hl, full)
+		}
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	cfg := quickCfg()
+	tab, err := Run("fig5b", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFig6Runners(t *testing.T) {
+	// Smoke-run every Figure 6 experiment at tiny scale; check row counts.
+	wantRows := map[string]int{
+		"fig6a": 5, "fig6b": 8, "fig6c": 5, "fig6d": 5, "fig6e": 7,
+		"fig6f": 9, "fig6g": 7, "fig6h": 5, "fig6i": 4, "fig6j": 5,
+		"fig6l": 6,
+	}
+	cfg := quickCfg()
+	for id, want := range wantRows {
+		tab, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) != want {
+			t.Errorf("%s: %d rows, want %d", id, len(tab.Rows), want)
+		}
+	}
+}
+
+func TestFig6kShape(t *testing.T) {
+	tab, err := Run("fig6k", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 || len(tab.Columns) != 7 {
+		t.Fatalf("bad fig6k shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}
+
+func TestFig7Family(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Scale = 8
+	for _, id := range []string{"fig7", "fig7d", "fig8", "fig13", "fig14"} {
+		tab, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+}
+
+func TestFig12HeuristicGap(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Scale = 4
+	tab, err := Run("fig12", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFig10DivergenceAndAgreement(t *testing.T) {
+	tab, err := Run("fig10", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	// Uncentered beliefs must blow up; centered must stay bounded.
+	u0, uN := parse(t, first[2]), parse(t, last[2])
+	c0, cN := parse(t, first[1]), parse(t, last[1])
+	if uN < 100*u0 {
+		t.Errorf("uncentered beliefs did not diverge: %v -> %v", u0, uN)
+	}
+	if cN > 100*(c0+1) {
+		t.Errorf("centered beliefs diverged: %v -> %v", c0, cN)
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "yes" {
+			t.Errorf("labels disagreed at iteration %s (Theorem 3.1 violated)", row[0])
+		}
+	}
+}
+
+func TestAblationRunners(t *testing.T) {
+	wantRows := map[string]int{
+		"ablation-ec":        3,
+		"ablation-nb":        3,
+		"ablation-bp":        2,
+		"ablation-optimizer": 3,
+	}
+	cfg := quickCfg()
+	for id, want := range wantRows {
+		tab, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) != want {
+			t.Errorf("%s: %d rows, want %d", id, len(tab.Rows), want)
+		}
+	}
+}
+
+func TestBreakdownSharesDecrease(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxEdges = 100000
+	tab, err := Run("breakdown", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatalf("need ≥2 sizes, got %d", len(tab.Rows))
+	}
+	first := parse(t, tab.Rows[0][3])
+	last := parse(t, tab.Rows[len(tab.Rows)-1][3])
+	if last >= first {
+		t.Errorf("optimization share should fall with graph size: %v -> %v", first, last)
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "T", Params: "p",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "n",
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T", "params: p", "a", "bb", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGrow(t *testing.T) {
+	g := grow(10, 1000, 10)
+	if len(g) != 3 || g[0] != 10 || g[2] != 1000 {
+		t.Errorf("grow = %v", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean(nil)")
+	}
+	if mean([]float64{1, 3}) != 2 {
+		t.Error("mean([1,3])")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

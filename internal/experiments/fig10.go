@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/propagation"
+	"factorgraph/internal/sparse"
+)
+
+func init() {
+	register("fig10", Fig10)
+}
+
+// Fig10 reproduces Figure 10 / Example C.1: LinBP with the uncentered H
+// (ρ(H)=1) diverges — belief magnitudes grow without bound — while the
+// centered H̃ (ρ=0.7) converges; yet at every iteration the argmax labels
+// of the two runs are identical (Theorem 3.1). The table tracks the belief
+// spread and label agreement per iteration for one observed node.
+func Fig10(cfg Config) (*Table, error) {
+	cfg.defaults()
+	h := dense.FromRows([][]float64{
+		{0.1, 0.8, 0.1},
+		{0.8, 0.1, 0.1},
+		{0.1, 0.1, 0.8},
+	})
+	const k = 3
+	// Small deterministic heterophilous graph: two triangles joined by a
+	// path, a few seeds.
+	n := 60
+	var edges [][2]int32
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+		if i%3 == 0 && i+3 < n {
+			edges = append(edges, [2]int32{int32(i), int32(i + 3)})
+		}
+	}
+	w, err := sparse.NewSymmetricFromEdges(n, edges, nil)
+	if err != nil {
+		return nil, err
+	}
+	seed := make([]int, n)
+	for i := range seed {
+		seed[i] = labels.Unlabeled
+	}
+	seed[0], seed[20], seed[40] = 0, 1, 2
+	x, err := labels.Matrix(seed, k)
+	if err != nil {
+		return nil, err
+	}
+
+	hTilde := dense.AddScalar(h, -1.0/float64(k))
+	// s chosen so the centered run converges (s=0.95 < 1) — the same ε
+	// makes the uncentered spectral radius exceed 1 (s≈1.18 in the paper).
+	eps, err := propagation.ScalingFactor(w, hTilde, 0.95, 100)
+	if err != nil {
+		return nil, err
+	}
+	xTilde := dense.AddScalar(x, -1.0/float64(k))
+
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Uncentered LinBP diverges while labels stay identical (Example C.1)",
+		Params:  "k=3, rho(H)=1, rho(H~)=0.7, s=0.95",
+		Columns: []string{"iter", "max|F~| (centered)", "max|F| (uncentered)", "labels agree"},
+		Notes:   "Centered beliefs stay bounded; uncentered grow; argmax labels agree every iteration (Theorem 3.1).",
+	}
+	hc := dense.Scale(hTilde, eps)
+	hu := dense.Scale(h, eps)
+	fc := xTilde.Clone()
+	fu := x.Clone()
+	for it := 1; it <= 30; it++ {
+		fc = dense.Add(xTilde, w.MulDense(dense.Mul(fc, hc)))
+		fu = dense.Add(x, w.MulDense(dense.Mul(fu, hu)))
+		agree := "yes"
+		lc := dense.ArgmaxRows(fc)
+		lu := dense.ArgmaxRows(fu)
+		for i := range lc {
+			if lc[i] == lu[i] {
+				continue
+			}
+			// Theorem 3.1 guarantees identical orderings; disagreement can
+			// only come from exactly tied beliefs (nodes equidistant from
+			// symmetric seeds) resolving differently under last-bit
+			// rounding. Treat near-ties as agreement.
+			rc := fc.Row(i)
+			tol := 1e-9 * (1 + dense.MaxAbs(fc))
+			if diff := rc[lc[i]] - rc[lu[i]]; diff > tol || diff < -tol {
+				agree = "no"
+				break
+			}
+		}
+		if it%3 == 0 || it == 1 {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", it),
+				fmt.Sprintf("%.3g", dense.MaxAbs(fc)),
+				fmt.Sprintf("%.3g", dense.MaxAbs(fu)),
+				agree,
+			})
+		}
+	}
+	return t, nil
+}

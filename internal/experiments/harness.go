@@ -1,0 +1,271 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5 and the appendix): each runner produces the same
+// rows/series the paper reports, on synthetic graphs and on the dataset
+// replicas. Runners are deterministic given Config.Seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+
+	"factorgraph/internal/core"
+	"factorgraph/internal/dense"
+	"factorgraph/internal/gen"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+	"factorgraph/internal/optimize"
+	"factorgraph/internal/propagation"
+	"factorgraph/internal/sparse"
+)
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Scale divides the paper's graph sizes (n and m) to shorten runs;
+	// 1 reproduces the published sizes. Default 1.
+	Scale int
+	// Reps is the number of seeded repetitions averaged per data point.
+	// Default 3 (the paper averages over more; shapes stabilize quickly).
+	Reps int
+	// Seed is the base RNG seed; repetition i uses Seed+i.
+	Seed uint64
+	// MaxEdges caps the largest graph in the scalability sweeps
+	// (Figures 3b, 5b, 6k). Default 1,000,000; the paper goes to 16.4M.
+	MaxEdges int
+	// Quiet suppresses progress output.
+	Quiet bool
+	// Progress receives progress lines when not Quiet (default io.Discard).
+	Progress io.Writer
+}
+
+func (c *Config) defaults() {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Reps < 1 {
+		c.Reps = 3
+	}
+	if c.MaxEdges == 0 {
+		c.MaxEdges = 1_000_000
+	}
+	if c.Progress == nil {
+		c.Progress = io.Discard
+	}
+}
+
+func (c Config) logf(format string, args ...any) {
+	if !c.Quiet {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Table is a reproduced figure or table: column headers plus formatted
+// rows, ready to print or diff against the paper.
+type Table struct {
+	ID      string
+	Title   string
+	Params  string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	if t.Params != "" {
+		fmt.Fprintf(w, "   params: %s\n", t.Params)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "   note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner produces one reproduced figure/table.
+type Runner func(Config) (*Table, error)
+
+// registry maps experiment ids to runners, populated in init() functions of
+// the fig*.go files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the runner registered under id.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	cfg.defaults()
+	return r(cfg)
+}
+
+// ----- shared estimation/propagation plumbing -----
+
+// estimate runs one named estimator and reports the estimated H and the
+// wall-clock estimation time. Method names follow the paper's legends.
+func estimate(method string, w *sparse.CSR, seed []int, truth []int, k int, rngSeed uint64) (*dense.Matrix, time.Duration, error) {
+	start := time.Now()
+	var h *dense.Matrix
+	var err error
+	switch method {
+	case "GS":
+		h, err = core.GoldStandard(w, truth, k)
+	case "LCE":
+		h, err = core.EstimateLCE(w, seed, k, core.LCEOptions{})
+	case "MCE":
+		var s *core.Summaries
+		s, err = core.Summarize(w, seed, k, core.SummaryOptions{LMax: 1, NonBacktracking: true})
+		if err == nil {
+			h, err = core.EstimateMCE(s, core.MCEOptions{})
+		}
+	case "DCE", "DCEr":
+		var s *core.Summaries
+		s, err = core.Summarize(w, seed, k, core.DefaultSummaryOptions())
+		if err == nil {
+			opts := core.DefaultDCEOptions()
+			if method == "DCEr" {
+				opts = core.DefaultDCErOptions()
+				opts.Seed = rngSeed
+			}
+			h, err = core.EstimateDCE(s, opts)
+		}
+	case "Holdout":
+		// Cap the simplex search: the holdout energy is a step function of
+		// H, so long tail iterations buy nothing (the paper notes
+		// Nelder–Mead suits this discrete, non-contiguous objective).
+		h, err = core.EstimateHoldout(w, seed, k, core.HoldoutOptions{
+			Seed: rngSeed,
+			NM:   optimize.NMOptions{MaxIter: 60 * core.NumFree(k), Tol: 1e-4},
+		})
+	case "Heuristic":
+		var gs *dense.Matrix
+		gs, err = core.GoldStandard(w, truth, k)
+		if err == nil {
+			h, err = core.HeuristicHL(gs)
+		}
+	default:
+		return nil, 0, fmt.Errorf("experiments: unknown estimator %q", method)
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: %s: %w", method, err)
+	}
+	return h, time.Since(start), nil
+}
+
+// propagateAccuracy labels the graph with LinBP under h and scores
+// macro-accuracy on the non-seed nodes.
+func propagateAccuracy(w *sparse.CSR, seed, truth []int, k int, h *dense.Matrix) (float64, error) {
+	x, err := labels.Matrix(seed, k)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := propagation.LinBPLabels(w, x, h, propagation.DefaultLinBPOptions())
+	if err != nil {
+		return 0, err
+	}
+	return metrics.MacroAccuracy(pred, truth, seed, k), nil
+}
+
+// endToEnd estimates with each method and propagates, returning
+// macro-accuracy per method (in input order).
+func endToEnd(methods []string, w *sparse.CSR, seed, truth []int, k int, rngSeed uint64) ([]float64, error) {
+	accs := make([]float64, len(methods))
+	for i, m := range methods {
+		h, _, err := estimate(m, w, seed, truth, k, rngSeed)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := propagateAccuracy(w, seed, truth, k, h)
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = acc
+	}
+	return accs, nil
+}
+
+// syntheticGraph generates the standard synthetic workload of Section 5:
+// n nodes, average degree d, k=3 with skew h, power-law degrees.
+func syntheticGraph(n int, d float64, skew float64, seed uint64) (*gen.Result, error) {
+	m := int(d * float64(n) / 2)
+	return gen.Generate(gen.Config{
+		N:     n,
+		M:     m,
+		Alpha: gen.Balanced(3),
+		H:     core.HFromSkew(skew),
+		Dist:  gen.PowerLaw{Exponent: 0.3},
+		Seed:  seed,
+	})
+}
+
+// sampleSeeds draws the stratified seed labels at fraction f.
+func sampleSeeds(truth []int, k int, f float64, seed uint64) ([]int, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x6a09e667f3bcc908))
+	return labels.SampleStratified(truth, k, f, rng)
+}
+
+// mean averages a slice.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// fmtF formats a float with 3 decimals; fmtT formats seconds.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func fmtT(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+// grow keeps doubling-style sweeps tidy: returns geometric sequence from lo
+// to hi multiplying by factor each step.
+func grow(lo, hi int, factor float64) []int {
+	var out []int
+	v := float64(lo)
+	for int(v) <= hi {
+		out = append(out, int(v))
+		v *= factor
+	}
+	return out
+}

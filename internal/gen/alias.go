@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// aliasTable samples indices in O(1) with probability proportional to the
+// weights it was built from (Walker/Vose alias method). Used to draw edge
+// endpoints according to the planted degree distribution; graphs in the
+// scalability experiments have up to ~10⁷ edges, so per-draw cost matters.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+func newAliasTable(weights []float64) (*aliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("gen: empty weight vector")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("gen: negative weight %v at %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("gen: all weights zero")
+	}
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1 // numerical leftovers
+	}
+	return t, nil
+}
+
+// draw returns an index with probability proportional to its weight.
+func (t *aliasTable) draw(rng *rand.Rand) int32 {
+	i := rng.IntN(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return int32(i)
+	}
+	return t.alias[i]
+}

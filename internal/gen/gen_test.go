@@ -1,0 +1,304 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"factorgraph/internal/dense"
+)
+
+func skew3(h float64) *dense.Matrix {
+	d := 2 + h
+	return dense.FromRows([][]float64{
+		{1 / d, h / d, 1 / d},
+		{h / d, 1 / d, 1 / d},
+		{1 / d, 1 / d, h / d},
+	})
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	cfg := Config{N: 1000, M: 5000, Alpha: Balanced(3), H: skew3(3), Seed: 1}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.N != 1000 {
+		t.Errorf("n = %d", res.Graph.N)
+	}
+	if res.Graph.M != 5000 {
+		t.Errorf("m = %d, want 5000 (exact planting)", res.Graph.M)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Errorf("invalid graph: %v", err)
+	}
+	// No self loops: diagonal empty.
+	for i := 0; i < res.Graph.N; i++ {
+		if res.Graph.Adj.At(i, i) != 0 {
+			t.Fatalf("self-loop at %d", i)
+		}
+	}
+	// Class sizes exact.
+	counts := make([]int, 3)
+	for _, l := range res.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 1000/3 && n != 1000/3+1 {
+			t.Errorf("class %d size %d", c, n)
+		}
+	}
+}
+
+func TestGenerateExactPairCounts(t *testing.T) {
+	h := skew3(8)
+	cfg := Config{N: 900, M: 9000, Alpha: Balanced(3), H: h, Seed: 2}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recount edges between classes from the graph itself.
+	recount := dense.New(3, 3)
+	adj := res.Graph.Adj
+	for i := 0; i < adj.N; i++ {
+		for p := adj.IndPtr[i]; p < adj.IndPtr[i+1]; p++ {
+			j := int(adj.Indices[p])
+			if j < i {
+				continue
+			}
+			ci, cj := res.Labels[i], res.Labels[j]
+			recount.Set(ci, cj, recount.At(ci, cj)+1)
+			if ci != cj {
+				recount.Set(cj, ci, recount.At(cj, ci)+1)
+			}
+		}
+	}
+	if !dense.Equal(recount, res.PairCounts, 0) {
+		t.Errorf("pair counts mismatch:\ngraph\n%v planted\n%v", recount, res.PairCounts)
+	}
+	var total float64
+	for i := 0; i < 3; i++ {
+		for j := i; j < 3; j++ {
+			total += res.PairCounts.At(i, j)
+		}
+	}
+	if int(total) != 9000 {
+		t.Errorf("total pair count %v ≠ m", total)
+	}
+	// Relative pair frequencies should match α_i·H_ij: e.g. pair (0,1)
+	// carries 2·(1/3)(0.8) = 0.5333 of all edges.
+	if frac := res.PairCounts.At(0, 1) / 9000; math.Abs(frac-2.0/3*0.8) > 0.01 {
+		t.Errorf("pair (0,1) fraction %v, want %v", frac, 2.0/3*0.8)
+	}
+}
+
+func TestGenerateImbalancedAlpha(t *testing.T) {
+	alpha := []float64{1.0 / 6, 1.0 / 3, 1.0 / 2}
+	h := dense.FromRows([][]float64{
+		{0.2, 0.6, 0.2},
+		{0.6, 0.1, 0.3},
+		{0.2, 0.3, 0.5},
+	}) // the paper's Figure 6j matrix
+	res, err := Generate(Config{N: 1200, M: 12000, Alpha: alpha, H: h, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for _, l := range res.Labels {
+		counts[l]++
+	}
+	if counts[0] != 200 || counts[1] != 400 || counts[2] != 600 {
+		t.Errorf("class sizes %v, want exact largest-remainder split", counts)
+	}
+	if res.Graph.M != 12000 {
+		t.Errorf("m = %d", res.Graph.M)
+	}
+}
+
+func TestGeneratePowerLawSkewsDegrees(t *testing.T) {
+	uni, err := Generate(Config{N: 2000, M: 20000, Alpha: Balanced(3), H: skew3(3), Dist: Uniform{}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Generate(Config{N: 2000, M: 20000, Alpha: Balanced(3), H: skew3(3), Dist: PowerLaw{Exponent: 0.6}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(d []float64) float64 {
+		m := 0.0
+		for _, v := range d {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if maxDeg(pl.Graph.Degrees()) <= maxDeg(uni.Graph.Degrees()) {
+		t.Errorf("power-law max degree %v not heavier than uniform %v",
+			maxDeg(pl.Graph.Degrees()), maxDeg(uni.Graph.Degrees()))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 500, M: 2500, Alpha: Balanced(3), H: skew3(3), Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(a.Graph.Adj.ToDense(), b.Graph.Adj.ToDense(), 0) {
+		t.Error("same seed produced different graphs")
+	}
+	c, err := Generate(Config{N: 500, M: 2500, Alpha: Balanced(3), H: skew3(3), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Equal(a.Graph.Adj.ToDense(), c.Graph.Adj.ToDense(), 0) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateDensePairFallback(t *testing.T) {
+	// Tiny graph close to complete forces the exhaustive-enumeration path.
+	res, err := Generate(Config{N: 20, M: 150, Alpha: Balanced(2), H: dense.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}}), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.M != 150 {
+		t.Errorf("m = %d, want 150", res.Graph.M)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	h2 := dense.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero n", Config{N: 0, M: 1, Alpha: Balanced(2), H: h2}},
+		{"negative m", Config{N: 10, M: -1, Alpha: Balanced(2), H: h2}},
+		{"one class", Config{N: 10, M: 5, Alpha: []float64{1}, H: dense.FromRows([][]float64{{1}})}},
+		{"alpha not prob", Config{N: 10, M: 5, Alpha: []float64{0.5, 0.2}, H: h2}},
+		{"negative alpha", Config{N: 10, M: 5, Alpha: []float64{-0.5, 1.5}, H: h2}},
+		{"nil H", Config{N: 10, M: 5, Alpha: Balanced(2)}},
+		{"H shape", Config{N: 10, M: 5, Alpha: Balanced(3), H: h2}},
+		{"H asymmetric", Config{N: 10, M: 5, Alpha: Balanced(2), H: dense.FromRows([][]float64{{0.3, 0.7}, {0.6, 0.4}})}},
+		{"H negative", Config{N: 10, M: 5, Alpha: Balanced(2), H: dense.FromRows([][]float64{{1.5, -0.5}, {-0.5, 1.5}})}},
+		{"m too large", Config{N: 4, M: 100, Alpha: Balanced(2), H: h2}},
+	}
+	for _, tc := range cases {
+		if _, err := Generate(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// Property: generation succeeds and plants exactly m edges with no
+// duplicates for random feasible configurations.
+func TestGeneratePropertyExactM(t *testing.T) {
+	r := rand.New(rand.NewPCG(51, 52))
+	f := func() bool {
+		k := 2 + r.IntN(3)
+		n := 60 + r.IntN(200)
+		maxM := n * (n - 1) / 8
+		m := 10 + r.IntN(maxM)
+		skew := 1 + r.Float64()*7
+		var h *dense.Matrix
+		if k == 3 {
+			h = skew3(skew)
+		} else {
+			// Uniform H for other k keeps the test simple and feasible.
+			h = dense.Constant(k, k, 1/float64(k))
+		}
+		res, err := Generate(Config{N: n, M: m, Alpha: Balanced(k), H: h, Seed: r.Uint64()})
+		if err != nil {
+			return false
+		}
+		if res.Graph.M != m {
+			return false
+		}
+		// NNZ must be exactly 2m (no dupes, no self loops).
+		return res.Graph.Adj.NNZ() == 2*m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestRemainder(t *testing.T) {
+	got := largestRemainder([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, 10)
+	sum := 0
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("largestRemainder sums to %d", sum)
+	}
+	zero := largestRemainder([]float64{0, 0}, 0)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("zero case: %v", zero)
+	}
+}
+
+func TestAliasTableDistribution(t *testing.T) {
+	weights := []float64{1, 2, 7}
+	tab, err := newAliasTable(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(61, 62))
+	counts := make([]int, 3)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[tab.draw(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 0.05*want+100 {
+			t.Errorf("index %d drawn %d times, want ≈%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasTableErrors(t *testing.T) {
+	if _, err := newAliasTable(nil); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, err := newAliasTable([]float64{0, 0}); err == nil {
+		t.Error("expected all-zero error")
+	}
+	if _, err := newAliasTable([]float64{1, -1}); err == nil {
+		t.Error("expected negative error")
+	}
+}
+
+func TestDegreeDistNames(t *testing.T) {
+	if (Uniform{}).Name() != "uniform" {
+		t.Error("uniform name")
+	}
+	if (PowerLaw{}).Name() == "" || (PowerLaw{Exponent: 0.5}).Name() == "" {
+		t.Error("powerlaw name")
+	}
+	w := (PowerLaw{}).Weights(10, rand.New(rand.NewPCG(1, 1)))
+	for _, v := range w {
+		if v < 1 {
+			t.Errorf("powerlaw weight %v < 1 (u^-0.3 ≥ 1)", v)
+		}
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	b := Balanced(4)
+	for _, v := range b {
+		if v != 0.25 {
+			t.Errorf("Balanced entry %v", v)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"testing"
+
+	"factorgraph/internal/dense"
+)
+
+func TestGenerateWeightedJitter(t *testing.T) {
+	res, err := Generate(Config{
+		N: 500, M: 2500, Alpha: Balanced(3), H: skew3(3), Seed: 9, WeightJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.Adj.Data == nil {
+		t.Fatal("weighted graph stored as implicit ones")
+	}
+	var lo, hi float64 = 10, 0
+	for _, w := range res.Graph.Adj.Data {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+		if w <= 0 {
+			t.Fatalf("non-positive weight %v", w)
+		}
+	}
+	if lo < 0.5-1e-9 || hi > 1.5+1e-9 {
+		t.Errorf("weights outside [0.5,1.5]: [%v, %v]", lo, hi)
+	}
+	if hi-lo < 0.5 {
+		t.Errorf("weights not spread: [%v, %v]", lo, hi)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateWeightJitterValidation(t *testing.T) {
+	h2 := dense.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	for _, j := range []float64{-0.5, 1.0, 2} {
+		_, err := Generate(Config{
+			N: 50, M: 100, Alpha: Balanced(2), H: h2, WeightJitter: j,
+		})
+		if err == nil {
+			t.Errorf("WeightJitter=%v: expected error", j)
+		}
+	}
+}
+
+func TestGenerateUnweightedStaysImplicit(t *testing.T) {
+	res, err := Generate(Config{N: 200, M: 800, Alpha: Balanced(3), H: skew3(3), Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.Adj.Data != nil {
+		t.Error("unweighted graph should use the implicit-ones representation")
+	}
+}

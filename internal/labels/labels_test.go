@@ -1,0 +1,192 @@
+package labels
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumClasses(t *testing.T) {
+	if got := NumClasses([]int{0, 2, Unlabeled, 1}); got != 3 {
+		t.Errorf("NumClasses = %d", got)
+	}
+	if got := NumClasses([]int{Unlabeled}); got != 0 {
+		t.Errorf("NumClasses = %d", got)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	x, err := Matrix([]int{0, Unlabeled, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.At(0, 0) != 1 || x.At(2, 1) != 1 {
+		t.Errorf("Matrix wrong: %v", x)
+	}
+	// Unlabeled row all zero.
+	if x.At(1, 0) != 0 || x.At(1, 1) != 0 {
+		t.Errorf("unlabeled row not zero: %v", x)
+	}
+	if _, err := Matrix([]int{5}, 2); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestCountsAndNumLabeled(t *testing.T) {
+	l := []int{0, 0, 1, Unlabeled, 2}
+	c := Counts(l, 3)
+	if c[0] != 2 || c[1] != 1 || c[2] != 1 {
+		t.Errorf("Counts = %v", c)
+	}
+	if NumLabeled(l) != 4 {
+		t.Errorf("NumLabeled = %d", NumLabeled(l))
+	}
+}
+
+func TestSampleStratifiedBasic(t *testing.T) {
+	truth := make([]int, 1000)
+	for i := range truth {
+		truth[i] = i % 4
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	s, err := SampleStratified(truth, 4, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := Counts(s, 4)
+	for c, n := range counts {
+		if n != 25 {
+			t.Errorf("class %d sampled %d, want 25 (stratified)", c, n)
+		}
+	}
+	// Sampled labels agree with truth.
+	for i, l := range s {
+		if l != Unlabeled && l != truth[i] {
+			t.Errorf("sample changed label at %d", i)
+		}
+	}
+}
+
+func TestSampleStratifiedAtLeastOnePerClass(t *testing.T) {
+	truth := make([]int, 10000)
+	for i := range truth {
+		truth[i] = i % 2
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	s, err := SampleStratified(truth, 2, 0.00001, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := Counts(s, 2)
+	if counts[0] < 1 || counts[1] < 1 {
+		t.Errorf("extreme sparsity lost a class: %v", counts)
+	}
+}
+
+func TestSampleStratifiedErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	if _, err := SampleStratified([]int{0}, 1, -0.5, rng); err == nil {
+		t.Error("expected bad-f error")
+	}
+	if _, err := SampleStratified([]int{7}, 2, 0.5, rng); err == nil {
+		t.Error("expected out-of-range label error")
+	}
+}
+
+// Property: the stratified sample size per class is round(f·count) clamped
+// to [1, count].
+func TestSampleStratifiedSizeProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	f := func() bool {
+		k := 2 + r.IntN(4)
+		n := 50 + r.IntN(500)
+		truth := make([]int, n)
+		for i := range truth {
+			truth[i] = r.IntN(k)
+		}
+		frac := r.Float64()
+		s, err := SampleStratified(truth, k, frac, r)
+		if err != nil {
+			return false
+		}
+		tc := Counts(truth, k)
+		sc := Counts(s, k)
+		for c := 0; c < k; c++ {
+			if tc[c] == 0 {
+				if sc[c] != 0 {
+					return false
+				}
+				continue
+			}
+			want := int(frac*float64(tc[c]) + 0.5)
+			if want < 1 {
+				want = 1
+			}
+			if want > tc[c] {
+				want = tc[c]
+			}
+			if sc[c] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitSeedHoldout(t *testing.T) {
+	seeds := make([]int, 100)
+	for i := range seeds {
+		if i < 40 {
+			seeds[i] = i % 2
+		} else {
+			seeds[i] = Unlabeled
+		}
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	s, h, err := SplitSeedHoldout(seeds, 2, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		switch {
+		case seeds[i] == Unlabeled:
+			if s[i] != Unlabeled || h[i] != Unlabeled {
+				t.Fatalf("unlabeled node %d got a label", i)
+			}
+		case s[i] != Unlabeled && h[i] != Unlabeled:
+			t.Fatalf("node %d in both seed and holdout", i)
+		case s[i] == Unlabeled && h[i] == Unlabeled:
+			t.Fatalf("labeled node %d lost from both sets", i)
+		}
+	}
+	sc, hc := Counts(s, 2), Counts(h, 2)
+	if sc[0] != 10 || sc[1] != 10 || hc[0] != 10 || hc[1] != 10 {
+		t.Errorf("split sizes seed=%v holdout=%v", sc, hc)
+	}
+}
+
+func TestSplitSeedHoldoutErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	if _, _, err := SplitSeedHoldout([]int{0}, 2, 0, rng); err == nil {
+		t.Error("expected bad-frac error")
+	}
+	if _, _, err := SplitSeedHoldout([]int{9}, 2, 0.5, rng); err == nil {
+		t.Error("expected out-of-range label error")
+	}
+}
+
+func TestSplitSeedHoldoutTinyClass(t *testing.T) {
+	// A class with 2 members must put one in each set.
+	seeds := []int{0, 0, 1, 1, Unlabeled}
+	rng := rand.New(rand.NewPCG(13, 14))
+	s, h, err := SplitSeedHoldout(seeds, 2, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumLabeled(s) != 2 || NumLabeled(h) != 2 {
+		t.Errorf("tiny split seed=%v holdout=%v", s, h)
+	}
+}

@@ -1,0 +1,87 @@
+// Package metrics implements the quality measures of Section 5: micro and
+// macro-averaged labeling accuracy over unlabeled nodes, and the L2
+// (Frobenius) distance between compatibility-matrix estimates.
+package metrics
+
+import (
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+)
+
+// Accuracy returns the fraction of evaluation nodes whose prediction
+// matches the truth. A node is evaluated when truth is labeled and seed is
+// unlabeled (the paper scores only the remaining nodes). Returns 0 when no
+// node qualifies.
+func Accuracy(pred, truth, seed []int) float64 {
+	correct, total := 0, 0
+	for i, tl := range truth {
+		if tl == labels.Unlabeled || (seed != nil && seed[i] != labels.Unlabeled) {
+			continue
+		}
+		total++
+		if pred[i] == tl {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MacroAccuracy macro-averages the per-class accuracies over the evaluation
+// nodes (truth labeled, seed unlabeled), the paper's measure for
+// class-imbalanced graphs. Classes with no evaluation node are skipped.
+func MacroAccuracy(pred, truth, seed []int, k int) float64 {
+	correct := make([]int, k)
+	total := make([]int, k)
+	for i, tl := range truth {
+		if tl == labels.Unlabeled || (seed != nil && seed[i] != labels.Unlabeled) {
+			continue
+		}
+		total[tl]++
+		if pred[i] == tl {
+			correct[tl]++
+		}
+	}
+	sum, classes := 0.0, 0
+	for c := 0; c < k; c++ {
+		if total[c] == 0 {
+			continue
+		}
+		classes++
+		sum += float64(correct[c]) / float64(total[c])
+	}
+	if classes == 0 {
+		return 0
+	}
+	return sum / float64(classes)
+}
+
+// MacroAccuracyOn scores predictions against a holdout label vector (every
+// labeled entry of holdout is an evaluation node). Used by the Holdout
+// estimator's inner loop.
+func MacroAccuracyOn(pred, holdout []int, k int) float64 {
+	return MacroAccuracy(pred, holdout, nil, k)
+}
+
+// L2 returns the Frobenius distance ‖A − B‖ between two compatibility
+// matrices, the estimation-quality measure of Figures 6a–e and 14.
+func L2(a, b *dense.Matrix) float64 {
+	return dense.FrobeniusDist(a, b)
+}
+
+// ConfusionMatrix tallies prediction counts: entry (t, p) counts evaluation
+// nodes of true class t predicted as p.
+func ConfusionMatrix(pred, truth, seed []int, k int) *dense.Matrix {
+	m := dense.New(k, k)
+	for i, tl := range truth {
+		if tl == labels.Unlabeled || (seed != nil && seed[i] != labels.Unlabeled) {
+			continue
+		}
+		if pred[i] >= 0 && pred[i] < k {
+			m.Set(tl, pred[i], m.At(tl, pred[i])+1)
+		}
+	}
+	return m
+}

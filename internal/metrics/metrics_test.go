@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+)
+
+func TestAccuracyExcludesSeeds(t *testing.T) {
+	truth := []int{0, 1, 0, 1}
+	seed := []int{0, labels.Unlabeled, labels.Unlabeled, labels.Unlabeled}
+	pred := []int{0, 1, 1, 1} // node 0 is a seed (excluded); 2 of 3 correct
+	got := Accuracy(pred, truth, seed)
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", got)
+	}
+}
+
+func TestAccuracyNilSeed(t *testing.T) {
+	truth := []int{0, 1}
+	pred := []int{0, 0}
+	if got := Accuracy(pred, truth, nil); got != 0.5 {
+		t.Errorf("Accuracy = %v", got)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if got := Accuracy(nil, nil, nil); got != 0 {
+		t.Errorf("empty Accuracy = %v", got)
+	}
+	truth := []int{labels.Unlabeled}
+	if got := Accuracy([]int{0}, truth, nil); got != 0 {
+		t.Errorf("all-unlabeled Accuracy = %v", got)
+	}
+}
+
+func TestMacroAccuracyImbalance(t *testing.T) {
+	// 9 nodes of class 0 (all correct), 1 node of class 1 (wrong):
+	// micro = 0.9 but macro = (1.0 + 0.0)/2 = 0.5.
+	truth := make([]int, 10)
+	pred := make([]int, 10)
+	truth[9] = 1
+	pred[9] = 0
+	micro := Accuracy(pred, truth, nil)
+	macro := MacroAccuracy(pred, truth, nil, 2)
+	if math.Abs(micro-0.9) > 1e-12 {
+		t.Errorf("micro = %v", micro)
+	}
+	if math.Abs(macro-0.5) > 1e-12 {
+		t.Errorf("macro = %v", macro)
+	}
+}
+
+func TestMacroAccuracySkipsEmptyClasses(t *testing.T) {
+	truth := []int{0, 0}
+	pred := []int{0, 0}
+	if got := MacroAccuracy(pred, truth, nil, 5); got != 1 {
+		t.Errorf("macro with empty classes = %v", got)
+	}
+	if got := MacroAccuracy(nil, nil, nil, 3); got != 0 {
+		t.Errorf("macro empty = %v", got)
+	}
+}
+
+func TestMacroAccuracyOn(t *testing.T) {
+	holdout := []int{labels.Unlabeled, 1, 0}
+	pred := []int{0, 1, 1}
+	// class 1: 1/1; class 0: 0/1 → macro 0.5
+	if got := MacroAccuracyOn(pred, holdout, 2); got != 0.5 {
+		t.Errorf("MacroAccuracyOn = %v", got)
+	}
+}
+
+func TestL2(t *testing.T) {
+	a := dense.FromRows([][]float64{{1, 0}, {0, 1}})
+	b := dense.FromRows([][]float64{{0, 0}, {0, 0}})
+	if got := L2(a, b); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("L2 = %v", got)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{0, 1, 1, 1}
+	cm := ConfusionMatrix(pred, truth, nil, 2)
+	if cm.At(0, 0) != 1 || cm.At(0, 1) != 1 || cm.At(1, 1) != 2 || cm.At(1, 0) != 0 {
+		t.Errorf("confusion = %v", cm)
+	}
+}

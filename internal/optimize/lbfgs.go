@@ -1,0 +1,157 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// LBFGSOptions configures LBFGS.
+type LBFGSOptions struct {
+	MaxIter int     // maximum iterations (default 300)
+	GradTol float64 // stop when ‖∇E‖∞ < GradTol (default 1e-9)
+	Memory  int     // number of correction pairs (default 7)
+	Armijo  float64 // sufficient-decrease constant (default 1e-4)
+	Shrink  float64 // line-search shrink factor (default 0.5)
+}
+
+func (o *LBFGSOptions) defaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 300
+	}
+	if o.GradTol == 0 {
+		o.GradTol = 1e-9
+	}
+	if o.Memory == 0 {
+		o.Memory = 7
+	}
+	if o.Armijo == 0 {
+		o.Armijo = 1e-4
+	}
+	if o.Shrink == 0 {
+		o.Shrink = 0.5
+	}
+}
+
+// LBFGS minimizes obj with the limited-memory BFGS two-loop recursion and
+// Armijo backtracking. It typically needs far fewer iterations than
+// steepest descent on the ill-conditioned DCE energies with large λ; the
+// ablation benchmark quantifies the difference. Falls back to the steepest
+// descent direction whenever curvature information is unusable.
+func LBFGS(obj Objective, x0 []float64, opts LBFGSOptions) (Result, error) {
+	dim := len(x0)
+	if dim == 0 {
+		return Result{}, errors.New("optimize: empty starting point")
+	}
+	opts.defaults()
+
+	x := append([]float64(nil), x0...)
+	fx := obj.Value(x)
+	if math.IsNaN(fx) || math.IsInf(fx, 0) {
+		return Result{}, errors.New("optimize: objective not finite at start")
+	}
+	g := obj.Grad(x)
+
+	type pair struct {
+		s, y []float64
+		rho  float64
+	}
+	var hist []pair
+	dir := make([]float64, dim)
+	trial := make([]float64, dim)
+	alpha := make([]float64, opts.Memory)
+
+	for it := 0; it < opts.MaxIter; it++ {
+		gInf := 0.0
+		for _, v := range g {
+			if a := math.Abs(v); a > gInf {
+				gInf = a
+			}
+		}
+		if gInf < opts.GradTol {
+			return Result{X: x, Value: fx, Iterations: it, Converged: true}, nil
+		}
+		// Two-loop recursion: dir = −H·g.
+		copy(dir, g)
+		for i := len(hist) - 1; i >= 0; i-- {
+			p := hist[i]
+			alpha[i] = p.rho * dot(p.s, dir)
+			axpy(dir, p.y, -alpha[i])
+		}
+		if len(hist) > 0 {
+			last := hist[len(hist)-1]
+			gamma := dot(last.s, last.y) / dot(last.y, last.y)
+			if gamma > 0 && !math.IsNaN(gamma) {
+				for i := range dir {
+					dir[i] *= gamma
+				}
+			}
+		}
+		for i := 0; i < len(hist); i++ {
+			p := hist[i]
+			beta := p.rho * dot(p.y, dir)
+			axpy(dir, p.s, alpha[i]-beta)
+		}
+		for i := range dir {
+			dir[i] = -dir[i]
+		}
+		// Descent check; fall back to −g.
+		dg := dot(dir, g)
+		if dg >= 0 || math.IsNaN(dg) {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+			dg = -dot(g, g)
+		}
+		// Armijo backtracking along dir.
+		step := 1.0
+		improved := false
+		var fNew float64
+		for ls := 0; ls < 60; ls++ {
+			for i := range x {
+				trial[i] = x[i] + step*dir[i]
+			}
+			fNew = obj.Value(trial)
+			if fNew <= fx+opts.Armijo*step*dg && !math.IsNaN(fNew) {
+				improved = true
+				break
+			}
+			step *= opts.Shrink
+		}
+		if !improved {
+			return Result{X: x, Value: fx, Iterations: it, Converged: true}, nil
+		}
+		gNew := obj.Grad(trial)
+		// Curvature pair.
+		s := make([]float64, dim)
+		y := make([]float64, dim)
+		for i := range x {
+			s[i] = trial[i] - x[i]
+			y[i] = gNew[i] - g[i]
+		}
+		if sy := dot(s, y); sy > 1e-12 {
+			hist = append(hist, pair{s: s, y: y, rho: 1 / sy})
+			if len(hist) > opts.Memory {
+				hist = hist[1:]
+			}
+		}
+		copy(x, trial)
+		fx = fNew
+		g = gNew
+	}
+	return Result{X: x, Value: fx, Iterations: opts.MaxIter, Converged: false}, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpy computes dst += c·src.
+func axpy(dst, src []float64, c float64) {
+	for i := range dst {
+		dst[i] += c * src[i]
+	}
+}

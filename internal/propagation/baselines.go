@@ -1,0 +1,113 @@
+package propagation
+
+import (
+	"fmt"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/sparse"
+)
+
+// HarmonicOptions configures the harmonic-functions baseline.
+type HarmonicOptions struct {
+	Iterations int // default 100
+}
+
+// Harmonic implements the Gaussian-fields / harmonic-functions method of
+// Zhu, Ghahramani & Lafferty (reference [65] in the paper): labeled nodes
+// are clamped and every unlabeled node repeatedly takes the degree-weighted
+// average of its neighbors' beliefs. It assumes homophily — Figure 6i uses
+// it to show homophily methods collapse under heterophily.
+func Harmonic(w *sparse.CSR, seed []int, k int, opts HarmonicOptions) ([]int, error) {
+	if len(seed) != w.N {
+		return nil, fmt.Errorf("propagation: %d seed labels for %d nodes", len(seed), w.N)
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 100
+	}
+	x, err := labels.Matrix(seed, k)
+	if err != nil {
+		return nil, err
+	}
+	deg := w.Degrees()
+	f := x.Clone()
+	next := dense.New(w.N, k)
+	for it := 0; it < opts.Iterations; it++ {
+		w.MulDenseInto(next, f)
+		for i := 0; i < w.N; i++ {
+			row := next.Row(i)
+			if seed[i] != labels.Unlabeled {
+				// Clamp labeled nodes to their one-hot belief.
+				copy(row, x.Row(i))
+				continue
+			}
+			if deg[i] > 0 {
+				for j := range row {
+					row[j] /= deg[i]
+				}
+			}
+		}
+		f, next = next, f
+	}
+	return dense.ArgmaxRows(f), nil
+}
+
+// MRWOptions configures MultiRankWalk.
+type MRWOptions struct {
+	Alpha      float64 // damping (walk-continuation) probability, default 0.85
+	Iterations int     // default 50
+}
+
+// MultiRankWalk implements the random-walk-with-restarts baseline of Lin &
+// Cohen (reference [33]): one personalized PageRank per class, restarting at
+// that class's seeds, F ← ᾱU + αW_col F (Section 2.4), then a one-vs-all
+// argmax.
+func MultiRankWalk(w *sparse.CSR, seed []int, k int, opts MRWOptions) ([]int, error) {
+	if len(seed) != w.N {
+		return nil, fmt.Errorf("propagation: %d seed labels for %d nodes", len(seed), w.N)
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.85
+	}
+	if opts.Alpha < 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("propagation: alpha=%v outside [0,1)", opts.Alpha)
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 50
+	}
+	// Build the teleport matrix U: column c is uniform over class-c seeds.
+	u := dense.New(w.N, k)
+	counts := labels.Counts(seed, k)
+	for i, l := range seed {
+		if l != labels.Unlabeled && counts[l] > 0 {
+			u.Set(i, l, 1/float64(counts[l]))
+		}
+	}
+	// Column-normalized W: W_col = W·diag(deg)⁻¹ applied as
+	// (W_col F)_i = Σ_j W_ij F_j / deg_j.
+	deg := w.Degrees()
+	scaled := dense.New(w.N, k)
+	f := u.Clone()
+	next := dense.New(w.N, k)
+	for it := 0; it < opts.Iterations; it++ {
+		for i := 0; i < w.N; i++ {
+			srow := scaled.Row(i)
+			frow := f.Row(i)
+			if deg[i] > 0 {
+				for j := range srow {
+					srow[j] = frow[j] / deg[i]
+				}
+			} else {
+				for j := range srow {
+					srow[j] = 0
+				}
+			}
+		}
+		w.MulDenseInto(next, scaled)
+		for i := range next.Data {
+			next.Data[i] = opts.Alpha*next.Data[i] + (1-opts.Alpha)*u.Data[i]
+		}
+		f, next = next, f
+	}
+	return dense.ArgmaxRows(f), nil
+}

@@ -1,0 +1,204 @@
+// Package propagation implements the label-propagation algorithms of the
+// paper: linearized belief propagation (LinBP, Eq. 1/4 with the convergence
+// criterion Eq. 2), plus the homophily baselines used in Figure 6i — the
+// harmonic-functions method and MultiRankWalk (random walks with restarts).
+package propagation
+
+import (
+	"errors"
+	"fmt"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/sparse"
+)
+
+// LinBPOptions configures LinBP.
+type LinBPOptions struct {
+	// S is the convergence parameter s ∈ (0,1): the compatibility matrix is
+	// scaled by ε = S / (ρ(W)·ρ(H̃)) so that the update contracts (Eq. 2).
+	// The paper uses s = 0.5 following [18]. Default 0.5.
+	S float64
+	// Iterations of the update F ← X + εWFH̃. Default 10 (as in §5.3).
+	Iterations int
+	// Center, when true, centers X and H around 1/k before propagating.
+	// Theorem 3.1 proves the resulting labels are identical either way;
+	// centering keeps the iterates bounded (Example C.1). Default true.
+	Center bool
+	// StopWhenStable, when positive, stops early once the argmax labels
+	// have not changed for that many consecutive iterations — the labels
+	// (not the beliefs) are what the classification uses, and they
+	// typically stabilize well before belief convergence. 0 disables.
+	StopWhenStable int
+	// EchoCancellation enables the EC term of the original LinBP
+	// linearization [18]: F ← X̃ + WF̃H̃ − DF̃H̃². The paper drops it (§2.3:
+	// no parameter regime where it consistently helps, and it complicates
+	// the convergence threshold); it is kept here for the ablation
+	// experiment. Default false.
+	EchoCancellation bool
+	// SpectralIters bounds the power iterations for ρ(W). Default 50.
+	SpectralIters int
+}
+
+func (o *LinBPOptions) defaults() {
+	if o.S == 0 {
+		o.S = 0.5
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 10
+	}
+	if o.SpectralIters == 0 {
+		o.SpectralIters = 50
+	}
+}
+
+// DefaultLinBPOptions returns the paper's propagation settings
+// (s = 0.5, 10 iterations, centered).
+func DefaultLinBPOptions() LinBPOptions {
+	return LinBPOptions{S: 0.5, Iterations: 10, Center: true}
+}
+
+// LinBP iterates F ← X + εWFH̃ and returns the final belief matrix F
+// (n×k). W must be the symmetric adjacency matrix, X the explicit-belief
+// matrix and H a k×k compatibility matrix (doubly stochastic or already
+// centered — Theorem 3.1 makes the choice irrelevant for labels).
+func LinBP(w *sparse.CSR, x *dense.Matrix, h *dense.Matrix, opts LinBPOptions) (*dense.Matrix, error) {
+	if err := checkShapes(w, x, h); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	k := h.Rows
+
+	hUse := h.Clone()
+	xUse := x
+	if opts.Center {
+		hUse = dense.AddScalar(hUse, -1.0/float64(k))
+		xUse = dense.AddScalar(x, -1.0/float64(k))
+	}
+	eps, err := ScalingFactor(w, hUse, opts.S, opts.SpectralIters)
+	if err != nil {
+		return nil, err
+	}
+	hScaled := dense.Scale(hUse, eps)
+
+	f := xUse.Clone()
+	fh := dense.New(x.Rows, k)
+	wfh := dense.New(x.Rows, k)
+	var h2 *dense.Matrix
+	var deg []float64
+	if opts.EchoCancellation {
+		h2 = dense.Mul(hScaled, hScaled)
+		deg = w.Degrees()
+	}
+	var prevLabels []int
+	stable := 0
+	for it := 0; it < opts.Iterations; it++ {
+		var echo *dense.Matrix
+		if opts.EchoCancellation {
+			// −DF̃H̃²: each node subtracts the degree-weighted reflection of
+			// its own belief.
+			echo = dense.Mul(f, h2)
+			for i := 0; i < x.Rows; i++ {
+				row := echo.Row(i)
+				for j := range row {
+					row[j] *= deg[i]
+				}
+			}
+		}
+		dense.MulInto(fh, f, hScaled)
+		w.MulDenseInto(wfh, fh)
+		f.CopyFrom(xUse)
+		dense.AddInPlace(f, wfh)
+		if echo != nil {
+			for i := range f.Data {
+				f.Data[i] -= echo.Data[i]
+			}
+		}
+		if opts.StopWhenStable > 0 {
+			cur := dense.ArgmaxRows(f)
+			if prevLabels != nil && equalInts(cur, prevLabels) {
+				stable++
+				if stable >= opts.StopWhenStable {
+					break
+				}
+			} else {
+				stable = 0
+			}
+			prevLabels = cur
+		}
+	}
+	return f, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LinBPLabels runs LinBP and returns the predicted class per node
+// (argmax over beliefs, the paper's label(·) operator).
+func LinBPLabels(w *sparse.CSR, x *dense.Matrix, h *dense.Matrix, opts LinBPOptions) ([]int, error) {
+	f, err := LinBP(w, x, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	return dense.ArgmaxRows(f), nil
+}
+
+// ScalingFactor returns ε = s/(ρ(W)·ρ(H)), the scaling that guarantees
+// convergence of LinBP for s < 1 (Eq. 2). H is the (centered) compatibility
+// matrix actually used in the update.
+func ScalingFactor(w *sparse.CSR, h *dense.Matrix, s float64, spectralIters int) (float64, error) {
+	if s <= 0 {
+		return 0, fmt.Errorf("propagation: convergence parameter s=%v must be positive", s)
+	}
+	if spectralIters <= 0 {
+		spectralIters = 50
+	}
+	rhoW := w.SpectralRadius(spectralIters)
+	rhoH := dense.SpectralRadiusSym(dense.Symmetrize(h), 200)
+	if rhoW == 0 || rhoH == 0 {
+		// Degenerate: empty graph or uniform H. Any ε works; use 1.
+		return 1, nil
+	}
+	return s / (rhoW * rhoH), nil
+}
+
+// Energy evaluates the LinBP objective E(F) = ‖F − X − WFH‖² of
+// Proposition 3.2 (squared Frobenius norm). The fixed point of the update
+// equations has zero energy.
+func Energy(w *sparse.CSR, f, x, h *dense.Matrix) (float64, error) {
+	if err := checkShapes(w, x, h); err != nil {
+		return 0, err
+	}
+	if f.Rows != x.Rows || f.Cols != x.Cols {
+		return 0, fmt.Errorf("propagation: F is %d×%d, want %d×%d", f.Rows, f.Cols, x.Rows, x.Cols)
+	}
+	fh := dense.Mul(f, h)
+	wfh := w.MulDense(fh)
+	r := dense.Sub(dense.Sub(f, x), wfh)
+	fr := dense.Frobenius(r)
+	return fr * fr, nil
+}
+
+func checkShapes(w *sparse.CSR, x *dense.Matrix, h *dense.Matrix) error {
+	if x.Rows != w.N {
+		return fmt.Errorf("propagation: X has %d rows, graph has %d nodes", x.Rows, w.N)
+	}
+	if h.Rows != h.Cols {
+		return fmt.Errorf("propagation: H is %d×%d, want square", h.Rows, h.Cols)
+	}
+	if x.Cols != h.Rows {
+		return fmt.Errorf("propagation: X has %d cols, H is %d×%d", x.Cols, h.Rows, h.Cols)
+	}
+	if w.N == 0 {
+		return errors.New("propagation: empty graph")
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+// Package sparse implements the hand-rolled CSR (compressed sparse row)
+// matrix kernel the reproduction is built on.
+//
+// The paper's hot loop is W × (n×k dense) where W is the n×n adjacency
+// matrix with m nonzeros and k is small (2–12). CSR gives contiguous row
+// scans and row-parallel multiplication; all estimation sketches
+// (Algorithm 4.4) reduce to repeated calls of MulDense.
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"factorgraph/internal/dense"
+)
+
+// CSR is a square n×n sparse matrix in compressed-sparse-row form.
+// If Data is nil every stored entry has value 1 (the common unweighted
+// adjacency case), which keeps 16M-edge graphs in memory comfortably.
+type CSR struct {
+	N       int
+	IndPtr  []int     // len N+1; row i occupies Indices[IndPtr[i]:IndPtr[i+1]]
+	Indices []int32   // column indices, sorted within each row
+	Data    []float64 // nil ⇒ implicit all-ones
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.Indices) }
+
+// Coord is a single (row, col, weight) triple used during construction.
+type Coord struct {
+	Row, Col int32
+	W        float64
+}
+
+// NewFromCoords builds a CSR matrix from coordinate triples. Duplicate
+// coordinates are summed. Weights equal to 1 everywhere collapse to the
+// implicit-ones representation.
+func NewFromCoords(n int, coords []Coord) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d", n)
+	}
+	for _, c := range coords {
+		if c.Row < 0 || int(c.Row) >= n || c.Col < 0 || int(c.Col) >= n {
+			return nil, fmt.Errorf("sparse: coordinate (%d,%d) out of range for n=%d", c.Row, c.Col, n)
+		}
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Row != coords[j].Row {
+			return coords[i].Row < coords[j].Row
+		}
+		return coords[i].Col < coords[j].Col
+	})
+	indptr := make([]int, n+1)
+	indices := make([]int32, 0, len(coords))
+	data := make([]float64, 0, len(coords))
+	for i := 0; i < len(coords); {
+		j := i
+		w := 0.0
+		for j < len(coords) && coords[j].Row == coords[i].Row && coords[j].Col == coords[i].Col {
+			w += coords[j].W
+			j++
+		}
+		indices = append(indices, coords[i].Col)
+		data = append(data, w)
+		indptr[coords[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < n; i++ {
+		indptr[i+1] += indptr[i]
+	}
+	allOnes := true
+	for _, w := range data {
+		if w != 1 {
+			allOnes = false
+			break
+		}
+	}
+	c := &CSR{N: n, IndPtr: indptr, Indices: indices}
+	if !allOnes {
+		c.Data = data
+	}
+	return c, nil
+}
+
+// NewSymmetricFromEdges builds the symmetric adjacency matrix of an
+// undirected graph: each edge (u,v) contributes entries (u,v) and (v,u).
+// Self-loops contribute a single diagonal entry. weights may be nil for an
+// unweighted graph.
+func NewSymmetricFromEdges(n int, edges [][2]int32, weights []float64) (*CSR, error) {
+	if weights != nil && len(weights) != len(edges) {
+		return nil, fmt.Errorf("sparse: %d weights for %d edges", len(weights), len(edges))
+	}
+	coords := make([]Coord, 0, 2*len(edges))
+	for i, e := range edges {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		coords = append(coords, Coord{e[0], e[1], w})
+		if e[0] != e[1] {
+			coords = append(coords, Coord{e[1], e[0], w})
+		}
+	}
+	return NewFromCoords(n, coords)
+}
+
+// At returns the (i, j) entry (zero if absent). O(log row-degree).
+func (c *CSR) At(i, j int) float64 {
+	if i < 0 || i >= c.N || j < 0 || j >= c.N {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range n=%d", i, j, c.N))
+	}
+	lo, hi := c.IndPtr[i], c.IndPtr[i+1]
+	row := c.Indices[lo:hi]
+	p := sort.Search(len(row), func(p int) bool { return row[p] >= int32(j) })
+	if p < len(row) && row[p] == int32(j) {
+		if c.Data == nil {
+			return 1
+		}
+		return c.Data[lo+p]
+	}
+	return 0
+}
+
+// Degrees returns the weighted degree (row sum) of every row — the diagonal
+// of the paper's degree matrix D.
+func (c *CSR) Degrees() []float64 {
+	d := make([]float64, c.N)
+	for i := 0; i < c.N; i++ {
+		lo, hi := c.IndPtr[i], c.IndPtr[i+1]
+		if c.Data == nil {
+			d[i] = float64(hi - lo)
+			continue
+		}
+		var s float64
+		for _, w := range c.Data[lo:hi] {
+			s += w
+		}
+		d[i] = s
+	}
+	return d
+}
+
+// ToDense materializes the matrix; intended for tests and tiny examples.
+func (c *CSR) ToDense() *dense.Matrix {
+	m := dense.New(c.N, c.N)
+	for i := 0; i < c.N; i++ {
+		for p := c.IndPtr[i]; p < c.IndPtr[i+1]; p++ {
+			w := 1.0
+			if c.Data != nil {
+				w = c.Data[p]
+			}
+			m.Set(i, int(c.Indices[p]), w)
+		}
+	}
+	return m
+}
+
+// MulDense returns W × X for a dense n×k matrix X, parallelized over row
+// blocks. The result is a fresh n×k matrix.
+func (c *CSR) MulDense(x *dense.Matrix) *dense.Matrix {
+	out := dense.New(c.N, x.Cols)
+	c.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto computes out = W × X. out must not alias x.
+func (c *CSR) MulDenseInto(out, x *dense.Matrix) {
+	if x.Rows != c.N {
+		panic(fmt.Sprintf("sparse: MulDense shape mismatch: W is %d×%d, X has %d rows", c.N, c.N, x.Rows))
+	}
+	if out.Rows != c.N || out.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: MulDenseInto bad out shape %d×%d, want %d×%d", out.Rows, out.Cols, c.N, x.Cols))
+	}
+	k := x.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if workers > c.N {
+		workers = 1
+	}
+	chunk := (c.N + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > c.N {
+			hi = c.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				orow := out.Data[i*k : (i+1)*k]
+				for j := range orow {
+					orow[j] = 0
+				}
+				start, end := c.IndPtr[i], c.IndPtr[i+1]
+				if c.Data == nil {
+					for _, col := range c.Indices[start:end] {
+						xrow := x.Data[int(col)*k : int(col+1)*k]
+						for j, v := range xrow {
+							orow[j] += v
+						}
+					}
+				} else {
+					for p := start; p < end; p++ {
+						wv := c.Data[p]
+						xrow := x.Data[int(c.Indices[p])*k : int(c.Indices[p]+1)*k]
+						for j, v := range xrow {
+							orow[j] += wv * v
+						}
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulVec returns W × v for a length-n vector.
+func (c *CSR) MulVec(v []float64) []float64 {
+	if len(v) != c.N {
+		panic(fmt.Sprintf("sparse: MulVec length %d, want %d", len(v), c.N))
+	}
+	out := make([]float64, c.N)
+	for i := 0; i < c.N; i++ {
+		var s float64
+		start, end := c.IndPtr[i], c.IndPtr[i+1]
+		if c.Data == nil {
+			for _, col := range c.Indices[start:end] {
+				s += v[col]
+			}
+		} else {
+			for p := start; p < end; p++ {
+				s += c.Data[p] * v[c.Indices[p]]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Mul returns the sparse product a × b. Used only by the explicit-Wℓ
+// baseline of Figure 5b (the factorized path avoids it); intermediate
+// densification is exactly the cost the paper's Algorithm 4.4 eliminates.
+func Mul(a, b *CSR) (*CSR, error) {
+	if a.N != b.N {
+		return nil, fmt.Errorf("sparse: Mul dimension mismatch %d vs %d", a.N, b.N)
+	}
+	n := a.N
+	indptr := make([]int, n+1)
+	var indices []int32
+	var data []float64
+	acc := make([]float64, n)
+	touched := make([]int32, 0, 256)
+	for i := 0; i < n; i++ {
+		touched = touched[:0]
+		for p := a.IndPtr[i]; p < a.IndPtr[i+1]; p++ {
+			aw := 1.0
+			if a.Data != nil {
+				aw = a.Data[p]
+			}
+			kcol := a.Indices[p]
+			for q := b.IndPtr[kcol]; q < b.IndPtr[kcol+1]; q++ {
+				bw := 1.0
+				if b.Data != nil {
+					bw = b.Data[q]
+				}
+				j := b.Indices[q]
+				if acc[j] == 0 {
+					touched = append(touched, j)
+				}
+				acc[j] += aw * bw
+			}
+		}
+		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+		for _, j := range touched {
+			if acc[j] != 0 {
+				indices = append(indices, j)
+				data = append(data, acc[j])
+			}
+			acc[j] = 0
+		}
+		indptr[i+1] = len(indices)
+	}
+	return &CSR{N: n, IndPtr: indptr, Indices: indices, Data: data}, nil
+}
+
+// AddDiag returns a + diag(d) as a new CSR matrix (d may contain zeros).
+func AddDiag(a *CSR, d []float64) (*CSR, error) {
+	if len(d) != a.N {
+		return nil, fmt.Errorf("sparse: AddDiag length %d, want %d", len(d), a.N)
+	}
+	coords := make([]Coord, 0, a.NNZ()+a.N)
+	for i := 0; i < a.N; i++ {
+		for p := a.IndPtr[i]; p < a.IndPtr[i+1]; p++ {
+			w := 1.0
+			if a.Data != nil {
+				w = a.Data[p]
+			}
+			coords = append(coords, Coord{int32(i), a.Indices[p], w})
+		}
+		if d[i] != 0 {
+			coords = append(coords, Coord{int32(i), int32(i), d[i]})
+		}
+	}
+	return NewFromCoords(a.N, coords)
+}
+
+// Scale returns c·a as a new CSR matrix.
+func Scale(a *CSR, c float64) *CSR {
+	out := &CSR{N: a.N, IndPtr: a.IndPtr, Indices: a.Indices, Data: make([]float64, a.NNZ())}
+	for i := range out.Data {
+		w := 1.0
+		if a.Data != nil {
+			w = a.Data[i]
+		}
+		out.Data[i] = c * w
+	}
+	return out
+}

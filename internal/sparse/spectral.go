@@ -1,0 +1,51 @@
+package sparse
+
+import "math"
+
+// SpectralRadius estimates ρ(W) by power iteration. W is symmetric in every
+// use in this codebase (undirected adjacency), so its spectral radius equals
+// its 2-norm and power iteration converges to it. This replaces the paper's
+// PyAMG approximate eigensolver.
+func (c *CSR) SpectralRadius(iters int) float64 {
+	n := c.N
+	if n == 0 || c.NNZ() == 0 {
+		return 0
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 + float64(i%13)/13 // deterministic, not orthogonal to the lead eigenvector in practice
+	}
+	normalize(v)
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		w := c.MulVec(v)
+		l := norm(w)
+		if l == 0 {
+			return 0
+		}
+		for i := range w {
+			w[i] /= l
+		}
+		copy(v, w)
+		lambda = l
+	}
+	return lambda
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	l := norm(v)
+	if l == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= l
+	}
+}

@@ -1,0 +1,143 @@
+package factorgraph_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"factorgraph"
+	"factorgraph/internal/core"
+	"factorgraph/internal/datasets"
+	"factorgraph/internal/graph"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/metrics"
+	"factorgraph/internal/propagation"
+)
+
+// TestReplicaPipelineAllEstimators is a cross-module integration test: on
+// a MovieLens replica at moderate sparsity, every estimator must produce a
+// valid doubly-stochastic H, and the distance-aware estimators must beat
+// the myopic ones in the sparse regime (the paper's core claim).
+func TestReplicaPipelineAllEstimators(t *testing.T) {
+	ds, err := datasets.ByName("MovieLens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.Replica(8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromCSR(res.Graph.Adj)
+	rng := rand.New(rand.NewPCG(77, 1))
+	sparseSeeds, err := labels.SampleStratified(res.Labels, ds.K, 0.002, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type estFn func() (*factorgraph.Estimate, error)
+	estimators := map[string]estFn{
+		"DCEr": func() (*factorgraph.Estimate, error) { return factorgraph.EstimateDCEr(g, sparseSeeds, ds.K) },
+		"DCE":  func() (*factorgraph.Estimate, error) { return factorgraph.EstimateDCE(g, sparseSeeds, ds.K) },
+		"MCE":  func() (*factorgraph.Estimate, error) { return factorgraph.EstimateMCE(g, sparseSeeds, ds.K) },
+		"LCE":  func() (*factorgraph.Estimate, error) { return factorgraph.EstimateLCE(g, sparseSeeds, ds.K) },
+	}
+	l2 := map[string]float64{}
+	for name, fn := range estimators {
+		est, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !core.IsSymmetricDoublyStochastic(est.H, 1e-6) {
+			t.Errorf("%s estimate violates constraints:\n%v", name, est.H)
+		}
+		l2[name] = metrics.L2(est.H, ds.H)
+	}
+	if l2["DCEr"] > l2["MCE"] {
+		t.Errorf("DCEr (L2=%v) should beat MCE (L2=%v) at f=0.2%%", l2["DCEr"], l2["MCE"])
+	}
+	if l2["DCEr"] > 0.5 {
+		t.Errorf("DCEr L2 %v too large at f=0.2%% on MovieLens replica", l2["DCEr"])
+	}
+}
+
+// TestHeterophilyBaselineGap is the Figure 6i claim as an integration
+// test: on a heterophilous synthetic graph, DCEr+LinBP must beat all three
+// homophily baselines by a wide margin.
+func TestHeterophilyBaselineGap(t *testing.T) {
+	h := factorgraph.SkewedH(3, 8)
+	g, truth, err := factorgraph.Generate(factorgraph.GenerateConfig{
+		N: 4000, M: 40000, K: 3, H: h, Seed: 88,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := factorgraph.SampleSeeds(truth, 3, 0.05, 88)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _, err := factorgraph.Classify(g, seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcerAcc := factorgraph.MacroAccuracy(pred, truth, seeds, 3)
+
+	baselines := map[string]func() ([]int, error){
+		"harmonic": func() ([]int, error) {
+			return propagation.Harmonic(g.Adj, seeds, 3, propagation.HarmonicOptions{})
+		},
+		"mrw": func() ([]int, error) {
+			return propagation.MultiRankWalk(g.Adj, seeds, 3, propagation.MRWOptions{})
+		},
+		"lgc": func() ([]int, error) {
+			return propagation.LGC(g.Adj, seeds, 3, propagation.LGCOptions{})
+		},
+	}
+	for name, fn := range baselines {
+		basePred, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		baseAcc := metrics.MacroAccuracy(basePred, truth, seeds, 3)
+		if dcerAcc < baseAcc+0.15 {
+			t.Errorf("DCEr (%.3f) should clearly beat homophily baseline %s (%.3f) under heterophily",
+				dcerAcc, name, baseAcc)
+		}
+	}
+}
+
+// TestHomophilyAllMethodsAgree: on a homophilous graph every method —
+// estimated-H LinBP and the homophily baselines — should do well; DCEr
+// must not be worse than the baselines by more than a small margin
+// (estimation costs nothing when homophily holds).
+func TestHomophilyAllMethodsAgree(t *testing.T) {
+	h := factorgraph.NewMatrix([][]float64{
+		{0.8, 0.1, 0.1},
+		{0.1, 0.8, 0.1},
+		{0.1, 0.1, 0.8},
+	})
+	g, truth, err := factorgraph.Generate(factorgraph.GenerateConfig{
+		N: 4000, M: 40000, K: 3, H: h, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := factorgraph.SampleSeeds(truth, 3, 0.05, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _, err := factorgraph.Classify(g, seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcerAcc := factorgraph.MacroAccuracy(pred, truth, seeds, 3)
+	mrwPred, err := propagation.MultiRankWalk(g.Adj, seeds, 3, propagation.MRWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrwAcc := metrics.MacroAccuracy(mrwPred, truth, seeds, 3)
+	if dcerAcc < 0.8 {
+		t.Errorf("DCEr accuracy %v on easy homophilous graph", dcerAcc)
+	}
+	if dcerAcc < mrwAcc-0.1 {
+		t.Errorf("DCEr (%.3f) fell far behind MRW (%.3f) under homophily", dcerAcc, mrwAcc)
+	}
+}

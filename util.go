@@ -1,0 +1,13 @@
+package factorgraph
+
+import (
+	"math/rand/v2"
+
+	"factorgraph/internal/labels"
+)
+
+// sampleStratified seeds a PCG RNG and defers to the labels package.
+func sampleStratified(truth []int, k int, f float64, seed uint64) ([]int, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xb5297a4d3f84d5b5))
+	return labels.SampleStratified(truth, k, f, rng)
+}
