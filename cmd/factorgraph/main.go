@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -114,50 +115,21 @@ func cmdGen(args []string) error {
 	return nil
 }
 
-func loadGraphAndLabels(edgesPath, labelsPath string) (*factorgraph.Graph, []int, error) {
-	ef, err := os.Open(edgesPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer ef.Close()
-	g, err := graph.ReadEdgeList(ef, 0)
-	if err != nil {
-		return nil, nil, err
-	}
-	lf, err := os.Open(labelsPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer lf.Close()
-	seeds, err := graph.ReadLabels(lf, g.N)
-	if err != nil {
-		return nil, nil, err
-	}
-	return g, seeds, nil
-}
-
 func runEstimator(method string, g *factorgraph.Graph, seeds []int, k int) (*factorgraph.Estimate, error) {
-	switch strings.ToLower(method) {
-	case "dcer":
-		return factorgraph.EstimateDCEr(g, seeds, k)
-	case "dcer-auto":
+	if strings.EqualFold(method, "dcer-auto") {
 		est, lambda, err := factorgraph.EstimateDCErAuto(g, seeds, k)
 		if err != nil {
 			return nil, err
 		}
 		fmt.Printf("auto-selected lambda = %g\n", lambda)
 		return est, nil
-	case "dce":
-		return factorgraph.EstimateDCE(g, seeds, k)
-	case "mce":
-		return factorgraph.EstimateMCE(g, seeds, k)
-	case "lce":
-		return factorgraph.EstimateLCE(g, seeds, k)
-	case "holdout":
-		return factorgraph.EstimateHoldout(g, seeds, k, 1)
-	default:
-		return nil, fmt.Errorf("unknown method %q (want dcer, dcer-auto, dce, mce, lce or holdout)", method)
 	}
+	// All other names share the library's single dispatch.
+	est, err := factorgraph.EstimateBy(strings.ToLower(method), g, seeds, k, factorgraph.EstimateOptions{})
+	if errors.Is(err, factorgraph.ErrUnknownEstimator) {
+		return nil, fmt.Errorf("%w; the CLI additionally supports dcer-auto", err)
+	}
+	return est, err
 }
 
 func cmdEstimate(args []string) error {
@@ -170,7 +142,7 @@ func cmdEstimate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, seeds, err := loadGraphAndLabels(*edgesPath, *labelsPath)
+	g, seeds, err := graph.LoadFiles(*edgesPath, *labelsPath)
 	if err != nil {
 		return err
 	}
@@ -203,7 +175,7 @@ func cmdPropagate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, seeds, err := loadGraphAndLabels(*edgesPath, *labelsPath)
+	g, seeds, err := graph.LoadFiles(*edgesPath, *labelsPath)
 	if err != nil {
 		return err
 	}
@@ -254,7 +226,7 @@ func cmdSummarize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, seeds, err := loadGraphAndLabels(*edgesPath, *labelsPath)
+	g, seeds, err := graph.LoadFiles(*edgesPath, *labelsPath)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,605 @@
+package factorgraph
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/labels"
+	"factorgraph/internal/propagation"
+)
+
+// ErrUnknownEstimator is wrapped by estimation entry points when the
+// estimator name does not exist; callers (the HTTP layer) use it to
+// distinguish a caller mistake from an estimation failure.
+var ErrUnknownEstimator = errors.New("unknown estimator")
+
+// ErrEngineInternal is wrapped by engine failures that are NOT the fault of
+// the request (e.g. a propagation state that cannot be built); the HTTP
+// layer maps these to 5xx instead of 4xx.
+var ErrEngineInternal = errors.New("engine internal error")
+
+// Engine is the long-lived serving counterpart of the one-shot pipeline
+// (Classify): it loads a graph once, performs the expensive preprocessing
+// once — CSR construction (done by the Graph), the spectral radius ρ(W),
+// and the compatibility estimate H from the configured estimator — and then
+// answers classification queries concurrently.
+//
+// Concurrency model: queries take a read lock and serve from an immutable
+// belief snapshot; label updates and re-estimation take the write lock,
+// mutate the seed state and invalidate the snapshot, which the next query
+// rebuilds. What-if queries (Query.ExtraSeeds) run their own propagation on
+// a pooled, buffer-reusing propagation.State, so steady-state serving does
+// not allocate per query. All propagation shares the row-parallel worker
+// pool inside internal/sparse.
+type Engine struct {
+	mu sync.RWMutex
+
+	g        *Graph
+	k        int
+	seeds    []int         // current seed labels, Unlabeled for unknown
+	nLabeled int           // labeled-seed count, maintained incrementally
+	x        *dense.Matrix // explicit-belief matrix kept in sync with seeds
+	est      *Estimate     // current compatibility estimate
+
+	snap  *snapshot  // cached propagation result; nil ⇒ stale
+	gen   int64      // bumped under mu on every seed/H change
+	pool  *sync.Pool // *propagation.State bound to the current H
+	eopts EngineOptions
+
+	rebuildMu sync.Mutex // serializes snapshot rebuilds (never held with mu)
+
+	nEstimations  atomic.Int64
+	nPropagations atomic.Int64
+	nQueries      atomic.Int64
+	nLabelUpdates atomic.Int64
+}
+
+// snapshot is an immutable (beliefs, labels) pair; readers that hold a
+// pointer to one can format responses without any lock.
+type snapshot struct {
+	beliefs *dense.Matrix
+	labels  []int
+}
+
+// EngineOptions configures an Engine. The zero value estimates H with DCEr
+// (the paper's recommended method) and propagates with the paper's LinBP
+// defaults (s = 0.5, 10 iterations, centered).
+type EngineOptions struct {
+	// Estimator selects the compatibility estimator: "dcer" (default),
+	// "dce", "mce", "lce" or "holdout".
+	Estimator string
+	// Estimate tunes the DCE/DCEr estimators (ℓmax, λ, restarts, seed).
+	Estimate EstimateOptions
+	// S is the LinBP convergence parameter s ∈ (0,1); default 0.5. Values
+	// outside (0,1) are rejected: the serving engine must never iterate a
+	// non-contracting update (the library-level LinBPOptions stays
+	// permissive for divergence experiments).
+	S float64
+	// Iterations is the LinBP iteration count; default 10.
+	Iterations int
+}
+
+// EngineStats counts the expensive operations an Engine has performed;
+// tests use it to assert that preprocessing happens once, not per query.
+type EngineStats struct {
+	// Estimations is the number of compatibility estimations (the O(mkℓ)
+	// sketch + optimization pass).
+	Estimations int64
+	// Propagations is the number of full LinBP runs, including what-if
+	// queries.
+	Propagations int64
+	// Queries is the number of Classify calls answered.
+	Queries int64
+	// LabelUpdates is the number of UpdateLabels calls applied.
+	LabelUpdates int64
+}
+
+// Query describes one classification request against an Engine.
+type Query struct {
+	// Nodes restricts the response to these node ids; nil means all nodes.
+	Nodes []int
+	// TopK, when positive, attaches the top-k classes by belief score to
+	// every returned node (clamped to the engine's class count). 0 returns
+	// the argmax label only.
+	TopK int
+	// ExtraSeeds overlays ephemeral seed labels for this query only:
+	// node → class, or node → Unlabeled to ignore an existing seed. The
+	// engine's state is not modified; the query runs its own propagation.
+	ExtraSeeds map[int]int
+}
+
+// ClassScore is one (class, belief score) pair of a top-k response.
+type ClassScore struct {
+	Class int     `json:"class"`
+	Score float64 `json:"score"`
+}
+
+// NodeResult is the classification of a single node.
+type NodeResult struct {
+	Node  int          `json:"node"`
+	Label int          `json:"label"`
+	Top   []ClassScore `json:"top,omitempty"`
+}
+
+// NewEngine builds a serving engine over g with the given seed labels
+// (length g.N, Unlabeled for unknown) and k classes. It performs all
+// preprocessing eagerly: ρ(W) by cached power iteration and the H estimate
+// with the configured estimator. The engine keeps its own copy of seeds;
+// the graph must not be mutated afterwards.
+func NewEngine(g *Graph, seeds []int, k int, opts ...EngineOptions) (*Engine, error) {
+	var o EngineOptions
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("factorgraph: at most one EngineOptions")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("factorgraph: engine needs k ≥ 2, got %d", k)
+	}
+	if o.S < 0 || o.S >= 1 {
+		return nil, fmt.Errorf("factorgraph: convergence parameter s=%v outside (0,1)", o.S)
+	}
+	if o.Iterations < 0 {
+		return nil, fmt.Errorf("factorgraph: negative iteration count %d", o.Iterations)
+	}
+	if len(seeds) != g.N {
+		return nil, fmt.Errorf("factorgraph: %d seed labels for %d nodes", len(seeds), g.N)
+	}
+	e := &Engine{g: g, k: k, seeds: append([]int(nil), seeds...), eopts: o}
+	e.nLabeled = labels.NumLabeled(e.seeds)
+	x, err := labels.Matrix(e.seeds, k)
+	if err != nil {
+		return nil, err
+	}
+	e.x = x
+	// Warm the spectral-radius cache before any query arrives.
+	g.Adj.SpectralRadiusCached(e.linbpOptions().SpectralIters)
+	est, err := e.runEstimator()
+	if err != nil {
+		return nil, err
+	}
+	e.est = est
+	if e.pool, err = e.newStatePool(est.H); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) linbpOptions() propagation.LinBPOptions {
+	o := propagation.DefaultLinBPOptions()
+	if e.eopts.S != 0 {
+		o.S = e.eopts.S
+	}
+	if e.eopts.Iterations != 0 {
+		o.Iterations = e.eopts.Iterations
+	}
+	o.SpectralIters = 50
+	return o
+}
+
+// EstimateBy dispatches to the named estimator ("" means DCEr; names are
+// case-insensitive). It is the single source of truth for estimator names —
+// the Engine, the HTTP layer and the CLI all route through it. Unknown
+// names wrap ErrUnknownEstimator. The opts only apply to DCE/DCEr;
+// passing non-zero options to the other estimators is an error rather than
+// a silent no-op, so hyperparameter sweeps cannot misreport.
+func EstimateBy(method string, g *Graph, seeds []int, k int, opts EstimateOptions) (*Estimate, error) {
+	method = strings.ToLower(method)
+	switch method {
+	case "", "dcer":
+		return EstimateDCEr(g, seeds, k, opts)
+	case "dce":
+		return EstimateDCE(g, seeds, k, opts)
+	case "mce", "lce", "holdout":
+		if opts != (EstimateOptions{}) {
+			return nil, fmt.Errorf("factorgraph: estimator %q takes no options (lmax/lambda/restarts/seed tune DCE and DCEr only)", method)
+		}
+	}
+	switch method {
+	case "mce":
+		return EstimateMCE(g, seeds, k)
+	case "lce":
+		return EstimateLCE(g, seeds, k)
+	case "holdout":
+		return EstimateHoldout(g, seeds, k, 1)
+	default:
+		return nil, fmt.Errorf("factorgraph: %w %q (want dcer, dce, mce, lce or holdout)", ErrUnknownEstimator, method)
+	}
+}
+
+// runEstimator runs the configured estimator on the current seeds. Callers
+// must hold the write lock (or be in NewEngine).
+func (e *Engine) runEstimator() (*Estimate, error) {
+	e.nEstimations.Add(1)
+	return EstimateBy(e.eopts.Estimator, e.g, e.seeds, e.k, e.eopts.Estimate)
+}
+
+// EstimateWith runs the named estimator over the engine's graph and current
+// seeds without installing the result (use SetH to apply it). The run is
+// counted in Stats().Estimations.
+func (e *Engine) EstimateWith(method string, opts EstimateOptions) (*Estimate, error) {
+	e.mu.RLock()
+	seeds := append([]int(nil), e.seeds...)
+	e.mu.RUnlock()
+	e.nEstimations.Add(1)
+	return EstimateBy(method, e.g, seeds, e.k, opts)
+}
+
+// newStatePool builds a pool of propagation states bound to h. The pool is
+// replaced wholesale whenever H changes, so pooled states never serve a
+// stale compatibility matrix. One state is constructed eagerly so an
+// invalid configuration fails here with its real cause, not on every
+// query with a generic one.
+func (e *Engine) newStatePool(h *Matrix) (*sync.Pool, error) {
+	w, opts := e.g.Adj, e.linbpOptions()
+	first, err := propagation.NewState(w, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	pool := &sync.Pool{New: func() any {
+		st, err := propagation.NewState(w, h, opts)
+		if err != nil {
+			return nil
+		}
+		return st
+	}}
+	pool.Put(first)
+	return pool, nil
+}
+
+// K returns the class count.
+func (e *Engine) K() int { return e.k }
+
+// Graph returns the underlying graph (shared, read-only).
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Estimate returns the current compatibility estimate.
+func (e *Engine) Estimate() *Estimate {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.est
+}
+
+// Seeds returns a copy of the current seed labels.
+func (e *Engine) Seeds() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]int(nil), e.seeds...)
+}
+
+// LabeledCount returns the number of labeled seeds without copying the
+// seed vector; cheap enough for liveness probes on huge graphs.
+func (e *Engine) LabeledCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.nLabeled
+}
+
+// Stats returns operation counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Estimations:  e.nEstimations.Load(),
+		Propagations: e.nPropagations.Load(),
+		Queries:      e.nQueries.Load(),
+		LabelUpdates: e.nLabelUpdates.Load(),
+	}
+}
+
+// currentSnapshot returns the cached propagation result, rebuilding it when
+// a label update or re-estimation invalidated it. The rebuild propagates
+// OUTSIDE the engine lock (a multi-second operation on large graphs must
+// not block /healthz readers behind a pending writer) on inputs captured
+// under a short read lock, and installs the result only if no write landed
+// in between — otherwise it retries on the fresher state. rebuildMu keeps
+// concurrent cold queries from duplicating the propagation.
+func (e *Engine) currentSnapshot() (*snapshot, error) {
+	e.mu.RLock()
+	s := e.snap
+	e.mu.RUnlock()
+	if s != nil {
+		return s, nil
+	}
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	for {
+		e.mu.RLock()
+		if e.snap != nil {
+			s := e.snap
+			e.mu.RUnlock()
+			return s, nil
+		}
+		x := e.x.Clone()
+		pool := e.pool
+		gen := e.gen
+		e.mu.RUnlock()
+
+		f, err := e.propagateOn(pool, x)
+		if err != nil {
+			return nil, err
+		}
+		snap := &snapshot{beliefs: f, labels: dense.ArgmaxRows(f)}
+
+		e.mu.Lock()
+		if e.gen == gen {
+			e.snap = snap
+			e.mu.Unlock()
+			return snap, nil
+		}
+		// A write landed mid-rebuild; the result is stale. Go again.
+		e.mu.Unlock()
+	}
+}
+
+// propagateOn runs one LinBP pass over x on a state from the given pool
+// (which pins a specific H) and returns an owned copy of the beliefs (the
+// state's buffer goes back to the pool). Callers either hold a lock or own
+// a pool reference captured under one.
+func (e *Engine) propagateOn(pool *sync.Pool, x *dense.Matrix) (*dense.Matrix, error) {
+	st, _ := pool.Get().(*propagation.State)
+	if st == nil {
+		return nil, fmt.Errorf("factorgraph: %w: could not build propagation state", ErrEngineInternal)
+	}
+	defer pool.Put(st)
+	e.nPropagations.Add(1)
+	f, err := st.Run(x)
+	if err != nil {
+		return nil, err
+	}
+	return f.Clone(), nil
+}
+
+// Classify answers one query. With no ExtraSeeds the response is served
+// from the cached belief snapshot — O(len result), no propagation; with
+// ExtraSeeds it propagates the overlaid seed matrix on a pooled state.
+func (e *Engine) Classify(q Query) ([]NodeResult, error) {
+	var out []NodeResult
+	if q.Nodes != nil {
+		out = make([]NodeResult, 0, len(q.Nodes))
+	} else {
+		out = make([]NodeResult, 0, e.g.N)
+	}
+	err := e.ClassifyEach(q, func(r NodeResult) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ClassifyEach is Classify without materializing the result slice: fn is
+// invoked once per node in order. Queried nodes are validated before the
+// first invocation, so fn never sees a partial error-bound iteration; an
+// error from fn aborts and is returned. This is what the HTTP layer's
+// NDJSON streaming uses — memory stays O(k) per record even when
+// classifying every node of a huge graph.
+func (e *Engine) ClassifyEach(q Query, fn func(NodeResult) error) error {
+	e.nQueries.Add(1)
+	beliefs, lab, err := e.resolve(q)
+	if err != nil {
+		return err
+	}
+	return e.formatEach(q, beliefs, lab, fn)
+}
+
+// resolve produces the belief matrix and labels answering q: the cached
+// snapshot for plain queries, a dedicated propagation for overlay queries.
+func (e *Engine) resolve(q Query) (*dense.Matrix, []int, error) {
+	if len(q.ExtraSeeds) == 0 {
+		s, err := e.currentSnapshot()
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.beliefs, s.labels, nil
+	}
+	return e.overlayBeliefs(q)
+}
+
+func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, error) {
+	// Capture the belief matrix and the pool (which pins H) under a short
+	// read lock, then propagate OUTSIDE the lock: a what-if propagation can
+	// take hundreds of milliseconds on a large graph, and holding the read
+	// lock that long would stall every snapshot query behind any pending
+	// writer. A concurrent H swap is harmless — this query completes
+	// against the H it captured, as if it had arrived just before.
+	e.mu.RLock()
+	x := e.x.Clone()
+	pool := e.pool
+	e.mu.RUnlock()
+	for node, c := range q.ExtraSeeds {
+		if node < 0 || node >= e.g.N {
+			return nil, nil, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, e.g.N)
+		}
+		row := x.Row(node)
+		for j := range row {
+			row[j] = 0
+		}
+		if c == Unlabeled {
+			continue
+		}
+		if c < 0 || c >= e.k {
+			return nil, nil, fmt.Errorf("factorgraph: extra seed class %d outside [0,%d)", c, e.k)
+		}
+		row[c] = 1
+	}
+	f, err := e.propagateOn(pool, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, dense.ArgmaxRows(f), nil
+}
+
+// formatEach renders the query response record by record. All queried
+// nodes are range-checked before the first fn call so callers streaming
+// over a network never emit a partial response for an invalid request.
+func (e *Engine) formatEach(q Query, beliefs *dense.Matrix, lab []int, fn func(NodeResult) error) error {
+	for _, node := range q.Nodes {
+		if node < 0 || node >= e.g.N {
+			return fmt.Errorf("factorgraph: query node %d out of range n=%d", node, e.g.N)
+		}
+	}
+	n := len(q.Nodes)
+	if q.Nodes == nil {
+		n = e.g.N
+	}
+	topk := q.TopK
+	if topk > e.k {
+		topk = e.k
+	}
+	for i := 0; i < n; i++ {
+		node := i
+		if q.Nodes != nil {
+			node = q.Nodes[i]
+		}
+		r := NodeResult{Node: node, Label: lab[node]}
+		if topk > 0 {
+			row := beliefs.Row(node)
+			scores := make([]ClassScore, e.k)
+			for c := 0; c < e.k; c++ {
+				scores[c] = ClassScore{Class: c, Score: row[c]}
+			}
+			sort.Slice(scores, func(a, b int) bool {
+				if scores[a].Score != scores[b].Score {
+					return scores[a].Score > scores[b].Score
+				}
+				return scores[a].Class < scores[b].Class
+			})
+			r.Top = scores[:topk]
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClassifyBatch answers many queries concurrently (bounded by GOMAXPROCS).
+// Queries without ExtraSeeds share one snapshot rebuild; overlay queries
+// each run on their own pooled propagation state. Results align with qs;
+// the first error is returned, with successful entries preserved.
+func (e *Engine) ClassifyBatch(qs []Query) ([][]NodeResult, error) {
+	out := make([][]NodeResult, len(qs))
+	errs := make([]error, len(qs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range qs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = e.Classify(qs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// UpdateLabels applies an incremental seed-label update without rebuilding
+// anything expensive: set assigns classes to nodes, remove clears seeds.
+// The CSR matrix, ρ(W) and the H estimate are all retained; only the
+// explicit-belief matrix changes and the belief snapshot is invalidated
+// (rebuilt lazily by the next query). Call Reestimate when enough labels
+// changed that H itself should be refreshed.
+func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Validate fully before mutating so a bad request leaves state intact.
+	for node, c := range set {
+		if node < 0 || node >= e.g.N {
+			return fmt.Errorf("factorgraph: label update node %d out of range n=%d", node, e.g.N)
+		}
+		if c < 0 || c >= e.k {
+			return fmt.Errorf("factorgraph: label update class %d outside [0,%d)", c, e.k)
+		}
+	}
+	for _, node := range remove {
+		if node < 0 || node >= e.g.N {
+			return fmt.Errorf("factorgraph: label removal node %d out of range n=%d", node, e.g.N)
+		}
+	}
+	for node, c := range set {
+		e.setSeedLocked(node, c)
+	}
+	for _, node := range remove {
+		e.setSeedLocked(node, Unlabeled)
+	}
+	e.snap = nil
+	e.gen++
+	e.nLabelUpdates.Add(1)
+	return nil
+}
+
+func (e *Engine) setSeedLocked(node, c int) {
+	if old := e.seeds[node]; old == Unlabeled && c != Unlabeled {
+		e.nLabeled++
+	} else if old != Unlabeled && c == Unlabeled {
+		e.nLabeled--
+	}
+	e.seeds[node] = c
+	row := e.x.Row(node)
+	for j := range row {
+		row[j] = 0
+	}
+	if c != Unlabeled {
+		row[c] = 1
+	}
+}
+
+// Reestimate re-runs the configured estimator on the current seeds,
+// replaces H and invalidates the belief snapshot. ρ(W) and the CSR matrix
+// are reused via the caches, so this costs one sketch+optimization pass —
+// which runs OUTSIDE the lock (like EstimateWith), so queries keep serving
+// from the old snapshot while it computes. If seeds change concurrently,
+// last-writer-wins: the installed H reflects the seeds captured at entry.
+func (e *Engine) Reestimate() (*Estimate, error) {
+	est, err := e.EstimateWith(e.eopts.Estimator, e.eopts.Estimate)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := e.newStatePool(est.H)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.est = est
+	e.pool = pool
+	e.snap = nil
+	e.gen++
+	return est, nil
+}
+
+// SetH installs an externally supplied compatibility matrix (e.g. a gold
+// standard or an estimate produced with different options) and invalidates
+// the belief snapshot.
+func (e *Engine) SetH(h *Matrix, method string) error {
+	if h.Rows != e.k || h.Cols != e.k {
+		return fmt.Errorf("factorgraph: H is %d×%d, engine has k=%d", h.Rows, h.Cols, e.k)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	est := &Estimate{H: h.Clone(), Method: method}
+	pool, err := e.newStatePool(est.H)
+	if err != nil {
+		return err
+	}
+	e.est = est
+	e.pool = pool
+	e.snap = nil
+	e.gen++
+	return nil
+}

@@ -15,6 +15,12 @@
 //	est, _ := factorgraph.EstimateDCEr(g, seeds, k) // learn H from sparse labels
 //	pred, _ := factorgraph.Propagate(g, seeds, k, est.H)
 //
+// For repeated queries against one graph, build an Engine instead: it
+// performs the expensive preprocessing (CSR construction, spectral radius,
+// compatibility estimate) once and answers classification queries
+// concurrently, with incremental label updates and what-if overlays; see
+// engine.go and cmd/serve for the HTTP layer.
+//
 // The heavy lifting lives in internal packages (sparse CSR kernel,
 // generator, estimators, experiment harness); this facade re-exports the
 // workflow a downstream user needs.

@@ -1,0 +1,3 @@
+module factorgraph
+
+go 1.22

@@ -92,6 +92,9 @@ func Summarize(w *sparse.CSR, seed []int, k int, opts SummaryOptions) (*Summarie
 	if k < 2 {
 		return nil, fmt.Errorf("core: k=%d, need at least 2 classes", k)
 	}
+	if opts.LMax < 0 {
+		return nil, fmt.Errorf("core: negative path length ℓmax=%d", opts.LMax)
+	}
 	opts.defaults()
 	if labels.NumLabeled(seed) == 0 {
 		return nil, fmt.Errorf("core: no labeled nodes to summarize")

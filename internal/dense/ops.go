@@ -286,7 +286,16 @@ func MaxAbs(m *Matrix) float64 {
 // ArgmaxRows returns, for each row, the index of its maximum entry. Ties
 // resolve to the lowest index, matching the paper's label(·) operator.
 func ArgmaxRows(m *Matrix) []int {
-	out := make([]int, m.Rows)
+	return ArgmaxRowsInto(nil, m)
+}
+
+// ArgmaxRowsInto is ArgmaxRows reusing dst when it has sufficient capacity;
+// hot loops (LinBP's label-stability early stop) call it once per iteration.
+func ArgmaxRowsInto(dst []int, m *Matrix) []int {
+	if cap(dst) < m.Rows {
+		dst = make([]int, m.Rows)
+	}
+	dst = dst[:m.Rows]
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		best, bi := math.Inf(-1), 0
@@ -295,9 +304,9 @@ func ArgmaxRows(m *Matrix) []int {
 				best, bi = v, j
 			}
 		}
-		out[i] = bi
+		dst[i] = bi
 	}
-	return out
+	return dst
 }
 
 // SpectralRadiusSym estimates the spectral radius of a symmetric matrix by

@@ -12,6 +12,16 @@ func quickCfg() Config {
 	return Config{Scale: 20, Reps: 1, Seed: 42, MaxEdges: 20000, Quiet: true}
 }
 
+// skipInShort guards the slower experiment smoke runs so tier-1
+// (`go test -short ./...`) finishes in seconds; a plain `go test ./...`
+// still runs the full registry.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment smoke run skipped in -short mode")
+	}
+}
+
 func TestIDsComplete(t *testing.T) {
 	want := []string{
 		"ablation-bp", "ablation-ec", "ablation-nb", "ablation-optimizer",
@@ -47,6 +57,7 @@ func parse(t *testing.T, cell string) float64 {
 }
 
 func TestFig3aShape(t *testing.T) {
+	skipInShort(t)
 	tab, err := Run("fig3a", quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -107,6 +118,7 @@ func TestFig5aConsistencyShape(t *testing.T) {
 }
 
 func TestFig5bShape(t *testing.T) {
+	skipInShort(t)
 	cfg := quickCfg()
 	tab, err := Run("fig5b", cfg)
 	if err != nil {
@@ -118,6 +130,7 @@ func TestFig5bShape(t *testing.T) {
 }
 
 func TestFig6Runners(t *testing.T) {
+	skipInShort(t)
 	// Smoke-run every Figure 6 experiment at tiny scale; check row counts.
 	wantRows := map[string]int{
 		"fig6a": 5, "fig6b": 8, "fig6c": 5, "fig6d": 5, "fig6e": 7,
@@ -137,6 +150,7 @@ func TestFig6Runners(t *testing.T) {
 }
 
 func TestFig6kShape(t *testing.T) {
+	skipInShort(t)
 	tab, err := Run("fig6k", quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +161,7 @@ func TestFig6kShape(t *testing.T) {
 }
 
 func TestFig7Family(t *testing.T) {
+	skipInShort(t)
 	cfg := quickCfg()
 	cfg.Scale = 8
 	for _, id := range []string{"fig7", "fig7d", "fig8", "fig13", "fig14"} {
@@ -161,6 +176,7 @@ func TestFig7Family(t *testing.T) {
 }
 
 func TestFig12HeuristicGap(t *testing.T) {
+	skipInShort(t)
 	cfg := quickCfg()
 	cfg.Scale = 4
 	tab, err := Run("fig12", cfg)
@@ -173,6 +189,7 @@ func TestFig12HeuristicGap(t *testing.T) {
 }
 
 func TestFig10DivergenceAndAgreement(t *testing.T) {
+	skipInShort(t)
 	tab, err := Run("fig10", quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +212,7 @@ func TestFig10DivergenceAndAgreement(t *testing.T) {
 }
 
 func TestAblationRunners(t *testing.T) {
+	skipInShort(t)
 	wantRows := map[string]int{
 		"ablation-ec":        3,
 		"ablation-nb":        3,

@@ -4,9 +4,35 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
+
+// LoadFiles reads an edge-list file (TSV "u\tv[\tw]") and a labels file
+// ("node\tlabel") into a graph and a length-n label vector; the shared
+// loader behind both the one-shot CLI and the serving binary.
+func LoadFiles(edgesPath, labelsPath string) (*Graph, []int, error) {
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ef.Close()
+	g, err := ReadEdgeList(ef, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	lf, err := os.Open(labelsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer lf.Close()
+	labels, err := ReadLabels(lf, g.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, labels, nil
+}
 
 // WriteEdgeList writes the graph as a TSV edge list: one "u\tv[\tw]" line
 // per undirected edge (u ≤ v). Weights are written only when non-unit.

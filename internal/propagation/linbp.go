@@ -65,68 +65,11 @@ func LinBP(w *sparse.CSR, x *dense.Matrix, h *dense.Matrix, opts LinBPOptions) (
 	if err := checkShapes(w, x, h); err != nil {
 		return nil, err
 	}
-	opts.defaults()
-	k := h.Rows
-
-	hUse := h.Clone()
-	xUse := x
-	if opts.Center {
-		hUse = dense.AddScalar(hUse, -1.0/float64(k))
-		xUse = dense.AddScalar(x, -1.0/float64(k))
-	}
-	eps, err := ScalingFactor(w, hUse, opts.S, opts.SpectralIters)
+	st, err := NewState(w, h, opts)
 	if err != nil {
 		return nil, err
 	}
-	hScaled := dense.Scale(hUse, eps)
-
-	f := xUse.Clone()
-	fh := dense.New(x.Rows, k)
-	wfh := dense.New(x.Rows, k)
-	var h2 *dense.Matrix
-	var deg []float64
-	if opts.EchoCancellation {
-		h2 = dense.Mul(hScaled, hScaled)
-		deg = w.Degrees()
-	}
-	var prevLabels []int
-	stable := 0
-	for it := 0; it < opts.Iterations; it++ {
-		var echo *dense.Matrix
-		if opts.EchoCancellation {
-			// −DF̃H̃²: each node subtracts the degree-weighted reflection of
-			// its own belief.
-			echo = dense.Mul(f, h2)
-			for i := 0; i < x.Rows; i++ {
-				row := echo.Row(i)
-				for j := range row {
-					row[j] *= deg[i]
-				}
-			}
-		}
-		dense.MulInto(fh, f, hScaled)
-		w.MulDenseInto(wfh, fh)
-		f.CopyFrom(xUse)
-		dense.AddInPlace(f, wfh)
-		if echo != nil {
-			for i := range f.Data {
-				f.Data[i] -= echo.Data[i]
-			}
-		}
-		if opts.StopWhenStable > 0 {
-			cur := dense.ArgmaxRows(f)
-			if prevLabels != nil && equalInts(cur, prevLabels) {
-				stable++
-				if stable >= opts.StopWhenStable {
-					break
-				}
-			} else {
-				stable = 0
-			}
-			prevLabels = cur
-		}
-	}
-	return f, nil
+	return st.Run(x)
 }
 
 func equalInts(a, b []int) bool {
@@ -161,7 +104,7 @@ func ScalingFactor(w *sparse.CSR, h *dense.Matrix, s float64, spectralIters int)
 	if spectralIters <= 0 {
 		spectralIters = 50
 	}
-	rhoW := w.SpectralRadius(spectralIters)
+	rhoW := w.SpectralRadiusCached(spectralIters)
 	rhoH := dense.SpectralRadiusSym(dense.Symmetrize(h), 200)
 	if rhoW == 0 || rhoH == 0 {
 		// Degenerate: empty graph or uniform H. Any ε works; use 1.

@@ -1,0 +1,167 @@
+package propagation
+
+import (
+	"fmt"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/sparse"
+)
+
+// State is a reusable LinBP execution context bound to one graph W and one
+// compatibility matrix H. Everything that does not depend on the
+// explicit-belief matrix X is computed once — the centered and ε-scaled H̃
+// (Eq. 2), the spectral radius ρ(W) via the matrix-level cache, and the
+// F/FH/WFH iteration buffers — so repeated propagation runs allocate
+// nothing beyond the label scratch.
+//
+// A State is NOT safe for concurrent use: callers that serve parallel
+// queries keep a pool of States (the Engine in the facade does exactly
+// that). The graph and H must not be mutated while the State is live.
+type State struct {
+	w    *sparse.CSR
+	opts LinBPOptions
+	k    int
+
+	hScaled *dense.Matrix // centered (if opts.Center) and ε-scaled H̃
+	h2      *dense.Matrix // H̃² for echo cancellation, nil otherwise
+	deg     []float64     // degrees for echo cancellation, nil otherwise
+
+	x        *dense.Matrix // centered copy of the caller's X
+	f        *dense.Matrix // belief iterate, returned by Run
+	fh, wfh  *dense.Matrix
+	echo     *dense.Matrix
+	cur, prv []int // label-stability scratch
+}
+
+// NewState validates shapes, computes ε = s/(ρ(W)·ρ(H̃)) once, and
+// allocates the iteration buffers for an n×k propagation.
+func NewState(w *sparse.CSR, h *dense.Matrix, opts LinBPOptions) (*State, error) {
+	if h.Rows != h.Cols {
+		return nil, fmt.Errorf("propagation: H is %d×%d, want square", h.Rows, h.Cols)
+	}
+	if w.N == 0 {
+		return nil, fmt.Errorf("propagation: empty graph")
+	}
+	if opts.S < 0 {
+		return nil, fmt.Errorf("propagation: convergence parameter s=%v must be positive", opts.S)
+	}
+	if opts.Iterations < 0 {
+		return nil, fmt.Errorf("propagation: negative iteration count %d", opts.Iterations)
+	}
+	opts.defaults()
+	s := &State{
+		w:    w,
+		opts: opts,
+		k:    h.Rows,
+		x:    dense.New(w.N, h.Rows),
+		f:    dense.New(w.N, h.Rows),
+		fh:   dense.New(w.N, h.Rows),
+		wfh:  dense.New(w.N, h.Rows),
+	}
+	if opts.EchoCancellation {
+		s.echo = dense.New(w.N, h.Rows)
+		s.deg = w.Degrees()
+	}
+	if err := s.setH(h); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// setH (re)computes the centered, ε-scaled compatibility matrix. ρ(W) comes
+// from the CSR-level cache (via ScalingFactor), so swapping H on a live
+// engine never re-runs the power iteration over the graph.
+func (s *State) setH(h *dense.Matrix) error {
+	hUse := h.Clone()
+	if s.opts.Center {
+		hUse = dense.AddScalar(hUse, -1.0/float64(s.k))
+	}
+	eps, err := ScalingFactor(s.w, hUse, s.opts.S, s.opts.SpectralIters)
+	if err != nil {
+		return err
+	}
+	s.hScaled = dense.Scale(hUse, eps)
+	if s.opts.EchoCancellation {
+		s.h2 = dense.Mul(s.hScaled, s.hScaled)
+	}
+	return nil
+}
+
+// SetH swaps the compatibility matrix (same k) without reallocating
+// buffers or recomputing ρ(W). Only safe on a single-owner State: the
+// Engine instead replaces its whole state pool on an H change, because a
+// pooled State may be mid-Run in a concurrent query.
+func (s *State) SetH(h *dense.Matrix) error {
+	if h.Rows != s.k || h.Cols != s.k {
+		return fmt.Errorf("propagation: SetH got %d×%d, state is k=%d", h.Rows, h.Cols, s.k)
+	}
+	return s.setH(h)
+}
+
+// K returns the class count the state was built for.
+func (s *State) K() int { return s.k }
+
+// Run iterates F ← X + εWFH̃ and returns the final belief matrix. The
+// returned matrix aliases the state's buffer: it is valid until the next
+// Run and must be cloned to outlive it. x is not mutated.
+func (s *State) Run(x *dense.Matrix) (*dense.Matrix, error) {
+	if x.Rows != s.w.N || x.Cols != s.k {
+		return nil, fmt.Errorf("propagation: X is %d×%d, state wants %d×%d", x.Rows, x.Cols, s.w.N, s.k)
+	}
+	xUse := x
+	if s.opts.Center {
+		s.x.CopyFrom(x)
+		for i := range s.x.Data {
+			s.x.Data[i] -= 1.0 / float64(s.k)
+		}
+		xUse = s.x
+	}
+	s.f.CopyFrom(xUse)
+	stable := 0
+	havePrev := false
+	for it := 0; it < s.opts.Iterations; it++ {
+		if s.opts.EchoCancellation {
+			// −DF̃H̃²: each node subtracts the degree-weighted reflection of
+			// its own belief.
+			dense.MulInto(s.echo, s.f, s.h2)
+			for i := 0; i < s.w.N; i++ {
+				row := s.echo.Row(i)
+				for j := range row {
+					row[j] *= s.deg[i]
+				}
+			}
+		}
+		dense.MulInto(s.fh, s.f, s.hScaled)
+		s.w.MulDenseInto(s.wfh, s.fh)
+		s.f.CopyFrom(xUse)
+		dense.AddInPlace(s.f, s.wfh)
+		if s.opts.EchoCancellation {
+			for i := range s.f.Data {
+				s.f.Data[i] -= s.echo.Data[i]
+			}
+		}
+		if s.opts.StopWhenStable > 0 {
+			s.cur = dense.ArgmaxRowsInto(s.cur, s.f)
+			if havePrev && equalInts(s.cur, s.prv) {
+				stable++
+				if stable >= s.opts.StopWhenStable {
+					break
+				}
+			} else {
+				stable = 0
+			}
+			s.cur, s.prv = s.prv, s.cur
+			havePrev = true
+		}
+	}
+	return s.f, nil
+}
+
+// RunLabels is Run followed by the row-argmax label(·) operator.
+func (s *State) RunLabels(x *dense.Matrix) ([]int, error) {
+	f, err := s.Run(x)
+	if err != nil {
+		return nil, err
+	}
+	return dense.ArgmaxRows(f), nil
+}

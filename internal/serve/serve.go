@@ -1,0 +1,252 @@
+// Package serve is the HTTP/JSON layer over the long-lived factorgraph
+// Engine: request validation, wire types and handlers for the
+// classification service exposed by cmd/serve.
+//
+// Endpoints:
+//
+//	GET   /healthz      liveness + engine statistics
+//	POST  /v1/estimate  run a compatibility estimator (optionally apply)
+//	POST  /v1/classify  classify nodes; NDJSON streaming for large results
+//	GET   /v1/labels    current seed labels
+//	PATCH /v1/labels    incremental seed updates (no rebuild, no re-estimate
+//	                    unless requested)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"factorgraph"
+)
+
+// maxBodyBytes bounds request bodies; a classify request listing every node
+// of a 10M-node graph is ~80MB, far above any sane request.
+const maxBodyBytes = 8 << 20
+
+// streamFlushEvery is how many NDJSON records are written between explicit
+// flushes, so large streaming responses reach slow clients incrementally.
+const streamFlushEvery = 256
+
+// Server routes HTTP requests to a factorgraph.Engine.
+type Server struct {
+	eng   *factorgraph.Engine
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server around an initialized engine.
+func New(eng *factorgraph.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("GET /v1/labels", s.handleLabelsGet)
+	s.mux.HandleFunc("PATCH /v1/labels", s.handleLabelsPatch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, APIError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON body into v with strict field checking. An
+// empty body decodes as the zero value, so every POST/PATCH field is
+// optional by default.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	g := s.eng.Graph()
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, Health{
+		Status:       "ok",
+		Nodes:        g.N,
+		Edges:        g.M,
+		Classes:      s.eng.K(),
+		Labeled:      s.eng.LabeledCount(),
+		Estimations:  st.Estimations,
+		Propagations: st.Propagations,
+		Queries:      st.Queries,
+		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	est, err := s.eng.EstimateWith(req.Method, factorgraph.EstimateOptions{
+		LMax: req.LMax, Lambda: req.Lambda, Restarts: req.Restarts, Seed: req.Seed,
+	})
+	if errors.Is(err, factorgraph.ErrUnknownEstimator) {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "estimation failed: %v", err)
+		return
+	}
+	if req.Apply {
+		if err := s.eng.SetH(est.H, est.Method); err != nil {
+			writeError(w, http.StatusInternalServerError, "apply failed: %v", err)
+			return
+		}
+	}
+	h := make([][]float64, est.H.Rows)
+	for i := range h {
+		h[i] = append([]float64(nil), est.H.Row(i)...)
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Method:    est.Method,
+		H:         h,
+		RuntimeMS: float64(est.Runtime) / float64(time.Millisecond),
+		Applied:   req.Apply,
+	})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	q, err := req.Query()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !req.Stream {
+		results, err := s.eng.Classify(q)
+		if err != nil {
+			writeError(w, classifyStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ClassifyResponse{Count: len(results), Results: results})
+		return
+	}
+	// NDJSON streaming: records are produced and written one at a time via
+	// ClassifyEach (node validation happens before the first record), so a
+	// classify-everything request over a huge graph never materializes the
+	// full result set server-side. Flushed in chunks so the response
+	// reaches slow clients incrementally.
+	headerSent := false
+	sendHeader := func() {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		headerSent = true
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	i := 0
+	err = s.eng.ClassifyEach(q, func(r factorgraph.NodeResult) error {
+		if !headerSent {
+			sendHeader()
+		}
+		if err := enc.Encode(&r); err != nil {
+			return err // client went away
+		}
+		i++
+		if flusher != nil && i%streamFlushEvery == 0 {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && !headerSent {
+		writeError(w, classifyStatus(err), "%v", err)
+		return
+	}
+	if err == nil && !headerSent {
+		sendHeader() // valid zero-record stream, e.g. "nodes":[]
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// classifyStatus maps a Classify error to a status class: engine faults are
+// the server's, everything else is request validation.
+func classifyStatus(err error) int {
+	if errors.Is(err, factorgraph.ErrEngineInternal) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleLabelsGet(w http.ResponseWriter, r *http.Request) {
+	seeds := s.eng.Seeds()
+	out := make(map[string]int)
+	for node, c := range seeds {
+		if c != factorgraph.Unlabeled {
+			out[strconv.Itoa(node)] = c
+		}
+	}
+	writeJSON(w, http.StatusOK, LabelsResponse{Count: len(out), Labels: out})
+}
+
+func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request) {
+	var req LabelsPatch
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Set) == 0 && len(req.Remove) == 0 && !req.Reestimate {
+		writeError(w, http.StatusBadRequest, "patch has no set, remove or reestimate")
+		return
+	}
+	set := make(map[int]int, len(req.Set))
+	for key, c := range req.Set {
+		node, err := strconv.Atoi(key)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "set key %q is not a node id", key)
+			return
+		}
+		set[node] = c
+	}
+	if len(set) > 0 || len(req.Remove) > 0 {
+		if err := s.eng.UpdateLabels(set, req.Remove); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if req.Reestimate {
+		if _, err := s.eng.Reestimate(); err != nil {
+			// The label updates above WERE applied (set/remove are
+			// idempotent, so a retry is safe); only the re-estimation
+			// failed. Say so, or a client would assume the patch was
+			// rejected wholesale.
+			writeError(w, http.StatusUnprocessableEntity,
+				"labels applied, but re-estimation failed: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, LabelsPatchResponse{
+		Labeled:     s.eng.LabeledCount(),
+		Reestimated: req.Reestimate,
+	})
+}

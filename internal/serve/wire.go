@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+
+	"factorgraph"
+)
+
+// Wire types for the JSON HTTP API. Node ids inside JSON object keys are
+// decimal strings (JSON has no integer keys); everything else is numeric.
+
+// ClassifyRequest is the body of POST /v1/classify.
+type ClassifyRequest struct {
+	// Nodes restricts the response; null/absent means all nodes.
+	Nodes []int `json:"nodes"`
+	// TopK attaches the top-k class scores per node (0 = labels only).
+	TopK int `json:"top_k"`
+	// ExtraSeeds overlays ephemeral seeds (node id → class, -1 clears) for
+	// this query only.
+	ExtraSeeds map[string]int `json:"extra_seeds"`
+	// Stream switches the response to NDJSON: one NodeResult per line.
+	// Recommended for large node sets / top-k responses.
+	Stream bool `json:"stream"`
+}
+
+// Query converts the wire request into an engine query.
+func (r *ClassifyRequest) Query() (factorgraph.Query, error) {
+	q := factorgraph.Query{Nodes: r.Nodes, TopK: r.TopK}
+	if r.TopK < 0 {
+		return q, fmt.Errorf("top_k must be non-negative, got %d", r.TopK)
+	}
+	if len(r.ExtraSeeds) > 0 {
+		q.ExtraSeeds = make(map[int]int, len(r.ExtraSeeds))
+		for key, c := range r.ExtraSeeds {
+			node, err := strconv.Atoi(key)
+			if err != nil {
+				return q, fmt.Errorf("extra_seeds key %q is not a node id", key)
+			}
+			q.ExtraSeeds[node] = c
+		}
+	}
+	return q, nil
+}
+
+// ClassifyResponse is the non-streaming response of POST /v1/classify.
+type ClassifyResponse struct {
+	Count   int                      `json:"count"`
+	Results []factorgraph.NodeResult `json:"results"`
+}
+
+// EstimateRequest is the body of POST /v1/estimate.
+type EstimateRequest struct {
+	// Method selects the estimator: dcer (default), dce, mce, lce, holdout.
+	Method string `json:"method"`
+	// LMax, Lambda, Restarts, Seed tune DCE/DCEr; zero values mean the
+	// paper defaults (ℓmax=5, λ=10, 1/10 restarts).
+	LMax     int     `json:"lmax"`
+	Lambda   float64 `json:"lambda"`
+	Restarts int     `json:"restarts"`
+	Seed     uint64  `json:"seed"`
+	// Apply installs the resulting H into the serving engine.
+	Apply bool `json:"apply"`
+}
+
+// EstimateResponse reports an estimation result; H is row-major k×k.
+type EstimateResponse struct {
+	Method    string      `json:"method"`
+	H         [][]float64 `json:"h"`
+	RuntimeMS float64     `json:"runtime_ms"`
+	Applied   bool        `json:"applied"`
+}
+
+// LabelsResponse is the body of GET /v1/labels.
+type LabelsResponse struct {
+	Count  int            `json:"count"`
+	Labels map[string]int `json:"labels"`
+}
+
+// LabelsPatch is the body of PATCH /v1/labels: an incremental seed update.
+type LabelsPatch struct {
+	Set    map[string]int `json:"set"`
+	Remove []int          `json:"remove"`
+	// Reestimate re-runs the engine's estimator on the updated seeds (one
+	// sketch+optimization pass; CSR and ρ(W) stay cached).
+	Reestimate bool `json:"reestimate"`
+}
+
+// LabelsPatchResponse reports the post-update seed count.
+type LabelsPatchResponse struct {
+	Labeled     int  `json:"labeled"`
+	Reestimated bool `json:"reestimated"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status       string  `json:"status"`
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	Classes      int     `json:"classes"`
+	Labeled      int     `json:"labeled"`
+	Estimations  int64   `json:"estimations"`
+	Propagations int64   `json:"propagations"`
+	Queries      int64   `json:"queries"`
+	UptimeMS     float64 `json:"uptime_ms"`
+}
+
+// APIError is the uniform error body.
+type APIError struct {
+	Error string `json:"error"`
+}

@@ -9,9 +9,8 @@ package sparse
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"factorgraph/internal/dense"
 )
@@ -24,6 +23,8 @@ type CSR struct {
 	IndPtr  []int     // len N+1; row i occupies Indices[IndPtr[i]:IndPtr[i+1]]
 	Indices []int32   // column indices, sorted within each row
 	Data    []float64 // nil ⇒ implicit all-ones
+
+	rho atomic.Pointer[rhoMemo] // memoized spectral radius; see SpectralRadiusCached
 }
 
 // NNZ returns the number of stored entries.
@@ -175,49 +176,31 @@ func (c *CSR) MulDenseInto(out, x *dense.Matrix) {
 		panic(fmt.Sprintf("sparse: MulDenseInto bad out shape %d×%d, want %d×%d", out.Rows, out.Cols, c.N, x.Cols))
 	}
 	k := x.Cols
-	workers := runtime.GOMAXPROCS(0)
-	if workers > c.N {
-		workers = 1
-	}
-	chunk := (c.N + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > c.N {
-			hi = c.N
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				orow := out.Data[i*k : (i+1)*k]
-				for j := range orow {
-					orow[j] = 0
-				}
-				start, end := c.IndPtr[i], c.IndPtr[i+1]
-				if c.Data == nil {
-					for _, col := range c.Indices[start:end] {
-						xrow := x.Data[int(col)*k : int(col+1)*k]
-						for j, v := range xrow {
-							orow[j] += v
-						}
+	defaultPool.parallelRows(c.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*k : (i+1)*k]
+			for j := range orow {
+				orow[j] = 0
+			}
+			start, end := c.IndPtr[i], c.IndPtr[i+1]
+			if c.Data == nil {
+				for _, col := range c.Indices[start:end] {
+					xrow := x.Data[int(col)*k : int(col+1)*k]
+					for j, v := range xrow {
+						orow[j] += v
 					}
-				} else {
-					for p := start; p < end; p++ {
-						wv := c.Data[p]
-						xrow := x.Data[int(c.Indices[p])*k : int(c.Indices[p]+1)*k]
-						for j, v := range xrow {
-							orow[j] += wv * v
-						}
+				}
+			} else {
+				for p := start; p < end; p++ {
+					wv := c.Data[p]
+					xrow := x.Data[int(c.Indices[p])*k : int(c.Indices[p]+1)*k]
+					for j, v := range xrow {
+						orow[j] += wv * v
 					}
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
 // MulVec returns W × v for a length-n vector.

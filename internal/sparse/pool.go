@@ -1,0 +1,79 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The package keeps one long-lived worker pool shared by every row-parallel
+// kernel (MulDenseInto today). Spawning goroutines per multiplication is
+// cheap but not free: a serving engine calls MulDense thousands of times per
+// second across concurrent queries, and a shared pool keeps the goroutine
+// count bounded at GOMAXPROCS instead of queries×GOMAXPROCS.
+var defaultPool = newWorkerPool(runtime.GOMAXPROCS(0))
+
+type rowTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+type workerPool struct {
+	tasks chan rowTask
+	size  int
+}
+
+func newWorkerPool(size int) *workerPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &workerPool{tasks: make(chan rowTask, 4*size), size: size}
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for t := range p.tasks {
+		t.fn(t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// parallelRows splits [0, n) into one chunk per worker and runs fn on the
+// pool, blocking until every chunk completes. fn must be safe to call
+// concurrently on disjoint ranges. Small inputs run inline: the fan-out
+// overhead would dominate. The chunk count tracks the CURRENT GOMAXPROCS
+// (capped at the pool size), so lowering the proc limit after init does not
+// over-split work across contended threads.
+func (p *workerPool) parallelRows(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.size {
+		workers = p.size
+	}
+	if workers > n {
+		workers = 1
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		p.tasks <- rowTask{fn: fn, lo: lo, hi: hi, wg: &wg}
+	}
+	wg.Wait()
+}

@@ -32,6 +32,40 @@ func (c *CSR) SpectralRadius(iters int) float64 {
 	return lambda
 }
 
+// rhoMemo records a memoized spectral radius together with the iteration
+// budget it was computed under.
+type rhoMemo struct {
+	iters int
+	rho   float64
+}
+
+// SpectralRadiusCached returns ρ(W), computing it with SpectralRadius on
+// first use and memoizing the result on the matrix. A long-lived serving
+// engine calls this on every propagation; the power iteration — O(m·iters)
+// — runs once per matrix instead. A request for MORE iterations than the
+// cached value used recomputes and upgrades the cache, so mixed-precision
+// callers never silently receive a less-converged estimate. Safe for
+// concurrent callers: a race at worst recomputes the same deterministic
+// value.
+func (c *CSR) SpectralRadiusCached(iters int) float64 {
+	if p := c.rho.Load(); p != nil && p.iters >= iters {
+		return p.rho
+	}
+	r := c.SpectralRadius(iters)
+	memo := &rhoMemo{iters: iters, rho: r}
+	// CAS loop so a concurrent lower-precision computation can never
+	// overwrite a higher-precision memo.
+	for {
+		p := c.rho.Load()
+		if p != nil && p.iters >= iters {
+			return p.rho
+		}
+		if c.rho.CompareAndSwap(p, memo) {
+			return r
+		}
+	}
+}
+
 func norm(v []float64) float64 {
 	var s float64
 	for _, x := range v {
