@@ -1,0 +1,291 @@
+// Command loadgen is a closed-loop load generator for the serving API: C
+// workers each keep exactly one classify request in flight against
+// /v1/graphs/{name}/classify, drawing random node batches, until a duration
+// or request budget is exhausted. It reports throughput (QPS) and latency
+// percentiles (p50/p95/p99) and writes them as JSON — BENCH_serve.json by
+// convention — to seed the serving-performance trajectory tracked in CI.
+//
+//	loadgen -addr http://localhost:8080 -graph default -c 8 -duration 10s
+//	loadgen -addr http://localhost:8080 -graph demo -requests 5000 -batch 32 -stream
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type workload struct {
+	Graph       string  `json:"graph"`
+	Concurrency int     `json:"concurrency"`
+	Batch       int     `json:"nodes_per_request"`
+	TopK        int     `json:"top_k"`
+	Stream      bool    `json:"stream"`
+	Gzip        bool    `json:"gzip"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	GraphNodes  int     `json:"graph_nodes"`
+	GraphEdges  int     `json:"graph_edges"`
+}
+
+type latencies struct {
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	Sample int     `json:"samples"`
+}
+
+type report struct {
+	Workload  workload  `json:"workload"`
+	QPS       float64   `json:"qps"`
+	LatencyMS latencies `json:"latency_ms"`
+	Timestamp string    `json:"timestamp"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	graph := flag.String("graph", "default", "graph name to drive")
+	conc := flag.Int("c", 8, "concurrent closed-loop workers")
+	duration := flag.Duration("duration", 10*time.Second, "run length (ignored when -requests > 0)")
+	requests := flag.Int64("requests", 0, "total request budget (0 = duration-bound)")
+	batch := flag.Int("batch", 16, "nodes per classify request")
+	topK := flag.Int("topk", 2, "top-k class scores per node")
+	stream := flag.Bool("stream", false, "request NDJSON streaming responses")
+	gz := flag.Bool("gzip", false, "advertise Accept-Encoding: gzip")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "measurement excluded warm-up period")
+	out := flag.String("out", "BENCH_serve.json", "output JSON path ('' = stdout only)")
+	seed := flag.Int64("seed", 1, "node-sampling RNG seed")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	n, m, err := graphDims(base, *graph)
+	if err != nil {
+		return err
+	}
+	if *batch > n {
+		*batch = n
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: graph %q has %d nodes, %d edges; %d workers, batch=%d, top_k=%d\n",
+		*graph, n, m, *conc, *batch, *topK)
+
+	url := fmt.Sprintf("%s/v1/graphs/%s/classify", base, *graph)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		all      []time.Duration
+		tickets  int64 // request budget ticket counter (budget mode only)
+		nErrs    int64
+		budget   = *requests
+		stop     = make(chan struct{})
+		started  = time.Now()
+		measured atomic.Bool
+	)
+	if budget > 0 {
+		// A fixed request budget measures every request: a warm-up window
+		// would silently discard samples (all of them, for a budget that
+		// drains faster than the window).
+		*warmup = 0
+	}
+	if *warmup == 0 {
+		measured.Store(true)
+	} else {
+		go func() {
+			time.Sleep(*warmup)
+			measured.Store(true)
+		}()
+	}
+	if budget == 0 {
+		go func() {
+			time.Sleep(*duration + *warmup)
+			close(stop)
+		}()
+	}
+	measureStart := started.Add(*warmup)
+
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			local := make([]time.Duration, 0, 4096)
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					all = append(all, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				if budget > 0 && atomic.AddInt64(&tickets, 1) > budget {
+					mu.Lock()
+					all = append(all, local...)
+					mu.Unlock()
+					return
+				}
+				lat, err := oneRequest(client, url, rng, n, *batch, *topK, *stream, *gz)
+				if err != nil {
+					atomic.AddInt64(&nErrs, 1)
+					continue
+				}
+				if measured.Load() {
+					local = append(local, lat)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+	if elapsed <= 0 {
+		elapsed = time.Since(started)
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) == 0 {
+		return fmt.Errorf("no successful measured requests (%d errors)", atomic.LoadInt64(&nErrs))
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	rep := report{
+		Workload: workload{
+			Graph: *graph, Concurrency: *conc, Batch: *batch, TopK: *topK,
+			Stream: *stream, Gzip: *gz,
+			DurationS: elapsed.Seconds(),
+			Requests:  int64(len(all)), Errors: atomic.LoadInt64(&nErrs),
+			GraphNodes: n, GraphEdges: m,
+		},
+		QPS: float64(len(all)) / elapsed.Seconds(),
+		LatencyMS: latencies{
+			P50:    ms(percentile(all, 0.50)),
+			P95:    ms(percentile(all, 0.95)),
+			P99:    ms(percentile(all, 0.99)),
+			Mean:   ms(sum / time.Duration(len(all))),
+			Max:    ms(all[len(all)-1]),
+			Sample: len(all),
+		},
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// graphDims resolves the graph's node/edge counts, warming the engine with
+// a one-node classify first so a cold (or file-backed) graph reports real
+// dimensions and the benchmark excludes the one-off build.
+func graphDims(base, graph string) (n, m int, err error) {
+	warmBody := `{"nodes":[0]}`
+	resp, err := http.Post(fmt.Sprintf("%s/v1/graphs/%s/classify", base, graph),
+		"application/json", strings.NewReader(warmBody))
+	if err != nil {
+		return 0, 0, fmt.Errorf("warm-up classify: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("warm-up classify: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v1/graphs/%s", base, graph))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("GET /v1/graphs/%s: status %d", graph, resp.StatusCode)
+	}
+	var info struct {
+		Nodes int `json:"nodes"`
+		Edges int `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return 0, 0, err
+	}
+	if info.Nodes <= 0 {
+		return 0, 0, fmt.Errorf("graph %q reports %d nodes", graph, info.Nodes)
+	}
+	return info.Nodes, info.Edges, nil
+}
+
+// oneRequest issues a single classify call and returns its latency.
+func oneRequest(client *http.Client, url string, rng *rand.Rand, n, batch, topK int, stream, gz bool) (time.Duration, error) {
+	nodes := make([]int, batch)
+	for i := range nodes {
+		nodes[i] = rng.Intn(n)
+	}
+	body, err := json.Marshal(map[string]any{
+		"nodes": nodes, "top_k": topK, "stream": stream,
+	})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(context.Background(), "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if gz {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if copyErr != nil {
+		return 0, copyErr
+	}
+	return lat, nil
+}

@@ -1,18 +1,26 @@
-// Command serve runs the factorgraph classification engine as a long-lived
-// HTTP/JSON service: the graph is loaded and preprocessed once (CSR, ρ(W),
-// compatibility estimate), then /v1/classify answers concurrent queries
-// from the cached state.
+// Command serve runs the factorgraph classification service as a
+// long-lived, multi-tenant HTTP/JSON server. Graphs live in a registry:
+// they are admitted by name (POST /v1/graphs with a synthetic spec, server
+// file paths, or an inline upload), their engines are built lazily on
+// first use — with concurrent first requests deduplicated into one build —
+// and cold engines are evicted LRU under a configurable memory budget and
+// rebuilt transparently on the next access.
 //
-// Serve a real graph:
+// The single-graph flags pre-register a graph named "default", so the PR 1
+// endpoints (POST /v1/classify etc.) keep working unchanged:
 //
 //	serve -edges graph.tsv -labels seeds.tsv -k 3 -addr :8080
-//
-// Or a synthetic planted graph for demos and load tests:
-//
 //	serve -synthetic -n 20000 -m 100000 -k 3 -f 0.05 -addr :8080
 //
-// Endpoints: GET /healthz, POST /v1/estimate, POST /v1/classify,
-// GET /v1/labels, PATCH /v1/labels. See internal/serve for the wire format.
+// Or start empty and admit graphs over HTTP:
+//
+//	serve -addr :8080 -mem-budget-mb 2048
+//	curl -X POST localhost:8080/v1/graphs -d '{"name":"demo","synthetic":{"n":20000,"m":100000}}'
+//
+// Endpoints: GET /healthz, GET /v1/admin/registry, POST|GET /v1/graphs,
+// GET|DELETE /v1/graphs/{name}, POST /v1/graphs/{name}/estimate|classify,
+// GET|PATCH /v1/graphs/{name}/labels, plus the legacy default-graph
+// aliases. See internal/serve for the wire format.
 package main
 
 import (
@@ -28,8 +36,7 @@ import (
 	"time"
 
 	"factorgraph"
-	"factorgraph/internal/graph"
-	"factorgraph/internal/labels"
+	"factorgraph/internal/registry"
 	"factorgraph/internal/serve"
 )
 
@@ -42,38 +49,69 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
-	edgesPath := flag.String("edges", "", "edge-list path (TSV: u\\tv[\\tw])")
-	labelsPath := flag.String("labels", "", "seed labels path (TSV: node\\tlabel)")
-	k := flag.Int("k", 0, "number of classes (default: inferred from labels)")
+	edgesPath := flag.String("edges", "", "default graph: edge-list path (TSV: u\\tv[\\tw])")
+	labelsPath := flag.String("labels", "", "default graph: seed labels path (TSV: node\\tlabel)")
+	k := flag.Int("k", 0, "default graph: number of classes (default: inferred from labels)")
 	estimator := flag.String("estimator", "dcer", "compatibility estimator: dcer, dce, mce, lce, holdout")
-	synthetic := flag.Bool("synthetic", false, "serve a synthetic planted graph instead of files")
+	synthetic := flag.Bool("synthetic", false, "serve a synthetic planted graph as the default graph")
 	n := flag.Int("n", 20000, "synthetic: number of nodes")
 	m := flag.Int("m", 100000, "synthetic: number of edges")
 	skew := flag.Float64("skew", 3, "synthetic: compatibility skew h")
 	f := flag.Float64("f", 0.05, "synthetic: labeled fraction")
 	seed := flag.Uint64("seed", 1, "synthetic: RNG seed")
+	budgetMB := flag.Int64("mem-budget-mb", 0, "engine memory budget in MiB; cold graphs beyond it are evicted LRU (0 = unlimited)")
+	flushEvery := flag.Int("flush-every", 256, "NDJSON records between flushes on streaming classify responses")
 	flag.Parse()
 
-	g, seeds, kk, err := loadInputs(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed)
-	if err != nil {
-		return err
+	// The registry treats zero synthetic parameters as "use the default",
+	// which a JSON API needs (omitted and zero are indistinguishable) but a
+	// CLI does not: an operator typing -f 0 or -skew 0 means zero, and
+	// silently substituting 0.05/3 would serve a different graph than asked
+	// for. Reject explicitly-zeroed values instead.
+	var flagErr error
+	if *synthetic {
+		flag.Visit(func(fl *flag.Flag) {
+			if (fl.Name == "f" && *f == 0) || (fl.Name == "skew" && *skew == 0) {
+				flagErr = fmt.Errorf("-%s 0 is not servable (an engine needs seed labels and a non-degenerate H); omit the flag for the default", fl.Name)
+			}
+		})
 	}
-	log.Printf("graph loaded: %d nodes, %d edges, k=%d, %d seed labels",
-		g.N, g.M, kk, labels.NumLabeled(seeds))
+	if flagErr != nil {
+		return flagErr
+	}
 
-	start := time.Now()
-	eng, err := factorgraph.NewEngine(g, seeds, kk,
-		factorgraph.EngineOptions{Estimator: *estimator})
-	if err != nil {
+	reg := registry.New(registry.Options{MemoryBudget: *budgetMB << 20})
+	srvHandler := serve.NewMulti(reg, serve.Options{FlushEvery: *flushEvery})
+
+	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator); err != nil {
 		return err
+	} else if ok {
+		if _, err := reg.Register(serve.DefaultGraph, spec); err != nil {
+			return err
+		}
+		// Warm the default graph eagerly so the first query is fast and a
+		// broken flag combination fails at boot, not at first request.
+		start := time.Now()
+		eng, release, err := reg.Acquire(serve.DefaultGraph)
+		if err != nil {
+			return err
+		}
+		g := eng.Graph()
+		est := eng.Estimate()
+		log.Printf("default graph ready in %s: %d nodes, %d edges, k=%d (estimator=%s, estimation=%s, ~%d MiB)",
+			time.Since(start).Round(time.Millisecond), g.N, g.M, eng.K(),
+			est.Method, est.Runtime.Round(time.Millisecond), eng.MemoryFootprint()>>20)
+		release()
+	} else {
+		log.Printf("no default graph; admit graphs via POST /v1/graphs")
 	}
-	est := eng.Estimate()
-	log.Printf("engine ready in %s (estimator=%s, estimation=%s)",
-		time.Since(start).Round(time.Millisecond), est.Method, est.Runtime.Round(time.Millisecond))
+	if *budgetMB > 0 {
+		log.Printf("engine memory budget: %d MiB", *budgetMB)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(eng),
+		Handler:           srvHandler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -101,35 +139,29 @@ func run() error {
 	}
 }
 
-func loadInputs(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64) (*factorgraph.Graph, []int, int, error) {
+// defaultSpec translates the single-graph flags into a registry spec for
+// the "default" graph; ok is false when no default graph was requested.
+func defaultSpec(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64, estimator string) (registry.Spec, bool, error) {
+	opts := factorgraph.EngineOptions{Estimator: estimator}
 	if synthetic {
-		if k == 0 {
-			k = 3 // flag default: unset means a 3-class demo graph
+		if k != 0 && k < 2 {
+			return registry.Spec{}, false, fmt.Errorf("-k must be ≥ 2, got %d", k)
 		}
-		if k < 2 {
-			return nil, nil, 0, fmt.Errorf("-k must be ≥ 2, got %d", k)
-		}
-		g, truth, err := factorgraph.Generate(factorgraph.GenerateConfig{
-			N: n, M: m, K: k, H: factorgraph.SkewedH(k, skew), Seed: seed,
-		})
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		seeds, err := factorgraph.SampleSeeds(truth, k, f, seed)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		return g, seeds, k, nil
+		return registry.Spec{
+			Synthetic: &registry.SyntheticSpec{N: n, M: m, Skew: skew, F: f, Seed: seed},
+			K:         k,
+			Options:   opts,
+		}, true, nil
+	}
+	if edgesPath == "" && labelsPath == "" {
+		return registry.Spec{}, false, nil
 	}
 	if edgesPath == "" || labelsPath == "" {
-		return nil, nil, 0, fmt.Errorf("need -edges and -labels (or -synthetic)")
+		return registry.Spec{}, false, fmt.Errorf("need both -edges and -labels (or -synthetic, or neither for an empty registry)")
 	}
-	g, seeds, err := graph.LoadFiles(edgesPath, labelsPath)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	if k == 0 {
-		k = labels.NumClasses(seeds)
-	}
-	return g, seeds, k, nil
+	return registry.Spec{
+		Files:   &registry.FileSpec{Edges: edgesPath, Labels: labelsPath},
+		K:       k,
+		Options: opts,
+	}, true, nil
 }

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"factorgraph/internal/core"
 	"factorgraph/internal/dense"
 	"factorgraph/internal/labels"
 	"factorgraph/internal/propagation"
@@ -23,6 +25,12 @@ var ErrUnknownEstimator = errors.New("unknown estimator")
 // the request (e.g. a propagation state that cannot be built); the HTTP
 // layer maps these to 5xx instead of 4xx.
 var ErrEngineInternal = errors.New("engine internal error")
+
+// ErrEngineClosed is returned by operations on an Engine after Close. The
+// registry guarantees (via refcounts) that a managed engine is never closed
+// while a request holds it; this error is the defensive backstop for
+// callers that retain a stale pointer anyway.
+var ErrEngineClosed = errors.New("engine closed")
 
 // Engine is the long-lived serving counterpart of the one-shot pipeline
 // (Classify): it loads a graph once, performs the expensive preprocessing
@@ -47,17 +55,28 @@ type Engine struct {
 	x        *dense.Matrix // explicit-belief matrix kept in sync with seeds
 	est      *Estimate     // current compatibility estimate
 
-	snap  *snapshot  // cached propagation result; nil ⇒ stale
-	gen   int64      // bumped under mu on every seed/H change
-	pool  *sync.Pool // *propagation.State bound to the current H
-	eopts EngineOptions
+	snap   *snapshot  // cached propagation result; nil ⇒ stale
+	gen    int64      // bumped under mu on every seed/H change
+	pool   *sync.Pool // *propagation.State bound to the current H
+	eopts  EngineOptions
+	closed bool // set by Close; all expensive operations refuse afterwards
 
 	rebuildMu sync.Mutex // serializes snapshot rebuilds (never held with mu)
 
-	nEstimations  atomic.Int64
-	nPropagations atomic.Int64
-	nQueries      atomic.Int64
-	nLabelUpdates atomic.Int64
+	// Cached factorized summaries (the M⁽ℓ⁾/P̂⁽ℓ⁾ sketches). They depend
+	// only on the graph and the seed labels — not on H — so they are keyed
+	// by labelGen, which UpdateLabels bumps but SetH/Reestimate do not.
+	// All sketch-based estimators (DCEr, DCE, MCE) share one summarization.
+	labelGen int64 // bumped under mu on seed changes only
+	sumMu    sync.Mutex
+	sums     *core.Summaries
+	sumGen   int64 // labelGen the cached summaries were computed at
+
+	nEstimations    atomic.Int64
+	nPropagations   atomic.Int64
+	nQueries        atomic.Int64
+	nLabelUpdates   atomic.Int64
+	nSummarizations atomic.Int64
 }
 
 // snapshot is an immutable (beliefs, labels) pair; readers that hold a
@@ -98,6 +117,10 @@ type EngineStats struct {
 	Queries int64
 	// LabelUpdates is the number of UpdateLabels calls applied.
 	LabelUpdates int64
+	// Summarizations is the number of sketch computations (the O(mkℓ)
+	// pass over the graph); estimator calls that reuse the cached
+	// summaries do not increment it.
+	Summarizations int64
 }
 
 // Query describes one classification request against an Engine.
@@ -184,6 +207,18 @@ func (e *Engine) linbpOptions() propagation.LinBPOptions {
 	return o
 }
 
+// KnownEstimator reports whether EstimateBy would accept the name (""
+// means the DCEr default; names are case-insensitive). Admission layers
+// use it to reject a misspelled estimator at registration instead of on
+// the first — expensive — engine build.
+func KnownEstimator(method string) bool {
+	switch strings.ToLower(method) {
+	case "", "dcer", "dce", "mce", "lce", "holdout":
+		return true
+	}
+	return false
+}
+
 // EstimateBy dispatches to the named estimator ("" means DCEr; names are
 // case-insensitive). It is the single source of truth for estimator names —
 // the Engine, the HTTP layer and the CLI all route through it. Unknown
@@ -215,20 +250,107 @@ func EstimateBy(method string, g *Graph, seeds []int, k int, opts EstimateOption
 }
 
 // runEstimator runs the configured estimator on the current seeds. Callers
-// must hold the write lock (or be in NewEngine).
+// must NOT hold e.mu: the cached-summaries path takes read locks
+// internally, and RWMutex is not reentrant.
 func (e *Engine) runEstimator() (*Estimate, error) {
 	e.nEstimations.Add(1)
-	return EstimateBy(e.eopts.Estimator, e.g, e.seeds, e.k, e.eopts.Estimate)
+	return e.estimateCached(e.eopts.Estimator, e.eopts.Estimate)
 }
 
 // EstimateWith runs the named estimator over the engine's graph and current
 // seeds without installing the result (use SetH to apply it). The run is
-// counted in Stats().Estimations.
+// counted in Stats().Estimations. Sketch-based estimators (DCEr, DCE, MCE)
+// reuse the engine's cached summaries, so switching estimators costs only
+// the k×k optimization, not a fresh O(mkℓ) pass over the graph.
 func (e *Engine) EstimateWith(method string, opts EstimateOptions) (*Estimate, error) {
+	e.nEstimations.Add(1)
+	return e.estimateCached(method, opts)
+}
+
+// summariesFor returns factorized summaries of depth ≥ lmax for the current
+// seeds, computing them at most once per label generation. A request for a
+// shallower depth than the cached one is served by prefix truncation
+// (M⁽ℓ⁾ of an ℓmax=5 summary equals M⁽ℓ⁾ of an ℓmax=1 summary); a deeper
+// request replaces the cache.
+func (e *Engine) summariesFor(lmax int) (*core.Summaries, error) {
+	if lmax <= 0 {
+		lmax = 5
+	}
+	e.sumMu.Lock()
+	defer e.sumMu.Unlock()
 	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrEngineClosed
+	}
+	gen := e.labelGen
+	if e.sums != nil && e.sumGen == gen && e.sums.LMax >= lmax {
+		e.mu.RUnlock()
+		return e.sums, nil
+	}
 	seeds := append([]int(nil), e.seeds...)
 	e.mu.RUnlock()
-	e.nEstimations.Add(1)
+	// Summarize at the requested depth only: an MCE-configured engine
+	// (ℓmax=1) must not pay the 5-level sketch cost on every build and
+	// rebuild. A later deeper request replaces the cache, after which
+	// shallower ones are served by prefix truncation.
+	e.nSummarizations.Add(1)
+	s, err := core.Summarize(e.g.Adj, seeds, e.k, core.SummaryOptions{
+		LMax: lmax, NonBacktracking: true, Variant: core.Variant1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.sums, e.sumGen = s, gen
+	return s, nil
+}
+
+// truncateSummaries views the first lmax sketches of s without copying.
+func truncateSummaries(s *core.Summaries, lmax int) *core.Summaries {
+	if s.LMax == lmax {
+		return s
+	}
+	return &core.Summaries{K: s.K, LMax: lmax, M: s.M[:lmax], P: s.P[:lmax]}
+}
+
+// estimateCached is EstimateBy routed through the engine's summary cache.
+// Estimators that do not run on sketches (LCE, holdout), unknown names and
+// invalid options all fall back to EstimateBy so error behavior stays
+// identical across entry points.
+func (e *Engine) estimateCached(method string, opts EstimateOptions) (*Estimate, error) {
+	start := time.Now()
+	switch m := strings.ToLower(method); m {
+	case "", "dcer", "dce":
+		if opts.LMax < 0 {
+			break // EstimateBy produces the proper validation error
+		}
+		lmax := opts.LMax
+		if lmax == 0 {
+			lmax = 5
+		}
+		s, err := e.summariesFor(lmax)
+		if err != nil {
+			return nil, err
+		}
+		defRestarts, name := dceDefRestarts(m)
+		return finishDCE(name, truncateSummaries(s, lmax), opts, defRestarts, start)
+	case "mce":
+		if opts != (EstimateOptions{}) {
+			break // EstimateBy rejects options on option-less estimators
+		}
+		s, err := e.summariesFor(1)
+		if err != nil {
+			return nil, err
+		}
+		return finishMCE(truncateSummaries(s, 1), start)
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrEngineClosed
+	}
+	seeds := append([]int(nil), e.seeds...)
+	e.mu.RUnlock()
 	return EstimateBy(method, e.g, seeds, e.k, opts)
 }
 
@@ -285,11 +407,64 @@ func (e *Engine) LabeledCount() int {
 // Stats returns operation counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Estimations:  e.nEstimations.Load(),
-		Propagations: e.nPropagations.Load(),
-		Queries:      e.nQueries.Load(),
-		LabelUpdates: e.nLabelUpdates.Load(),
+		Estimations:    e.nEstimations.Load(),
+		Propagations:   e.nPropagations.Load(),
+		Queries:        e.nQueries.Load(),
+		LabelUpdates:   e.nLabelUpdates.Load(),
+		Summarizations: e.nSummarizations.Load(),
 	}
+}
+
+// EstimateEngineBytes estimates the resident memory of an Engine serving an
+// n-node, m-edge, k-class graph: the CSR adjacency matrix (IndPtr int64,
+// Indices int32 over 2m stored entries, Data float64 when weighted), the
+// seed and label vectors, and the n×k float64 working set — explicit
+// beliefs, belief snapshot, and roughly two pooled propagation states of
+// four buffers each. The registry uses this as the admission weight for its
+// memory budget; it deliberately overcounts slightly rather than under.
+func EstimateEngineBytes(n, m, k int, weighted bool) int64 {
+	nn, mm, kk := int64(n), int64(m), int64(k)
+	csr := 8*(nn+1) + 8*mm // IndPtr + 2m int32 indices
+	if weighted {
+		csr += 16 * mm // 2m float64 weights
+	}
+	vectors := 2 * 8 * nn               // seeds + snapshot labels
+	matrices := (2 + 2*4) * 8 * nn * kk // x, snapshot beliefs, 2 states × 4 buffers
+	return csr + vectors + matrices
+}
+
+// MemoryFootprint estimates this engine's resident bytes from its graph
+// dimensions; see EstimateEngineBytes.
+func (e *Engine) MemoryFootprint() int64 {
+	return EstimateEngineBytes(e.g.N, e.g.M, e.k, e.g.Adj.Data != nil)
+}
+
+// Mutated reports whether the engine's state has diverged from its
+// construction inputs: any label update, re-estimation or externally
+// installed H since NewEngine. A registry uses this to refuse to evict
+// engines whose spec-based rebuild would silently lose acknowledged
+// mutations.
+func (e *Engine) Mutated() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen != 0
+}
+
+// Close releases the engine's large buffers — the belief snapshot, the
+// propagation-state pool and the cached summaries — and marks the engine
+// closed; subsequent queries and updates fail with ErrEngineClosed. The
+// graph itself is NOT owned by the engine and is left untouched. Close is
+// idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.snap = nil
+	e.pool = nil
+	e.x = nil
+	e.mu.Unlock()
+	e.sumMu.Lock()
+	e.sums = nil
+	e.sumMu.Unlock()
 }
 
 // currentSnapshot returns the cached propagation result, rebuilding it when
@@ -310,6 +485,10 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 	defer e.rebuildMu.Unlock()
 	for {
 		e.mu.RLock()
+		if e.closed {
+			e.mu.RUnlock()
+			return nil, ErrEngineClosed
+		}
 		if e.snap != nil {
 			s := e.snap
 			e.mu.RUnlock()
@@ -411,6 +590,10 @@ func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, error) {
 	// writer. A concurrent H swap is harmless — this query completes
 	// against the H it captured, as if it had arrived just before.
 	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, nil, ErrEngineClosed
+	}
 	x := e.x.Clone()
 	pool := e.pool
 	e.mu.RUnlock()
@@ -517,6 +700,9 @@ func (e *Engine) ClassifyBatch(qs []Query) ([][]NodeResult, error) {
 func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
 	// Validate fully before mutating so a bad request leaves state intact.
 	for node, c := range set {
 		if node < 0 || node >= e.g.N {
@@ -539,6 +725,7 @@ func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
 	}
 	e.snap = nil
 	e.gen++
+	e.labelGen++ // seeds changed ⇒ cached summaries are stale
 	e.nLabelUpdates.Add(1)
 	return nil
 }
@@ -576,6 +763,9 @@ func (e *Engine) Reestimate() (*Estimate, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
 	e.est = est
 	e.pool = pool
 	e.snap = nil
@@ -592,6 +782,9 @@ func (e *Engine) SetH(h *Matrix, method string) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
 	est := &Estimate{H: h.Clone(), Method: method}
 	pool, err := e.newStatePool(est.H)
 	if err != nil {

@@ -124,6 +124,14 @@ func estimateDCE(method string, g *Graph, seeds []int, k, defRestarts int, opts 
 	if err != nil {
 		return nil, err
 	}
+	return finishDCE(method, s, o, defRestarts, start)
+}
+
+// finishDCE turns precomputed summaries into a DCE/DCEr estimate. It is the
+// single source of the DCE option defaults (λ=10, restarts per method) —
+// both the one-shot estimators above and the Engine's cached-summaries path
+// finish through here, so they cannot drift apart.
+func finishDCE(method string, s *core.Summaries, o EstimateOptions, defRestarts int, start time.Time) (*Estimate, error) {
 	restarts := o.Restarts
 	if restarts == 0 {
 		restarts = defRestarts
@@ -137,6 +145,15 @@ func estimateDCE(method string, g *Graph, seeds []int, k, defRestarts int, opts 
 		return nil, err
 	}
 	return &Estimate{H: h, Runtime: time.Since(start), Method: method}, nil
+}
+
+// dceDefRestarts maps a (lower-cased) DCE-family method name to its
+// default restart count and canonical name.
+func dceDefRestarts(method string) (restarts int, name string) {
+	if method == "dce" {
+		return 1, "DCE"
+	}
+	return 10, "DCEr"
 }
 
 // EstimateDCErAuto is DCEr with automatic selection of the λ
@@ -160,6 +177,11 @@ func EstimateMCE(g *Graph, seeds []int, k int) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
+	return finishMCE(s, start)
+}
+
+// finishMCE is the shared MCE tail; see finishDCE.
+func finishMCE(s *core.Summaries, start time.Time) (*Estimate, error) {
 	h, err := core.EstimateMCE(s, core.MCEOptions{})
 	if err != nil {
 		return nil, err

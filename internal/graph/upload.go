@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+
+	"factorgraph/internal/labels"
+)
+
+// ParseUpload parses an uploaded graph: an edge-list payload (TSV
+// "u\tv[\tw]", same format ReadEdgeList accepts) and a seed-labels payload
+// ("node\tlabel"). It returns the graph, the length-n seed vector and the
+// inferred class count (max label + 1). This is the admission path for
+// graphs POSTed to the multi-tenant serving API; the raw bytes are small
+// enough to retain for transparent rebuilds after eviction, so parsing must
+// be deterministic on the same payload.
+func ParseUpload(edges, seedLabels []byte) (*Graph, []int, int, error) {
+	if len(bytes.TrimSpace(edges)) == 0 {
+		return nil, nil, 0, fmt.Errorf("graph: empty edge-list upload")
+	}
+	g, err := ReadEdgeList(bytes.NewReader(edges), 0)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	seeds, err := ReadLabels(bytes.NewReader(seedLabels), g.N)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if labels.NumLabeled(seeds) == 0 {
+		return nil, nil, 0, fmt.Errorf("graph: upload has no seed labels")
+	}
+	return g, seeds, labels.NumClasses(seeds), nil
+}

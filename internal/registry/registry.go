@@ -1,0 +1,424 @@
+// Package registry is the multi-tenant core of the serving layer: a
+// concurrent registry mapping graph names to lazily-built factorgraph
+// Engines. It provides
+//
+//   - admission by spec (synthetic planted-partition, server-side files,
+//     or an inline upload whose raw bytes are retained for rebuilds),
+//   - singleflight build deduplication, so N concurrent first requests
+//     for a cold graph trigger exactly one engine build,
+//   - an LRU with a configurable memory budget (engine footprints are
+//     estimated from n, m, k) that evicts cold engines while refcounts
+//     pin the ones serving in-flight requests, and
+//   - per-graph statistics (hits, builds, evictions, last access) for
+//     the admin endpoint.
+//
+// Eviction is transparent: the spec stays registered, so the next access
+// rebuilds the engine as if it were the first.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"factorgraph"
+)
+
+// ErrNotFound is wrapped by lookups of unregistered graph names; the HTTP
+// layer maps it to 404.
+var ErrNotFound = errors.New("graph not found")
+
+// ErrExists is wrapped by registrations of an already-taken name; the HTTP
+// layer maps it to 409.
+var ErrExists = errors.New("graph already exists")
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// Options configures a Registry.
+type Options struct {
+	// MemoryBudget is the target resident budget in bytes — built engines
+	// plus retained inline-upload payloads; 0 means unlimited. The budget
+	// is soft in three ways: an in-flight (pinned) engine is never evicted
+	// even while over budget, a mutated engine (label patches, installed
+	// H) is never evicted because its spec rebuild would silently lose the
+	// mutations, and a single engine larger than the whole budget is still
+	// admitted (it just evicts everything else that is cold). Inline
+	// payloads count against the budget for as long as the graph is
+	// registered but can only be released by DELETE, not eviction.
+	MemoryBudget int64
+}
+
+// Registry is safe for concurrent use by the HTTP handlers.
+type Registry struct {
+	mu       sync.Mutex
+	entries  map[string]*entry
+	resident int64  // sum of built engines' mem estimates
+	budget   int64  // 0 = unlimited
+	tick     uint64 // monotonic access counter driving the LRU order
+
+	// builder is swapped out by tests to count or fail builds.
+	builder func(Spec) (*factorgraph.Engine, error)
+}
+
+type entry struct {
+	name        string
+	spec        Spec
+	rebuildable bool // spec-backed; RegisterEngine entries cannot rebuild
+
+	engine   *factorgraph.Engine // nil ⇒ cold (not built or evicted)
+	building chan struct{}       // non-nil while a build is in flight
+	buildErr error               // outcome of the most recent build
+	refs     int                 // in-flight acquisitions pinning engine
+	deleted  bool                // removed from the map; close on last release
+	mem      int64               // engine footprint counted in resident
+	specMem  int64               // retained inline payload bytes (freed only by Delete)
+
+	nodes, edges, classes int // known dimensions (0 until discoverable)
+
+	hits, builds, evictions int64
+	lastTick                uint64 // registry tick of the last acquisition
+	lastAccess              time.Time
+	registered              time.Time
+}
+
+// New builds an empty registry.
+func New(opts Options) *Registry {
+	return &Registry{
+		entries: make(map[string]*entry),
+		budget:  opts.MemoryBudget,
+		builder: buildEngine,
+	}
+}
+
+func validateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("registry: invalid graph name %q (want 1-64 chars of [A-Za-z0-9._-])", name)
+	}
+	return nil
+}
+
+// Register admits a named graph by spec without building its engine; the
+// first Acquire builds lazily. Inline uploads are parsed (and rejected)
+// here, so a registered spec is expected to build.
+func (r *Registry) Register(name string, spec Spec) (GraphInfo, error) {
+	if err := validateName(name); err != nil {
+		return GraphInfo{}, err
+	}
+	if err := spec.validate(); err != nil {
+		return GraphInfo{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return GraphInfo{}, fmt.Errorf("registry: %w: %q", ErrExists, name)
+	}
+	e := &entry{name: name, spec: spec, rebuildable: true, registered: time.Now()}
+	e.nodes, e.edges, e.classes = spec.dims()
+	if spec.Inline != nil {
+		// The raw upload is retained for transparent rebuilds, so it is
+		// resident memory the budget must see (eviction cannot free it —
+		// only DELETE can).
+		e.specMem = int64(len(spec.Inline.Edges) + len(spec.Inline.Labels))
+		r.resident += e.specMem
+	}
+	r.entries[name] = e
+	r.evictLocked()
+	return r.infoLocked(e), nil
+}
+
+// RegisterEngine admits a pre-built engine under name. Such entries have no
+// spec to rebuild from, so they are never evicted (their footprint still
+// counts against the budget); cmd/serve uses this for engines it builds
+// eagerly at boot.
+func (r *Registry) RegisterEngine(name string, eng *factorgraph.Engine) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("registry: %w: %q", ErrExists, name)
+	}
+	g := eng.Graph()
+	e := &entry{
+		name: name, engine: eng, mem: eng.MemoryFootprint(),
+		nodes: g.N, edges: g.M, classes: eng.K(), registered: time.Now(),
+	}
+	r.entries[name] = e
+	r.resident += e.mem
+	r.touchLocked(e)
+	r.evictLocked()
+	return nil
+}
+
+// Acquire resolves name to its engine, building it if cold, and pins it
+// against eviction until the returned release function is called (release
+// is idempotent). Concurrent acquisitions of the same cold graph share one
+// build; the losers of that race block until it completes.
+func (r *Registry) Acquire(name string) (*factorgraph.Engine, func(), error) {
+	r.mu.Lock()
+	for {
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, nil, fmt.Errorf("registry: %w: %q", ErrNotFound, name)
+		}
+		if e.engine != nil {
+			eng := e.engine
+			e.refs++
+			e.hits++
+			r.touchLocked(e)
+			r.mu.Unlock()
+			return eng, r.releaseFunc(e), nil
+		}
+		if e.building != nil {
+			// Another goroutine is building this engine; wait for it and
+			// re-evaluate. A successful build is taken on the next loop
+			// iteration; a failed one is reported to every waiter without
+			// a rebuild stampede.
+			ch := e.building
+			r.mu.Unlock()
+			<-ch
+			r.mu.Lock()
+			if cur, ok := r.entries[name]; ok && cur == e &&
+				e.engine == nil && e.building == nil && e.buildErr != nil {
+				err := e.buildErr
+				r.mu.Unlock()
+				return nil, nil, err
+			}
+			continue
+		}
+		// This goroutine becomes the builder. The build runs outside the
+		// registry lock — it is the expensive O(mkℓ) preprocessing — with
+		// the channel signalling completion to concurrent waiters.
+		ch := make(chan struct{})
+		e.building = ch
+		spec := e.spec
+		r.mu.Unlock()
+
+		eng, err := r.builder(spec)
+
+		r.mu.Lock()
+		e.building = nil
+		e.buildErr = err
+		close(ch)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, nil, fmt.Errorf("registry: building graph %q: %w", name, err)
+		}
+		if cur, ok := r.entries[name]; !ok || cur != e {
+			// Deleted (or replaced) while building; discard the result.
+			r.mu.Unlock()
+			eng.Close()
+			return nil, nil, fmt.Errorf("registry: %w: %q (deleted during build)", ErrNotFound, name)
+		}
+		g := eng.Graph()
+		e.engine = eng
+		e.mem = eng.MemoryFootprint()
+		e.nodes, e.edges, e.classes = g.N, g.M, eng.K()
+		e.builds++
+		e.refs++
+		r.resident += e.mem
+		r.touchLocked(e)
+		r.evictLocked()
+		r.mu.Unlock()
+		return eng, r.releaseFunc(e), nil
+	}
+}
+
+// AcquireIfBuilt pins and returns the engine only if it is currently
+// resident; it never triggers a build. Liveness probes use this so that
+// GET /healthz cannot set off a multi-second engine build. The access is
+// not counted as a hit and does not refresh the LRU position.
+func (r *Registry) AcquireIfBuilt(name string) (*factorgraph.Engine, func(), bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || e.engine == nil {
+		return nil, nil, false
+	}
+	e.refs++
+	return e.engine, r.releaseFunc(e), true
+}
+
+// Delete unregisters a graph. An engine with in-flight requests stays
+// usable for them and is closed when the last one releases; its footprint
+// stops counting against the budget immediately.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("registry: %w: %q", ErrNotFound, name)
+	}
+	delete(r.entries, name)
+	e.deleted = true
+	r.resident -= e.specMem
+	e.specMem = 0
+	if e.engine != nil {
+		r.resident -= e.mem
+		e.mem = 0
+		if e.refs == 0 {
+			e.engine.Close()
+			e.engine = nil
+		}
+	}
+	return nil
+}
+
+// releaseFunc returns the idempotent unpin closure handed out by Acquire.
+func (r *Registry) releaseFunc(e *entry) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			e.refs--
+			if e.deleted && e.refs == 0 && e.engine != nil {
+				e.engine.Close()
+				e.engine = nil
+			}
+			r.evictLocked()
+			r.mu.Unlock()
+		})
+	}
+}
+
+func (r *Registry) touchLocked(e *entry) {
+	r.tick++
+	e.lastTick = r.tick
+	e.lastAccess = time.Now()
+}
+
+// evictLocked closes least-recently-used cold engines until the resident
+// estimate fits the budget. Pinned (refs > 0), non-rebuildable and mutated
+// engines are skipped: evicting the first would close an engine
+// mid-request, evicting the second would lose the graph for good, and
+// evicting the third would silently roll back acknowledged label patches
+// or an installed H (the spec rebuild restores construction state only).
+func (r *Registry) evictLocked() {
+	if r.budget <= 0 {
+		return
+	}
+	for r.resident > r.budget {
+		var victim *entry
+		for _, e := range r.entries {
+			if e.engine == nil || e.refs > 0 || !e.rebuildable || e.engine.Mutated() {
+				continue
+			}
+			if victim == nil || e.lastTick < victim.lastTick {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything resident is pinned or unevictable
+		}
+		victim.engine.Close()
+		victim.engine = nil
+		r.resident -= victim.mem
+		victim.mem = 0
+		victim.evictions++
+	}
+}
+
+// GraphInfo is the externally visible state of one registered graph.
+type GraphInfo struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`  // built | building | cold
+	Source  string `json:"source"` // synthetic | files | inline | engine
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Classes int    `json:"classes"`
+	// Evictable is false for pre-built (RegisterEngine) entries.
+	Evictable bool `json:"evictable"`
+	// Mutated marks a resident engine whose labels or H were changed
+	// after build; such engines are pinned against eviction (a spec
+	// rebuild would lose the mutations — DELETE and re-admit to release).
+	Mutated   bool  `json:"mutated,omitempty"`
+	Refs      int   `json:"refs"`
+	MemBytes  int64 `json:"mem_bytes"`
+	SpecBytes int64 `json:"spec_bytes,omitempty"`
+	Hits      int64 `json:"hits"`
+	Builds    int64 `json:"builds"`
+	Evictions int64 `json:"evictions"`
+	// LastAccessUnixMS is 0 until the graph is first acquired.
+	LastAccessUnixMS int64 `json:"last_access_unix_ms,omitempty"`
+	RegisteredUnixMS int64 `json:"registered_unix_ms"`
+}
+
+func (r *Registry) infoLocked(e *entry) GraphInfo {
+	state := "cold"
+	switch {
+	case e.engine != nil:
+		state = "built"
+	case e.building != nil:
+		state = "building"
+	}
+	info := GraphInfo{
+		Name: e.name, State: state, Source: e.spec.source(),
+		Nodes: e.nodes, Edges: e.edges, Classes: e.classes,
+		Evictable: e.rebuildable, Refs: e.refs,
+		MemBytes: e.mem, SpecBytes: e.specMem,
+		Hits: e.hits, Builds: e.builds, Evictions: e.evictions,
+		RegisteredUnixMS: e.registered.UnixMilli(),
+	}
+	if e.engine != nil {
+		info.Mutated = e.engine.Mutated()
+	}
+	if !e.lastAccess.IsZero() {
+		info.LastAccessUnixMS = e.lastAccess.UnixMilli()
+	}
+	return info
+}
+
+// Info returns the state of one graph.
+func (r *Registry) Info(name string) (GraphInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return GraphInfo{}, fmt.Errorf("registry: %w: %q", ErrNotFound, name)
+	}
+	return r.infoLocked(e), nil
+}
+
+// List returns the state of every registered graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, r.infoLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats is the registry-wide aggregate for the admin endpoint.
+type Stats struct {
+	Graphs        int   `json:"graphs"`
+	Built         int   `json:"built"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"` // 0 = unlimited
+	Hits          int64 `json:"hits"`
+	Builds        int64 `json:"builds"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// Stats aggregates the per-graph counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{Graphs: len(r.entries), ResidentBytes: r.resident, BudgetBytes: r.budget}
+	for _, e := range r.entries {
+		if e.engine != nil {
+			s.Built++
+		}
+		s.Hits += e.hits
+		s.Builds += e.builds
+		s.Evictions += e.evictions
+	}
+	return s
+}

@@ -1,58 +1,162 @@
-// Package serve is the HTTP/JSON layer over the long-lived factorgraph
-// Engine: request validation, wire types and handlers for the
+// Package serve is the HTTP/JSON layer over the multi-tenant graph
+// registry: request validation, wire types and handlers for the
 // classification service exposed by cmd/serve.
 //
-// Endpoints:
+// Graph management:
 //
-//	GET   /healthz      liveness + engine statistics
-//	POST  /v1/estimate  run a compatibility estimator (optionally apply)
-//	POST  /v1/classify  classify nodes; NDJSON streaming for large results
-//	GET   /v1/labels    current seed labels
-//	PATCH /v1/labels    incremental seed updates (no rebuild, no re-estimate
-//	                    unless requested)
+//	POST   /v1/graphs              register a graph (synthetic spec, server
+//	                               file paths, or inline upload)
+//	GET    /v1/graphs              list graphs with per-graph stats
+//	GET    /v1/graphs/{name}       one graph's state and stats
+//	DELETE /v1/graphs/{name}       unregister (in-flight requests drain)
+//	GET    /v1/admin/registry      registry totals + per-graph stats
+//
+// Per-graph serving (engines are built lazily on first use, evicted LRU
+// under the registry's memory budget, and rebuilt transparently):
+//
+//	POST  /v1/graphs/{name}/estimate  run a compatibility estimator
+//	POST  /v1/graphs/{name}/classify  classify nodes; NDJSON streaming and
+//	                                  gzip (Accept-Encoding) for large results
+//	GET   /v1/graphs/{name}/labels    current seed labels
+//	PATCH /v1/graphs/{name}/labels    incremental seed updates
+//
+// The single-graph endpoints of PR 1 (POST /v1/estimate, POST /v1/classify,
+// GET|PATCH /v1/labels, GET /healthz) remain as aliases for the graph named
+// "default", which cmd/serve pre-registers from its -synthetic/-edges
+// flags, so existing clients keep working unchanged.
 package serve
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"factorgraph"
+	"factorgraph/internal/registry"
 )
 
-// maxBodyBytes bounds request bodies; a classify request listing every node
-// of a 10M-node graph is ~80MB, far above any sane request.
+// DefaultGraph is the graph name the legacy single-graph endpoints resolve
+// to; cmd/serve pre-registers it from its flags.
+const DefaultGraph = "default"
+
+// maxBodyBytes bounds ordinary request bodies; a classify request listing
+// every node of a 10M-node graph is ~80MB, far above any sane request.
 const maxBodyBytes = 8 << 20
 
-// streamFlushEvery is how many NDJSON records are written between explicit
-// flushes, so large streaming responses reach slow clients incrementally.
-const streamFlushEvery = 256
+// maxUploadBytes bounds POST /v1/graphs bodies, which may carry a whole
+// inline edge list.
+const maxUploadBytes = 64 << 20
 
-// Server routes HTTP requests to a factorgraph.Engine.
-type Server struct {
-	eng   *factorgraph.Engine
-	mux   *http.ServeMux
-	start time.Time
+// defaultFlushEvery is how many NDJSON records are written between explicit
+// flushes when Options.FlushEvery is unset, so large streaming responses
+// reach slow clients incrementally.
+const defaultFlushEvery = 256
+
+// Options tunes the HTTP layer.
+type Options struct {
+	// FlushEvery is the NDJSON record interval between explicit flushes on
+	// streaming classify responses (default 256; lower = lower latency to
+	// first byte for slow consumers, higher = fewer syscalls).
+	FlushEvery int
 }
 
-// New builds a Server around an initialized engine.
+// Server routes HTTP requests to engines resolved through a graph registry.
+type Server struct {
+	reg        *registry.Registry
+	mux        *http.ServeMux
+	start      time.Time
+	flushEvery int
+}
+
+// New builds a single-graph Server around an initialized engine: the engine
+// is registered as the pinned "default" graph of a fresh registry. This is
+// the PR 1 constructor, kept so embedders (and the original tests) work
+// unchanged.
 func New(eng *factorgraph.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), start: time.Now()}
+	reg := registry.New(registry.Options{})
+	if err := reg.RegisterEngine(DefaultGraph, eng); err != nil {
+		// A fresh registry cannot collide on "default"; a failure here is
+		// a programming error, not a runtime condition.
+		panic(err)
+	}
+	return NewMulti(reg, Options{})
+}
+
+// NewMulti builds a multi-tenant Server over an existing registry.
+func NewMulti(reg *registry.Registry, o Options) *Server {
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = defaultFlushEvery
+	}
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), flushEvery: o.FlushEvery}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	s.mux.HandleFunc("GET /v1/labels", s.handleLabelsGet)
-	s.mux.HandleFunc("PATCH /v1/labels", s.handleLabelsPatch)
+	s.mux.HandleFunc("GET /v1/admin/registry", s.handleAdmin)
+
+	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+
+	s.mux.HandleFunc("POST /v1/graphs/{name}/estimate", s.withEngine(s.handleEstimate))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/classify", s.withEngine(s.handleClassify))
+	s.mux.HandleFunc("GET /v1/graphs/{name}/labels", s.withEngine(s.handleLabelsGet))
+	s.mux.HandleFunc("PATCH /v1/graphs/{name}/labels", s.withEngine(s.handleLabelsPatch))
+
+	// Legacy single-graph aliases resolving to the default graph.
+	s.mux.HandleFunc("POST /v1/estimate", s.withEngine(s.handleEstimate))
+	s.mux.HandleFunc("POST /v1/classify", s.withEngine(s.handleClassify))
+	s.mux.HandleFunc("GET /v1/labels", s.withEngine(s.handleLabelsGet))
+	s.mux.HandleFunc("PATCH /v1/labels", s.withEngine(s.handleLabelsPatch))
 	return s
 }
+
+// Registry exposes the backing registry (cmd/serve registers the default
+// graph through it before listening).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// withEngine resolves the request's graph (the {name} path component, or
+// "default" on the legacy routes) through the registry — building the
+// engine if it is cold or was evicted — and pins it for the duration of the
+// handler via the registry refcount, so eviction can never close an engine
+// mid-request.
+func (s *Server) withEngine(fn func(http.ResponseWriter, *http.Request, *factorgraph.Engine)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if name == "" {
+			name = DefaultGraph
+		}
+		eng, release, err := s.reg.Acquire(name)
+		if err != nil {
+			writeRegistryError(w, err)
+			return
+		}
+		defer release()
+		fn(w, r, eng)
+	}
+}
+
+// writeRegistryError maps registry errors to status codes: unknown graph is
+// the caller's 404, anything else (an engine build failure) is the
+// server's 500.
+func writeRegistryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, registry.ErrExists):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -69,8 +173,8 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // decodeBody decodes a JSON body into v with strict field checking. An
 // empty body decodes as the zero value, so every POST/PATCH field is
 // optional by default.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -83,27 +187,97 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	g := s.eng.Graph()
-	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, Health{
-		Status:       "ok",
-		Nodes:        g.N,
-		Edges:        g.M,
-		Classes:      s.eng.K(),
-		Labeled:      s.eng.LabeledCount(),
-		Estimations:  st.Estimations,
-		Propagations: st.Propagations,
-		Queries:      st.Queries,
-		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
+	rs := s.reg.Stats()
+	h := Health{
+		Status:        "ok",
+		Graphs:        rs.Graphs,
+		GraphsBuilt:   rs.Built,
+		ResidentBytes: rs.ResidentBytes,
+		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
+	}
+	// The default graph's engine details are reported when resident, for
+	// compatibility with single-graph deployments. AcquireIfBuilt never
+	// triggers a build: a liveness probe must stay O(1).
+	if eng, release, ok := s.reg.AcquireIfBuilt(DefaultGraph); ok {
+		defer release()
+		g := eng.Graph()
+		st := eng.Stats()
+		h.Nodes, h.Edges, h.Classes = g.N, g.M, eng.K()
+		h.Labeled = eng.LabeledCount()
+		h.Estimations, h.Propagations, h.Queries = st.Estimations, st.Propagations, st.Queries
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, AdminResponse{
+		Stats:  s.reg.Stats(),
+		Graphs: s.reg.List(),
 	})
 }
 
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req EstimateRequest
-	if !decodeBody(w, r, &req) {
+func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateGraphRequest
+	if !decodeBody(w, r, &req, maxUploadBytes) {
 		return
 	}
-	est, err := s.eng.EstimateWith(req.Method, factorgraph.EstimateOptions{
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "graph name is required")
+		return
+	}
+	info, err := s.reg.Register(req.Name, req.Spec())
+	if err != nil {
+		if errors.Is(err, registry.ErrExists) {
+			writeRegistryError(w, err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	if req.Warm {
+		// Build the engine now rather than on first query. A failed warm
+		// build unregisters the graph so creation stays all-or-nothing.
+		_, release, err := s.reg.Acquire(req.Name)
+		if err != nil {
+			_ = s.reg.Delete(req.Name)
+			writeError(w, http.StatusUnprocessableEntity, "graph build failed: %v", err)
+			return
+		}
+		release()
+		info, _ = s.reg.Info(req.Name)
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	graphs := s.reg.List()
+	writeJSON(w, http.StatusOK, GraphListResponse{Count: len(graphs), Graphs: graphs})
+}
+
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Info(r.PathValue("name"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Delete(name); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteGraphResponse{Deleted: name})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, eng *factorgraph.Engine) {
+	var req EstimateRequest
+	if !decodeBody(w, r, &req, maxBodyBytes) {
+		return
+	}
+	est, err := eng.EstimateWith(req.Method, factorgraph.EstimateOptions{
 		LMax: req.LMax, Lambda: req.Lambda, Restarts: req.Restarts, Seed: req.Seed,
 	})
 	if errors.Is(err, factorgraph.ErrUnknownEstimator) {
@@ -115,7 +289,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Apply {
-		if err := s.eng.SetH(est.H, est.Method); err != nil {
+		if err := eng.SetH(est.H, est.Method); err != nil {
 			writeError(w, http.StatusInternalServerError, "apply failed: %v", err)
 			return
 		}
@@ -132,9 +306,30 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+// acceptsGzip reports whether the client advertised gzip support. A
+// qvalue of 0 ("gzip;q=0") means gzip is explicitly NOT acceptable
+// (RFC 9110 §12.4.2).
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		parts := strings.Split(enc, ";")
+		if strings.TrimSpace(parts[0]) != "gzip" {
+			continue
+		}
+		for _, param := range parts[1:] {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(param), "q="); ok {
+				if q, err := strconv.ParseFloat(v, 64); err != nil || q == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *factorgraph.Engine) {
 	var req ClassifyRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, &req, maxBodyBytes) {
 		return
 	}
 	q, err := req.Query()
@@ -142,39 +337,66 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	gzipOK := acceptsGzip(r)
 	if !req.Stream {
-		results, err := s.eng.Classify(q)
+		results, err := eng.Classify(q)
 		if err != nil {
 			writeError(w, classifyStatus(err), "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, ClassifyResponse{Count: len(results), Results: results})
+		resp := ClassifyResponse{Count: len(results), Results: results}
+		if !gzipOK {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Encoding", "gzip")
+		w.WriteHeader(http.StatusOK)
+		gz := gzip.NewWriter(w)
+		_ = json.NewEncoder(gz).Encode(resp)
+		_ = gz.Close()
 		return
 	}
 	// NDJSON streaming: records are produced and written one at a time via
 	// ClassifyEach (node validation happens before the first record), so a
 	// classify-everything request over a huge graph never materializes the
-	// full result set server-side. Flushed in chunks so the response
-	// reaches slow clients incrementally.
+	// full result set server-side. Flushed every flushEvery records so the
+	// response reaches slow clients incrementally; with gzip the compressor
+	// is flushed on the same cadence, trading a little ratio for latency.
 	headerSent := false
+	var gz *gzip.Writer
+	var enc *json.Encoder
 	sendHeader := func() {
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		if gzipOK {
+			w.Header().Set("Content-Encoding", "gzip")
+		}
 		w.WriteHeader(http.StatusOK)
+		if gzipOK {
+			gz = gzip.NewWriter(w)
+			enc = json.NewEncoder(gz)
+		} else {
+			enc = json.NewEncoder(w)
+		}
 		headerSent = true
 	}
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
 	i := 0
-	err = s.eng.ClassifyEach(q, func(r factorgraph.NodeResult) error {
+	err = eng.ClassifyEach(q, func(res factorgraph.NodeResult) error {
 		if !headerSent {
 			sendHeader()
 		}
-		if err := enc.Encode(&r); err != nil {
+		if err := enc.Encode(&res); err != nil {
 			return err // client went away
 		}
 		i++
-		if flusher != nil && i%streamFlushEvery == 0 {
-			flusher.Flush()
+		if i%s.flushEvery == 0 {
+			if gz != nil {
+				_ = gz.Flush()
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		return nil
 	})
@@ -185,6 +407,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if err == nil && !headerSent {
 		sendHeader() // valid zero-record stream, e.g. "nodes":[]
 	}
+	if gz != nil {
+		_ = gz.Close()
+	}
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -193,14 +418,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // classifyStatus maps a Classify error to a status class: engine faults are
 // the server's, everything else is request validation.
 func classifyStatus(err error) int {
-	if errors.Is(err, factorgraph.ErrEngineInternal) {
+	if errors.Is(err, factorgraph.ErrEngineInternal) || errors.Is(err, factorgraph.ErrEngineClosed) {
 		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }
 
-func (s *Server) handleLabelsGet(w http.ResponseWriter, r *http.Request) {
-	seeds := s.eng.Seeds()
+func (s *Server) handleLabelsGet(w http.ResponseWriter, r *http.Request, eng *factorgraph.Engine) {
+	seeds := eng.Seeds()
 	out := make(map[string]int)
 	for node, c := range seeds {
 		if c != factorgraph.Unlabeled {
@@ -210,9 +435,9 @@ func (s *Server) handleLabelsGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, LabelsResponse{Count: len(out), Labels: out})
 }
 
-func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request, eng *factorgraph.Engine) {
 	var req LabelsPatch
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, &req, maxBodyBytes) {
 		return
 	}
 	if len(req.Set) == 0 && len(req.Remove) == 0 && !req.Reestimate {
@@ -229,13 +454,13 @@ func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request) {
 		set[node] = c
 	}
 	if len(set) > 0 || len(req.Remove) > 0 {
-		if err := s.eng.UpdateLabels(set, req.Remove); err != nil {
+		if err := eng.UpdateLabels(set, req.Remove); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
 	if req.Reestimate {
-		if _, err := s.eng.Reestimate(); err != nil {
+		if _, err := eng.Reestimate(); err != nil {
 			// The label updates above WERE applied (set/remove are
 			// idempotent, so a retry is safe); only the re-estimation
 			// failed. Say so, or a client would assume the patch was
@@ -246,7 +471,7 @@ func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, LabelsPatchResponse{
-		Labeled:     s.eng.LabeledCount(),
+		Labeled:     eng.LabeledCount(),
 		Reestimated: req.Reestimate,
 	})
 }

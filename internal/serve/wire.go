@@ -5,10 +5,104 @@ import (
 	"strconv"
 
 	"factorgraph"
+	"factorgraph/internal/registry"
 )
 
 // Wire types for the JSON HTTP API. Node ids inside JSON object keys are
 // decimal strings (JSON has no integer keys); everything else is numeric.
+
+// CreateGraphRequest is the body of POST /v1/graphs. Exactly one of
+// Synthetic, Files or Inline selects the graph source.
+type CreateGraphRequest struct {
+	// Name is the registry key; per-graph routes address it as
+	// /v1/graphs/{name}/... (1-64 chars of [A-Za-z0-9._-]).
+	Name string `json:"name"`
+	// K is the class count; 0 infers it from the labels (files/inline) or
+	// uses the 3-class demo default (synthetic).
+	K int `json:"k"`
+	// Estimator selects the engine's compatibility estimator: dcer
+	// (default), dce, mce, lce, holdout.
+	Estimator string `json:"estimator"`
+	// Synthetic plants a partition graph with the paper's generator.
+	Synthetic *SyntheticGraphSpec `json:"synthetic"`
+	// Files loads TSV files from the server's filesystem.
+	Files *FilesGraphSpec `json:"files"`
+	// Inline carries the graph in the request body.
+	Inline *InlineGraphSpec `json:"inline"`
+	// Warm builds the engine before responding instead of lazily on the
+	// first query; a failed build unregisters the graph again.
+	Warm bool `json:"warm"`
+}
+
+// SyntheticGraphSpec mirrors registry.SyntheticSpec on the wire. Omitted
+// (or zero) skew and f select the defaults 3 and 0.05 — zero-skew or
+// seedless graphs are not expressible, as no engine could serve them.
+type SyntheticGraphSpec struct {
+	N    int     `json:"n"`
+	M    int     `json:"m"`
+	Skew float64 `json:"skew"`
+	F    float64 `json:"f"`
+	Seed uint64  `json:"seed"`
+}
+
+// FilesGraphSpec names server-side TSV files ("u\tv[\tw]" edges,
+// "node\tlabel" labels).
+type FilesGraphSpec struct {
+	Edges  string `json:"edges"`
+	Labels string `json:"labels"`
+}
+
+// InlineGraphSpec uploads a graph verbatim: the edge list and seed labels
+// as TSV text. The server retains the payload so the graph can be rebuilt
+// transparently after an LRU eviction.
+type InlineGraphSpec struct {
+	Edges  string `json:"edges"`
+	Labels string `json:"labels"`
+}
+
+// Spec converts the wire request into a registry spec (which validates it
+// at registration).
+func (r *CreateGraphRequest) Spec() registry.Spec {
+	spec := registry.Spec{
+		K:       r.K,
+		Options: factorgraph.EngineOptions{Estimator: r.Estimator},
+	}
+	if r.Synthetic != nil {
+		spec.Synthetic = &registry.SyntheticSpec{
+			N: r.Synthetic.N, M: r.Synthetic.M, Skew: r.Synthetic.Skew,
+			F: r.Synthetic.F, Seed: r.Synthetic.Seed,
+		}
+	}
+	if r.Files != nil {
+		spec.Files = &registry.FileSpec{Edges: r.Files.Edges, Labels: r.Files.Labels}
+	}
+	if r.Inline != nil {
+		spec.Inline = &registry.InlineSpec{
+			Edges:  []byte(r.Inline.Edges),
+			Labels: []byte(r.Inline.Labels),
+		}
+	}
+	return spec
+}
+
+// GraphListResponse is the body of GET /v1/graphs.
+type GraphListResponse struct {
+	Count  int                  `json:"count"`
+	Graphs []registry.GraphInfo `json:"graphs"`
+}
+
+// DeleteGraphResponse is the body of DELETE /v1/graphs/{name}.
+type DeleteGraphResponse struct {
+	Deleted string `json:"deleted"`
+}
+
+// AdminResponse is the body of GET /v1/admin/registry: registry totals
+// (budget, resident bytes, aggregate hit/build/eviction counters) plus the
+// per-graph breakdown.
+type AdminResponse struct {
+	Stats  registry.Stats       `json:"stats"`
+	Graphs []registry.GraphInfo `json:"graphs"`
+}
 
 // ClassifyRequest is the body of POST /v1/classify.
 type ClassifyRequest struct {
@@ -92,17 +186,23 @@ type LabelsPatchResponse struct {
 	Reestimated bool `json:"reestimated"`
 }
 
-// Health is the body of GET /healthz.
+// Health is the body of GET /healthz. The per-graph fields (Nodes, Edges,
+// Classes, Labeled and the engine counters) describe the "default" graph
+// when its engine is resident and are zero otherwise; multi-tenant
+// deployments read GET /v1/admin/registry instead.
 type Health struct {
-	Status       string  `json:"status"`
-	Nodes        int     `json:"nodes"`
-	Edges        int     `json:"edges"`
-	Classes      int     `json:"classes"`
-	Labeled      int     `json:"labeled"`
-	Estimations  int64   `json:"estimations"`
-	Propagations int64   `json:"propagations"`
-	Queries      int64   `json:"queries"`
-	UptimeMS     float64 `json:"uptime_ms"`
+	Status        string  `json:"status"`
+	Graphs        int     `json:"graphs"`
+	GraphsBuilt   int     `json:"graphs_built"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	Classes       int     `json:"classes"`
+	Labeled       int     `json:"labeled"`
+	Estimations   int64   `json:"estimations"`
+	Propagations  int64   `json:"propagations"`
+	Queries       int64   `json:"queries"`
+	UptimeMS      float64 `json:"uptime_ms"`
 }
 
 // APIError is the uniform error body.
