@@ -1,0 +1,110 @@
+// Command benchdiff compares two loadgen reports (BENCH_serve.json) and
+// fails when the new one regresses: CI runs it against the previous
+// commit's artifact so a serving-latency regression breaks the build
+// instead of sliding by unnoticed.
+//
+//	benchdiff -old baseline/BENCH_serve.json -new BENCH_serve.json
+//	benchdiff -old prev.json -new cur.json -max-regress 0.25
+//
+// The gate is the classify p95 (and the patch p95 when both reports carry
+// one): new_p95 must not exceed old_p95 × (1 + max-regress). QPS is
+// reported for context but not gated — it conflates client and server
+// effects on shared CI runners.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchReport is the subset of the loadgen report the diff reads.
+type benchReport struct {
+	QPS       float64 `json:"qps"`
+	LatencyMS struct {
+		P95    float64 `json:"p95"`
+		Sample int     `json:"samples"`
+	} `json:"latency_ms"`
+	PatchLatencyMS *struct {
+		P95    float64 `json:"p95"`
+		Sample int     `json:"samples"`
+	} `json:"patch_latency_ms"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	oldPath := flag.String("old", "", "baseline report (previous commit's BENCH_serve.json)")
+	newPath := flag.String("new", "BENCH_serve.json", "fresh report")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated p95 growth (0.25 = +25%)")
+	allowMissing := flag.Bool("allow-missing-old", false, "exit 0 when the baseline file does not exist (first run)")
+	flag.Parse()
+
+	if *oldPath == "" {
+		return errors.New("-old is required")
+	}
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		if *allowMissing && errors.Is(err, os.ErrNotExist) {
+			fmt.Printf("benchdiff: no baseline at %s; nothing to compare\n", *oldPath)
+			return nil
+		}
+		return err
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+	return compare(oldRep, newRep, *maxRegress, os.Stdout)
+}
+
+func load(path string) (*benchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compare gates new against old, writing a human-readable summary to w and
+// returning an error on regression.
+func compare(oldRep, newRep *benchReport, maxRegress float64, w *os.File) error {
+	fmt.Fprintf(w, "qps: %.1f → %.1f (%+.1f%%)\n",
+		oldRep.QPS, newRep.QPS, pct(oldRep.QPS, newRep.QPS))
+	var failures []string
+	check := func(name string, oldP95, newP95 float64) {
+		fmt.Fprintf(w, "%s p95: %.3fms → %.3fms (%+.1f%%, limit +%.0f%%)\n",
+			name, oldP95, newP95, pct(oldP95, newP95), maxRegress*100)
+		if oldP95 > 0 && newP95 > oldP95*(1+maxRegress) {
+			failures = append(failures,
+				fmt.Sprintf("%s p95 regressed %.3fms → %.3fms (>%.0f%%)", name, oldP95, newP95, maxRegress*100))
+		}
+	}
+	check("classify", oldRep.LatencyMS.P95, newRep.LatencyMS.P95)
+	if oldRep.PatchLatencyMS != nil && newRep.PatchLatencyMS != nil {
+		check("patch", oldRep.PatchLatencyMS.P95, newRep.PatchLatencyMS.P95)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s): %v", len(failures), failures)
+	}
+	fmt.Fprintln(w, "benchdiff: within budget")
+	return nil
+}
+
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(qp95, pp95 float64) *benchReport {
+	r := &benchReport{QPS: 100}
+	r.LatencyMS.P95 = qp95
+	if pp95 > 0 {
+		r.PatchLatencyMS = &struct {
+			P95    float64 `json:"p95"`
+			Sample int     `json:"samples"`
+		}{P95: pp95}
+	}
+	return r
+}
+
+func TestCompare(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// Within budget: +20% under a 25% limit.
+	if err := compare(report(10, 0), report(12, 0), 0.25, devnull); err != nil {
+		t.Errorf("+20%% flagged under 25%% budget: %v", err)
+	}
+	// Over budget.
+	if err := compare(report(10, 0), report(12.6, 0), 0.25, devnull); err == nil {
+		t.Error("+26% not flagged under 25% budget")
+	}
+	// Patch p95 gated when both sides have it.
+	if err := compare(report(10, 5), report(10, 7), 0.25, devnull); err == nil {
+		t.Error("patch p95 +40% not flagged")
+	}
+	// Patch p95 ignored when the baseline predates mixed workloads.
+	if err := compare(report(10, 0), report(10, 7), 0.25, devnull); err != nil {
+		t.Errorf("patch p95 without baseline flagged: %v", err)
+	}
+	// Improvements always pass.
+	if err := compare(report(10, 5), report(5, 2), 0.25, devnull); err != nil {
+		t.Errorf("improvement flagged: %v", err)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	blob := `{"qps": 50.5, "latency_ms": {"p95": 3.25, "samples": 100}, "patch_latency_ms": {"p95": 9.5, "samples": 10}}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QPS != 50.5 || r.LatencyMS.P95 != 3.25 || r.PatchLatencyMS == nil || r.PatchLatencyMS.P95 != 9.5 {
+		t.Errorf("loaded %+v", r)
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Error("bad JSON did not error")
+	}
+}

@@ -1,12 +1,16 @@
 // Command loadgen is a closed-loop load generator for the serving API: C
-// workers each keep exactly one classify request in flight against
-// /v1/graphs/{name}/classify, drawing random node batches, until a duration
-// or request budget is exhausted. It reports throughput (QPS) and latency
-// percentiles (p50/p95/p99) and writes them as JSON — BENCH_serve.json by
+// workers each keep exactly one request in flight against a graph, drawing
+// random node batches, until a duration or request budget is exhausted. By
+// default every request is a classify; -patch-frac mixes in PATCH /labels
+// writes (random nodes, random classes), which is the benchmark for the
+// incremental residual subsystem — query and patch latencies are reported
+// separately. -repeat aggregates the percentiles over N runs instead of a
+// single one. Results are written as JSON — BENCH_serve.json by
 // convention — to seed the serving-performance trajectory tracked in CI.
 //
 //	loadgen -addr http://localhost:8080 -graph default -c 8 -duration 10s
 //	loadgen -addr http://localhost:8080 -graph demo -requests 5000 -batch 32 -stream
+//	loadgen -addr http://localhost:8080 -graph demo -patch-frac 0.2 -repeat 3
 package main
 
 import (
@@ -19,7 +23,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,27 +37,45 @@ type workload struct {
 	TopK        int     `json:"top_k"`
 	Stream      bool    `json:"stream"`
 	Gzip        bool    `json:"gzip"`
+	PatchFrac   float64 `json:"patch_frac,omitempty"`
+	PatchBatch  int     `json:"patch_batch,omitempty"`
+	Repeat      int     `json:"repeat"`
 	DurationS   float64 `json:"duration_s"`
 	Requests    int64   `json:"requests"`
+	Patches     int64   `json:"patches,omitempty"`
 	Errors      int64   `json:"errors"`
 	GraphNodes  int     `json:"graph_nodes"`
 	GraphEdges  int     `json:"graph_edges"`
 }
 
-type latencies struct {
-	P50    float64 `json:"p50"`
-	P95    float64 `json:"p95"`
-	P99    float64 `json:"p99"`
-	Mean   float64 `json:"mean"`
-	Max    float64 `json:"max"`
-	Sample int     `json:"samples"`
+type report struct {
+	Workload workload `json:"workload"`
+	QPS      float64  `json:"qps"`
+	// LatencyMS summarizes classify (read) requests only; patch (write)
+	// requests are reported separately so a mixed workload cannot hide
+	// write latency inside read percentiles.
+	LatencyMS      latencies  `json:"latency_ms"`
+	PatchLatencyMS *latencies `json:"patch_latency_ms,omitempty"`
+	Timestamp      string     `json:"timestamp"`
 }
 
-type report struct {
-	Workload  workload  `json:"workload"`
-	QPS       float64   `json:"qps"`
-	LatencyMS latencies `json:"latency_ms"`
-	Timestamp string    `json:"timestamp"`
+type config struct {
+	base, graph       string
+	conc, batch, topK int
+	duration, warmup  time.Duration
+	requests          int64
+	stream, gz        bool
+	patchFrac         float64
+	patchBatch        int
+	seed              int64
+	n, k              int
+}
+
+// runResult is one run's raw measurements.
+type runResult struct {
+	queries, patches []time.Duration
+	errs             int64
+	elapsed          time.Duration
 }
 
 func main() {
@@ -68,7 +90,7 @@ func run() error {
 	graph := flag.String("graph", "default", "graph name to drive")
 	conc := flag.Int("c", 8, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 10*time.Second, "run length (ignored when -requests > 0)")
-	requests := flag.Int64("requests", 0, "total request budget (0 = duration-bound)")
+	requests := flag.Int64("requests", 0, "per-run request budget (0 = duration-bound)")
 	batch := flag.Int("batch", 16, "nodes per classify request")
 	topK := flag.Int("topk", 2, "top-k class scores per node")
 	stream := flag.Bool("stream", false, "request NDJSON streaming responses")
@@ -76,120 +98,75 @@ func run() error {
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "measurement excluded warm-up period")
 	out := flag.String("out", "BENCH_serve.json", "output JSON path ('' = stdout only)")
 	seed := flag.Int64("seed", 1, "node-sampling RNG seed")
+	repeat := flag.Int("repeat", 1, "number of measured runs; percentiles aggregate across all of them")
+	patchFrac := flag.Float64("patch-frac", 0, "fraction of requests that are PATCH /labels writes (mixed patch+query workload)")
+	patchBatch := flag.Int("patch-batch", 1, "seed labels set per patch request")
 	flag.Parse()
 
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be ≥ 1, got %d", *repeat)
+	}
+	if *patchFrac < 0 || *patchFrac > 1 {
+		return fmt.Errorf("-patch-frac %v outside [0,1]", *patchFrac)
+	}
+	if *patchBatch < 1 {
+		return fmt.Errorf("-patch-batch must be ≥ 1, got %d", *patchBatch)
+	}
+
 	base := strings.TrimRight(*addr, "/")
-	n, m, err := graphDims(base, *graph)
+	n, m, k, err := graphDims(base, *graph)
 	if err != nil {
 		return err
 	}
 	if *batch > n {
 		*batch = n
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: graph %q has %d nodes, %d edges; %d workers, batch=%d, top_k=%d\n",
-		*graph, n, m, *conc, *batch, *topK)
+	fmt.Fprintf(os.Stderr, "loadgen: graph %q has %d nodes, %d edges, %d classes; %d workers, batch=%d, top_k=%d, patch_frac=%g, repeat=%d\n",
+		*graph, n, m, k, *conc, *batch, *topK, *patchFrac, *repeat)
 
-	url := fmt.Sprintf("%s/v1/graphs/%s/classify", base, *graph)
-	client := &http.Client{Timeout: 60 * time.Second}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		all      []time.Duration
-		tickets  int64 // request budget ticket counter (budget mode only)
-		nErrs    int64
-		budget   = *requests
-		stop     = make(chan struct{})
-		started  = time.Now()
-		measured atomic.Bool
-	)
-	if budget > 0 {
-		// A fixed request budget measures every request: a warm-up window
-		// would silently discard samples (all of them, for a budget that
-		// drains faster than the window).
-		*warmup = 0
-	}
-	if *warmup == 0 {
-		measured.Store(true)
-	} else {
-		go func() {
-			time.Sleep(*warmup)
-			measured.Store(true)
-		}()
-	}
-	if budget == 0 {
-		go func() {
-			time.Sleep(*duration + *warmup)
-			close(stop)
-		}()
-	}
-	measureStart := started.Add(*warmup)
-
-	for w := 0; w < *conc; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(worker)))
-			local := make([]time.Duration, 0, 4096)
-			for {
-				select {
-				case <-stop:
-					mu.Lock()
-					all = append(all, local...)
-					mu.Unlock()
-					return
-				default:
-				}
-				if budget > 0 && atomic.AddInt64(&tickets, 1) > budget {
-					mu.Lock()
-					all = append(all, local...)
-					mu.Unlock()
-					return
-				}
-				lat, err := oneRequest(client, url, rng, n, *batch, *topK, *stream, *gz)
-				if err != nil {
-					atomic.AddInt64(&nErrs, 1)
-					continue
-				}
-				if measured.Load() {
-					local = append(local, lat)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(measureStart)
-	if elapsed <= 0 {
-		elapsed = time.Since(started)
+	cfg := config{
+		base: base, graph: *graph,
+		conc: *conc, batch: *batch, topK: *topK,
+		duration: *duration, warmup: *warmup, requests: *requests,
+		stream: *stream, gz: *gz,
+		patchFrac: *patchFrac, patchBatch: *patchBatch,
+		seed: *seed, n: n, k: k,
 	}
 
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	if len(all) == 0 {
-		return fmt.Errorf("no successful measured requests (%d errors)", atomic.LoadInt64(&nErrs))
+	var queries, patches []time.Duration
+	var nErrs, nPatches int64
+	var elapsed time.Duration
+	for r := 0; r < *repeat; r++ {
+		res, err := runOnce(cfg, int64(r))
+		if err != nil {
+			return fmt.Errorf("run %d/%d: %w", r+1, *repeat, err)
+		}
+		queries = append(queries, res.queries...)
+		patches = append(patches, res.patches...)
+		nErrs += res.errs
+		nPatches += int64(len(res.patches))
+		elapsed += res.elapsed
 	}
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	var sum time.Duration
-	for _, d := range all {
-		sum += d
+	if len(queries) == 0 {
+		return fmt.Errorf("no successful measured classify requests (%d errors)", nErrs)
 	}
+
 	rep := report{
 		Workload: workload{
 			Graph: *graph, Concurrency: *conc, Batch: *batch, TopK: *topK,
 			Stream: *stream, Gzip: *gz,
+			PatchFrac: *patchFrac, PatchBatch: *patchBatch, Repeat: *repeat,
 			DurationS: elapsed.Seconds(),
-			Requests:  int64(len(all)), Errors: atomic.LoadInt64(&nErrs),
+			Requests:  int64(len(queries)) + nPatches, Patches: nPatches, Errors: nErrs,
 			GraphNodes: n, GraphEdges: m,
 		},
-		QPS: float64(len(all)) / elapsed.Seconds(),
-		LatencyMS: latencies{
-			P50:    ms(percentile(all, 0.50)),
-			P95:    ms(percentile(all, 0.95)),
-			P99:    ms(percentile(all, 0.99)),
-			Mean:   ms(sum / time.Duration(len(all))),
-			Max:    ms(all[len(all)-1]),
-			Sample: len(all),
-		},
+		QPS:       float64(len(queries)+len(patches)) / elapsed.Seconds(),
+		LatencyMS: summarize(queries),
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	if len(patches) > 0 {
+		pl := summarize(patches)
+		rep.PatchLatencyMS = &pl
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -205,52 +182,139 @@ func run() error {
 	return nil
 }
 
-// percentile returns the p-quantile of sorted latencies (nearest-rank).
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+// runOnce executes one closed-loop measurement run.
+func runOnce(cfg config, run int64) (runResult, error) {
+	classifyURL := fmt.Sprintf("%s/v1/graphs/%s/classify", cfg.base, cfg.graph)
+	patchURL := fmt.Sprintf("%s/v1/graphs/%s/labels", cfg.base, cfg.graph)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		qAll     []time.Duration
+		pAll     []time.Duration
+		tickets  int64 // request budget ticket counter (budget mode only)
+		nErrs    int64
+		budget   = cfg.requests
+		warmup   = cfg.warmup
+		stop     = make(chan struct{})
+		started  = time.Now()
+		measured atomic.Bool
+	)
+	if budget > 0 {
+		// A fixed request budget measures every request: a warm-up window
+		// would silently discard samples (all of them, for a budget that
+		// drains faster than the window).
+		warmup = 0
 	}
-	idx := int(p * float64(len(sorted)))
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if warmup == 0 {
+		measured.Store(true)
+	} else {
+		go func() {
+			time.Sleep(warmup)
+			measured.Store(true)
+		}()
 	}
-	return sorted[idx]
+	if budget == 0 {
+		go func() {
+			time.Sleep(cfg.duration + warmup)
+			close(stop)
+		}()
+	}
+	measureStart := started.Add(warmup)
+
+	for w := 0; w < cfg.conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + run*1000003 + int64(worker)))
+			qLocal := make([]time.Duration, 0, 4096)
+			pLocal := make([]time.Duration, 0, 512)
+			flush := func() {
+				mu.Lock()
+				qAll = append(qAll, qLocal...)
+				pAll = append(pAll, pLocal...)
+				mu.Unlock()
+			}
+			for {
+				select {
+				case <-stop:
+					flush()
+					return
+				default:
+				}
+				if budget > 0 && atomic.AddInt64(&tickets, 1) > budget {
+					flush()
+					return
+				}
+				isPatch := cfg.patchFrac > 0 && rng.Float64() < cfg.patchFrac
+				var lat time.Duration
+				var err error
+				if isPatch {
+					lat, err = onePatch(client, patchURL, rng, cfg.n, cfg.k, cfg.patchBatch)
+				} else {
+					lat, err = oneRequest(client, classifyURL, rng, cfg.n, cfg.batch, cfg.topK, cfg.stream, cfg.gz)
+				}
+				if err != nil {
+					atomic.AddInt64(&nErrs, 1)
+					continue
+				}
+				if measured.Load() {
+					if isPatch {
+						pLocal = append(pLocal, lat)
+					} else {
+						qLocal = append(qLocal, lat)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+	if elapsed <= 0 {
+		elapsed = time.Since(started)
+	}
+	return runResult{queries: qAll, patches: pAll, errs: atomic.LoadInt64(&nErrs), elapsed: elapsed}, nil
 }
 
-// graphDims resolves the graph's node/edge counts, warming the engine with
-// a one-node classify first so a cold (or file-backed) graph reports real
-// dimensions and the benchmark excludes the one-off build.
-func graphDims(base, graph string) (n, m int, err error) {
+// graphDims resolves the graph's node/edge/class counts, warming the engine
+// with a one-node classify first so a cold (or file-backed) graph reports
+// real dimensions and the benchmark excludes the one-off build.
+func graphDims(base, graph string) (n, m, k int, err error) {
 	warmBody := `{"nodes":[0]}`
 	resp, err := http.Post(fmt.Sprintf("%s/v1/graphs/%s/classify", base, graph),
 		"application/json", strings.NewReader(warmBody))
 	if err != nil {
-		return 0, 0, fmt.Errorf("warm-up classify: %w", err)
+		return 0, 0, 0, fmt.Errorf("warm-up classify: %w", err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("warm-up classify: status %d", resp.StatusCode)
+		return 0, 0, 0, fmt.Errorf("warm-up classify: status %d", resp.StatusCode)
 	}
 	resp, err = http.Get(fmt.Sprintf("%s/v1/graphs/%s", base, graph))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("GET /v1/graphs/%s: status %d", graph, resp.StatusCode)
+		return 0, 0, 0, fmt.Errorf("GET /v1/graphs/%s: status %d", graph, resp.StatusCode)
 	}
 	var info struct {
-		Nodes int `json:"nodes"`
-		Edges int `json:"edges"`
+		Nodes   int `json:"nodes"`
+		Edges   int `json:"edges"`
+		Classes int `json:"classes"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if info.Nodes <= 0 {
-		return 0, 0, fmt.Errorf("graph %q reports %d nodes", graph, info.Nodes)
+		return 0, 0, 0, fmt.Errorf("graph %q reports %d nodes", graph, info.Nodes)
 	}
-	return info.Nodes, info.Edges, nil
+	if info.Classes < 2 {
+		info.Classes = 2
+	}
+	return info.Nodes, info.Edges, info.Classes, nil
 }
 
 // oneRequest issues a single classify call and returns its latency.
@@ -265,7 +329,25 @@ func oneRequest(client *http.Client, url string, rng *rand.Rand, n, batch, topK 
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(context.Background(), "POST", url, bytes.NewReader(body))
+	return timedDo(client, "POST", url, body, gz)
+}
+
+// onePatch issues a single PATCH /labels call setting patchBatch random
+// nodes to random classes.
+func onePatch(client *http.Client, url string, rng *rand.Rand, n, k, patchBatch int) (time.Duration, error) {
+	set := make(map[string]int, patchBatch)
+	for i := 0; i < patchBatch; i++ {
+		set[strconv.Itoa(rng.Intn(n))] = rng.Intn(k)
+	}
+	body, err := json.Marshal(map[string]any{"set": set})
+	if err != nil {
+		return 0, err
+	}
+	return timedDo(client, "PATCH", url, body, false)
+}
+
+func timedDo(client *http.Client, method, url string, body []byte, gz bool) (time.Duration, error) {
+	req, err := http.NewRequestWithContext(context.Background(), method, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}

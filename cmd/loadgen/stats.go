@@ -1,0 +1,51 @@
+package main
+
+import (
+	"sort"
+	"time"
+)
+
+// latencies is the percentile summary of one latency population.
+type latencies struct {
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	Sample int     `json:"samples"`
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// summarize sorts samples in place (possibly aggregated across several
+// runs) and reduces them to the percentile summary the report carries.
+func summarize(samples []time.Duration) latencies {
+	if len(samples) == 0 {
+		return latencies{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	return latencies{
+		P50:    ms(percentile(samples, 0.50)),
+		P95:    ms(percentile(samples, 0.95)),
+		P99:    ms(percentile(samples, 0.99)),
+		Mean:   ms(sum / time.Duration(len(samples))),
+		Max:    ms(samples[len(samples)-1]),
+		Sample: len(samples),
+	}
+}

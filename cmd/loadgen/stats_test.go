@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	var s []time.Duration
+	if got := percentile(s, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(s, 0.50); got != 51*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(s, 0.99); got != 100*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := percentile(s, 1.0); got != 100*time.Millisecond {
+		t.Errorf("p100 clamped = %v", got)
+	}
+}
+
+// TestSummarizeAggregatesAcrossRuns: summarize over the concatenation of
+// two runs' samples must equal summarize over a single combined population
+// — the property -repeat relies on.
+func TestSummarizeAggregatesAcrossRuns(t *testing.T) {
+	run1 := []time.Duration{3 * time.Millisecond, 1 * time.Millisecond, 2 * time.Millisecond}
+	run2 := []time.Duration{6 * time.Millisecond, 4 * time.Millisecond, 5 * time.Millisecond}
+	combined := append(append([]time.Duration(nil), run1...), run2...)
+	got := summarize(combined)
+	if got.Sample != 6 {
+		t.Errorf("samples = %d, want 6", got.Sample)
+	}
+	if got.Max != 6 {
+		t.Errorf("max = %v, want 6", got.Max)
+	}
+	if got.Mean != 3.5 {
+		t.Errorf("mean = %v, want 3.5", got.Mean)
+	}
+	if got.P50 != 4 { // nearest-rank: index 3 of [1 2 3 4 5 6]
+		t.Errorf("p50 = %v, want 4", got.P50)
+	}
+	if s := summarize(nil); s.Sample != 0 || s.P99 != 0 {
+		t.Errorf("empty summarize = %+v", s)
+	}
+}

@@ -61,6 +61,8 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "synthetic: RNG seed")
 	budgetMB := flag.Int64("mem-budget-mb", 0, "engine memory budget in MiB; cold graphs beyond it are evicted LRU (0 = unlimited)")
 	flushEvery := flag.Int("flush-every", 256, "NDJSON records between flushes on streaming classify responses")
+	incremental := flag.Bool("incremental", true, "default graph: enable push-based residual propagation (o(Δ) label patches, copy-on-write what-if overlays)")
+	residualTol := flag.Float64("residual-tol", 0, "default graph: per-node residual tolerance for -incremental (0 = engine default 1e-8)")
 	flag.Parse()
 
 	// The registry treats zero synthetic parameters as "use the default",
@@ -83,7 +85,7 @@ func run() error {
 	reg := registry.New(registry.Options{MemoryBudget: *budgetMB << 20})
 	srvHandler := serve.NewMulti(reg, serve.Options{FlushEvery: *flushEvery})
 
-	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator); err != nil {
+	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator, *incremental, *residualTol); err != nil {
 		return err
 	} else if ok {
 		if _, err := reg.Register(serve.DefaultGraph, spec); err != nil {
@@ -141,8 +143,13 @@ func run() error {
 
 // defaultSpec translates the single-graph flags into a registry spec for
 // the "default" graph; ok is false when no default graph was requested.
-func defaultSpec(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64, estimator string) (registry.Spec, bool, error) {
-	opts := factorgraph.EngineOptions{Estimator: estimator}
+func defaultSpec(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64, estimator string, incremental bool, residualTol float64) (registry.Spec, bool, error) {
+	opts := factorgraph.EngineOptions{Estimator: estimator, Incremental: incremental}
+	if incremental {
+		opts.ResidualTol = residualTol
+	} else if residualTol != 0 {
+		return registry.Spec{}, false, fmt.Errorf("-residual-tol requires -incremental")
+	}
 	if synthetic {
 		if k != 0 && k < 2 {
 			return registry.Spec{}, false, fmt.Errorf("-k must be ≥ 2, got %d", k)

@@ -3,6 +3,7 @@ package factorgraph
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"factorgraph/internal/dense"
 	"factorgraph/internal/labels"
 	"factorgraph/internal/propagation"
+	"factorgraph/internal/residual"
 )
 
 // ErrUnknownEstimator is wrapped by estimation entry points when the
@@ -61,6 +63,13 @@ type Engine struct {
 	eopts  EngineOptions
 	closed bool // set by Close; all expensive operations refuse afterwards
 
+	// res is the live residual-propagation state (Incremental engines
+	// only): beliefs converged to the current (seeds, H) pair, updated in
+	// place by o(Δ) pushes on label patches. nil ⇒ cold or invalidated by
+	// an H change; the next snapshot rebuild re-initializes it with one
+	// full propagation.
+	res *residual.State
+
 	rebuildMu sync.Mutex // serializes snapshot rebuilds (never held with mu)
 
 	// Cached factorized summaries (the M⁽ℓ⁾/P̂⁽ℓ⁾ sketches). They depend
@@ -72,11 +81,14 @@ type Engine struct {
 	sums     *core.Summaries
 	sumGen   int64 // labelGen the cached summaries were computed at
 
-	nEstimations    atomic.Int64
-	nPropagations   atomic.Int64
-	nQueries        atomic.Int64
-	nLabelUpdates   atomic.Int64
-	nSummarizations atomic.Int64
+	nEstimations       atomic.Int64
+	nPropagations      atomic.Int64
+	nQueries           atomic.Int64
+	nLabelUpdates      atomic.Int64
+	nSummarizations    atomic.Int64
+	nResidualPatches   atomic.Int64
+	nResidualPushes    atomic.Int64
+	nResidualFallbacks atomic.Int64
 }
 
 // snapshot is an immutable (beliefs, labels) pair; readers that hold a
@@ -102,6 +114,28 @@ type EngineOptions struct {
 	S float64
 	// Iterations is the LinBP iteration count; default 10.
 	Iterations int
+	// Incremental enables the push-based residual propagation subsystem
+	// (internal/residual): beliefs are maintained at the LinBP fixed point
+	// (to ResidualTol) and label updates cost o(Δ) pushes around the
+	// perturbed neighborhood instead of a full re-propagation; what-if
+	// overlays clone only the belief rows their frontier touches. In this
+	// mode Iterations is not used — convergence is tolerance-driven — and
+	// a full propagation runs only on the first query per (graph, H) pair,
+	// after SetH/Reestimate, or when a perturbation spreads so far that
+	// dense sweeps are cheaper than pushing (the engine falls back
+	// automatically and counts it in Stats().ResidualFallbacks).
+	Incremental bool
+	// ResidualTol is the per-node residual ∞-norm tolerance of the
+	// incremental mode; 0 means residual.DefaultTol (1e-8). Setting it
+	// without Incremental is an error rather than a silent no-op.
+	ResidualTol float64
+	// ResidualEdgeBudget bounds a single push pass at
+	// ResidualEdgeBudget × nnz(W) edge traversals before the subsystem
+	// falls back to dense sweeps (patches) or a full propagation
+	// (overlays); 0 means the residual package default (4). Raise it on
+	// small or dense graphs where frontiers saturate quickly. Setting it
+	// without Incremental is an error.
+	ResidualEdgeBudget float64
 }
 
 // EngineStats counts the expensive operations an Engine has performed;
@@ -121,6 +155,15 @@ type EngineStats struct {
 	// pass over the graph); estimator calls that reuse the cached
 	// summaries do not increment it.
 	Summarizations int64
+	// ResidualPatches is the number of label updates applied as o(Δ)
+	// residual pushes instead of snapshot invalidation (Incremental mode).
+	ResidualPatches int64
+	// ResidualPushes is the total number of node pushes performed by the
+	// residual subsystem, across patches and what-if overlays.
+	ResidualPushes int64
+	// ResidualFallbacks counts pushes that spread past the edge budget and
+	// finished as (or were rerouted to) full propagations.
+	ResidualFallbacks int64
 }
 
 // Query describes one classification request against an Engine.
@@ -156,6 +199,22 @@ type NodeResult struct {
 // with the configured estimator. The engine keeps its own copy of seeds;
 // the graph must not be mutated afterwards.
 func NewEngine(g *Graph, seeds []int, k int, opts ...EngineOptions) (*Engine, error) {
+	return newEngine(g, seeds, k, nil, "", opts)
+}
+
+// NewEngineWithH builds a serving engine like NewEngine but installs the
+// given compatibility matrix instead of running an estimator — the expensive
+// O(mkℓ) sketch+optimization pass is skipped entirely. The registry uses
+// this to rebuild evicted engines from a persisted H, cutting rebuild cost
+// to one propagation; method is recorded as the estimate's provenance.
+func NewEngineWithH(g *Graph, seeds []int, k int, h *Matrix, method string, opts ...EngineOptions) (*Engine, error) {
+	if h == nil {
+		return nil, fmt.Errorf("factorgraph: NewEngineWithH needs a compatibility matrix")
+	}
+	return newEngine(g, seeds, k, h, method, opts)
+}
+
+func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []EngineOptions) (*Engine, error) {
 	var o EngineOptions
 	if len(opts) > 1 {
 		return nil, fmt.Errorf("factorgraph: at most one EngineOptions")
@@ -172,6 +231,21 @@ func NewEngine(g *Graph, seeds []int, k int, opts ...EngineOptions) (*Engine, er
 	if o.Iterations < 0 {
 		return nil, fmt.Errorf("factorgraph: negative iteration count %d", o.Iterations)
 	}
+	if o.ResidualTol < 0 {
+		return nil, fmt.Errorf("factorgraph: negative residual tolerance %v", o.ResidualTol)
+	}
+	if o.ResidualTol > 0 && !o.Incremental {
+		return nil, fmt.Errorf("factorgraph: ResidualTol set without Incremental (the tolerance tunes the residual subsystem only)")
+	}
+	if o.ResidualEdgeBudget < 0 {
+		return nil, fmt.Errorf("factorgraph: negative residual edge budget %v", o.ResidualEdgeBudget)
+	}
+	if o.ResidualEdgeBudget > 0 && !o.Incremental {
+		return nil, fmt.Errorf("factorgraph: ResidualEdgeBudget set without Incremental")
+	}
+	if h != nil && (h.Rows != k || h.Cols != k) {
+		return nil, fmt.Errorf("factorgraph: H is %d×%d, engine has k=%d", h.Rows, h.Cols, k)
+	}
 	if len(seeds) != g.N {
 		return nil, fmt.Errorf("factorgraph: %d seed labels for %d nodes", len(seeds), g.N)
 	}
@@ -184,15 +258,30 @@ func NewEngine(g *Graph, seeds []int, k int, opts ...EngineOptions) (*Engine, er
 	e.x = x
 	// Warm the spectral-radius cache before any query arrives.
 	g.Adj.SpectralRadiusCached(e.linbpOptions().SpectralIters)
-	est, err := e.runEstimator()
-	if err != nil {
-		return nil, err
+	est := &Estimate{H: nil, Method: method}
+	if h != nil {
+		est.H = h.Clone()
+	} else {
+		if est, err = e.runEstimator(); err != nil {
+			return nil, err
+		}
 	}
 	e.est = est
 	if e.pool, err = e.newStatePool(est.H); err != nil {
 		return nil, err
 	}
 	return e, nil
+}
+
+// residualOptions derives the residual subsystem's settings from the
+// engine's propagation options, so the incremental fixed point and the
+// pooled LinBP states share s, centering and the spectral-iteration budget.
+func (e *Engine) residualOptions() residual.Options {
+	lo := e.linbpOptions()
+	return residual.Options{
+		S: lo.S, Tol: e.eopts.ResidualTol, SpectralIters: lo.SpectralIters,
+		EdgeBudgetFactor: e.eopts.ResidualEdgeBudget,
+	}
 }
 
 func (e *Engine) linbpOptions() propagation.LinBPOptions {
@@ -204,6 +293,20 @@ func (e *Engine) linbpOptions() propagation.LinBPOptions {
 		o.Iterations = e.eopts.Iterations
 	}
 	o.SpectralIters = 50
+	if e.eopts.Incremental {
+		// The residual subsystem serves fixed-point beliefs (to
+		// ResidualTol); when a what-if overlay floods the graph and falls
+		// back to a pooled dense propagation, that propagation must reach
+		// the same fixed point or fallback answers would visibly differ
+		// from push answers. Error decays like s^T, so T ≈ log_s(tol).
+		tol := e.eopts.ResidualTol
+		if tol == 0 {
+			tol = residual.DefaultTol
+		}
+		if it := int(math.Ceil(math.Log(tol)/math.Log(o.S))) + 2; it > o.Iterations {
+			o.Iterations = it
+		}
+	}
 	return o
 }
 
@@ -407,11 +510,14 @@ func (e *Engine) LabeledCount() int {
 // Stats returns operation counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Estimations:    e.nEstimations.Load(),
-		Propagations:   e.nPropagations.Load(),
-		Queries:        e.nQueries.Load(),
-		LabelUpdates:   e.nLabelUpdates.Load(),
-		Summarizations: e.nSummarizations.Load(),
+		Estimations:       e.nEstimations.Load(),
+		Propagations:      e.nPropagations.Load(),
+		Queries:           e.nQueries.Load(),
+		LabelUpdates:      e.nLabelUpdates.Load(),
+		Summarizations:    e.nSummarizations.Load(),
+		ResidualPatches:   e.nResidualPatches.Load(),
+		ResidualPushes:    e.nResidualPushes.Load(),
+		ResidualFallbacks: e.nResidualFallbacks.Load(),
 	}
 }
 
@@ -434,9 +540,15 @@ func EstimateEngineBytes(n, m, k int, weighted bool) int64 {
 }
 
 // MemoryFootprint estimates this engine's resident bytes from its graph
-// dimensions; see EstimateEngineBytes.
+// dimensions; see EstimateEngineBytes. Incremental engines add the residual
+// working set: five n×k float64 matrices (X̃, F, R and two sweep buffers)
+// plus the per-node norm/queue bookkeeping.
 func (e *Engine) MemoryFootprint() int64 {
-	return EstimateEngineBytes(e.g.N, e.g.M, e.k, e.g.Adj.Data != nil)
+	b := EstimateEngineBytes(e.g.N, e.g.M, e.k, e.g.Adj.Data != nil)
+	if e.eopts.Incremental {
+		b += int64(e.g.N) * (5*8*int64(e.k) + 9)
+	}
+	return b
 }
 
 // Mutated reports whether the engine's state has diverged from its
@@ -461,6 +573,7 @@ func (e *Engine) Close() {
 	e.snap = nil
 	e.pool = nil
 	e.x = nil
+	e.res = nil
 	e.mu.Unlock()
 	e.sumMu.Lock()
 	e.sums = nil
@@ -494,10 +607,48 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 			e.mu.RUnlock()
 			return s, nil
 		}
+		if e.eopts.Incremental && e.res != nil {
+			// The residual state already holds the converged beliefs for
+			// the current seeds (label patches were flushed in place): the
+			// snapshot is a clone + argmax, no propagation. The clone runs
+			// under the read lock so no patch can mutate rows mid-copy.
+			b := e.res.Beliefs().Clone()
+			gen := e.gen
+			e.mu.RUnlock()
+			snap := &snapshot{beliefs: b, labels: dense.ArgmaxRows(b)}
+			e.mu.Lock()
+			if e.gen == gen && !e.closed {
+				e.snap = snap
+				e.mu.Unlock()
+				return snap, nil
+			}
+			e.mu.Unlock()
+			continue
+		}
 		x := e.x.Clone()
 		pool := e.pool
+		h := e.est.H
 		gen := e.gen
 		e.mu.RUnlock()
+
+		if e.eopts.Incremental {
+			// Cold (or invalidated by an H change): one full solve seeds
+			// the residual state, after which patches are o(Δ).
+			rs, err := residual.NewState(e.g.Adj, h, e.residualOptions())
+			if err != nil {
+				return nil, fmt.Errorf("factorgraph: %w: %v", ErrEngineInternal, err)
+			}
+			e.nPropagations.Add(1)
+			if _, err := rs.Init(x); err != nil {
+				return nil, fmt.Errorf("factorgraph: %w: %v", ErrEngineInternal, err)
+			}
+			e.mu.Lock()
+			if e.gen == gen && !e.closed {
+				e.res = rs
+			}
+			e.mu.Unlock()
+			continue // the res branch above builds (or retries) the snapshot
+		}
 
 		f, err := e.propagateOn(pool, x)
 		if err != nil {
@@ -554,6 +705,22 @@ func (e *Engine) Classify(q Query) ([]NodeResult, error) {
 	return out, nil
 }
 
+// QueryMeta describes how a query was answered; the HTTP layer reports it
+// so clients (and benchmarks) can see the incremental subsystem at work.
+type QueryMeta struct {
+	// Residual is true when the residual subsystem answered the query —
+	// either directly from live beliefs (small node lists after a patch)
+	// or through a what-if overlay.
+	Residual bool
+	// PushedNodes / TouchedEdges is the push work an overlay performed
+	// (zero for non-overlay queries).
+	PushedNodes  int
+	TouchedEdges int
+	// ClonedRows is how many copy-on-write belief rows an overlay
+	// materialized — the size of its frontier.
+	ClonedRows int
+}
+
 // ClassifyEach is Classify without materializing the result slice: fn is
 // invoked once per node in order. Queried nodes are validated before the
 // first invocation, so fn never sees a partial error-bound iteration; an
@@ -561,12 +728,185 @@ func (e *Engine) Classify(q Query) ([]NodeResult, error) {
 // NDJSON streaming uses — memory stays O(k) per record even when
 // classifying every node of a huge graph.
 func (e *Engine) ClassifyEach(q Query, fn func(NodeResult) error) error {
+	_, err := e.ClassifyEachMeta(q, fn)
+	return err
+}
+
+// ClassifyEachMeta is ClassifyEach plus metadata about how the query was
+// served. On Incremental engines it prefers the residual paths: what-if
+// queries run on a copy-on-write overlay over the live residual state
+// (falling back to a full pooled propagation only when the overlay frontier
+// floods the graph), and small node-list queries hitting a stale snapshot
+// are answered straight from the live belief rows without rebuilding it.
+func (e *Engine) ClassifyEachMeta(q Query, fn func(NodeResult) error) (QueryMeta, error) {
 	e.nQueries.Add(1)
+	if e.eopts.Incremental {
+		if len(q.ExtraSeeds) > 0 {
+			meta, handled, err := e.overlayResidual(q, fn)
+			if handled || err != nil {
+				return meta, err
+			}
+		} else {
+			meta, handled, err := e.residualDirect(q, fn)
+			if handled || err != nil {
+				return meta, err
+			}
+		}
+	}
 	beliefs, lab, err := e.resolve(q)
 	if err != nil {
-		return err
+		return QueryMeta{}, err
 	}
-	return e.formatEach(q, beliefs, lab, fn)
+	return QueryMeta{}, e.formatEach(q, beliefs, lab, fn)
+}
+
+// residualDirectMax bounds the node-list size served straight from the live
+// residual rows; anything larger rebuilds the snapshot (a clone + argmax),
+// which amortizes better across records.
+const residualDirectMax = 1024
+
+// residualDirect answers a small node-list query from the live residual
+// beliefs under the read lock — no snapshot rebuild, no propagation. It
+// declines (handled=false) when a fresh snapshot already exists (serving
+// from it is zero-copy) or the residual state is cold.
+func (e *Engine) residualDirect(q Query, fn func(NodeResult) error) (QueryMeta, bool, error) {
+	if q.Nodes == nil || len(q.Nodes) == 0 || len(q.Nodes) > residualDirectMax {
+		return QueryMeta{}, false, nil
+	}
+	for _, node := range q.Nodes {
+		if node < 0 || node >= e.g.N {
+			return QueryMeta{}, true, fmt.Errorf("factorgraph: query node %d out of range n=%d", node, e.g.N)
+		}
+	}
+	topk := q.TopK
+	if topk > e.k {
+		topk = e.k
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return QueryMeta{}, true, ErrEngineClosed
+	}
+	if e.snap != nil || e.res == nil {
+		e.mu.RUnlock()
+		return QueryMeta{}, false, nil
+	}
+	// Copy the queried rows out under the lock; formatting (and fn, which
+	// may write to a network) runs outside it.
+	rows := make([][]float64, len(q.Nodes))
+	labs := make([]int, len(q.Nodes))
+	for i, node := range q.Nodes {
+		row := e.res.Row(node)
+		labs[i] = argmaxRow(row)
+		if topk > 0 {
+			rows[i] = append([]float64(nil), row...)
+		}
+	}
+	e.mu.RUnlock()
+	for i, node := range q.Nodes {
+		if err := e.emitResult(node, rows[i], labs[i], topk, fn); err != nil {
+			return QueryMeta{Residual: true}, true, err
+		}
+	}
+	return QueryMeta{Residual: true}, true, nil
+}
+
+// overlayResidual answers a what-if query on a copy-on-write overlay over
+// the live residual state: only the frontier the extra seeds perturb is
+// cloned and pushed. handled=false (with no error) reroutes to the full
+// pooled propagation — either the residual state raced an H change, or the
+// overlay flooded past the edge budget.
+//
+// The overlay flush and row materialization run under the read lock (they
+// read live base rows a concurrent patch could mutate); that hold is
+// bounded by the edge budget — a flooding overlay stops at the budget and
+// reroutes to the pooled propagation, which runs lock-free as always. Keep
+// ResidualEdgeBudget modest on latency-sensitive deployments.
+func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta, bool, error) {
+	// Validate before any work, exactly like the full overlay path.
+	for node, c := range q.ExtraSeeds {
+		if node < 0 || node >= e.g.N {
+			return QueryMeta{}, true, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, e.g.N)
+		}
+		if c != Unlabeled && (c < 0 || c >= e.k) {
+			return QueryMeta{}, true, fmt.Errorf("factorgraph: extra seed class %d outside [0,%d)", c, e.k)
+		}
+	}
+	for _, node := range q.Nodes {
+		if node < 0 || node >= e.g.N {
+			return QueryMeta{}, true, fmt.Errorf("factorgraph: query node %d out of range n=%d", node, e.g.N)
+		}
+	}
+	// Ensure the residual base exists (first query per (graph, H) pays the
+	// one full solve).
+	if _, err := e.currentSnapshot(); err != nil {
+		return QueryMeta{}, true, err
+	}
+	topk := q.TopK
+	if topk > e.k {
+		topk = e.k
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return QueryMeta{}, true, ErrEngineClosed
+	}
+	if e.res == nil {
+		e.mu.RUnlock()
+		return QueryMeta{}, false, nil // raced an H change; full path serves it
+	}
+	ov := e.res.NewOverlay()
+	for node, c := range q.ExtraSeeds {
+		ov.SetSeed(node, c)
+	}
+	st := ov.Flush()
+	e.nResidualPushes.Add(int64(st.Pushed))
+	if st.FellBack {
+		e.mu.RUnlock()
+		e.nResidualFallbacks.Add(1)
+		return QueryMeta{}, false, nil // graph-wide what-if: full propagation
+	}
+	meta := QueryMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, ClonedRows: ov.Touched()}
+	// Materialize the answer under the read lock (overlay rows alias the
+	// base), then emit outside it.
+	n := len(q.Nodes)
+	if q.Nodes == nil {
+		n = e.g.N
+	}
+	rows := make([][]float64, n)
+	labs := make([]int, n)
+	for i := 0; i < n; i++ {
+		node := i
+		if q.Nodes != nil {
+			node = q.Nodes[i]
+		}
+		row := ov.Row(node)
+		labs[i] = argmaxRow(row)
+		if topk > 0 {
+			rows[i] = append([]float64(nil), row...)
+		}
+	}
+	e.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		node := i
+		if q.Nodes != nil {
+			node = q.Nodes[i]
+		}
+		if err := e.emitResult(node, rows[i], labs[i], topk, fn); err != nil {
+			return meta, true, err
+		}
+	}
+	return meta, true, nil
+}
+
+func argmaxRow(row []float64) int {
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
 }
 
 // resolve produces the belief matrix and labels answering q: the cached
@@ -642,26 +982,35 @@ func (e *Engine) formatEach(q Query, beliefs *dense.Matrix, lab []int, fn func(N
 		if q.Nodes != nil {
 			node = q.Nodes[i]
 		}
-		r := NodeResult{Node: node, Label: lab[node]}
+		var row []float64
 		if topk > 0 {
-			row := beliefs.Row(node)
-			scores := make([]ClassScore, e.k)
-			for c := 0; c < e.k; c++ {
-				scores[c] = ClassScore{Class: c, Score: row[c]}
-			}
-			sort.Slice(scores, func(a, b int) bool {
-				if scores[a].Score != scores[b].Score {
-					return scores[a].Score > scores[b].Score
-				}
-				return scores[a].Class < scores[b].Class
-			})
-			r.Top = scores[:topk]
+			row = beliefs.Row(node)
 		}
-		if err := fn(r); err != nil {
+		if err := e.emitResult(node, row, lab[node], topk, fn); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// emitResult renders one NodeResult and hands it to fn. row is only read
+// when topk > 0.
+func (e *Engine) emitResult(node int, row []float64, lab, topk int, fn func(NodeResult) error) error {
+	r := NodeResult{Node: node, Label: lab}
+	if topk > 0 {
+		scores := make([]ClassScore, e.k)
+		for c := 0; c < e.k; c++ {
+			scores[c] = ClassScore{Class: c, Score: row[c]}
+		}
+		sort.Slice(scores, func(a, b int) bool {
+			if scores[a].Score != scores[b].Score {
+				return scores[a].Score > scores[b].Score
+			}
+			return scores[a].Class < scores[b].Class
+		})
+		r.Top = scores[:topk]
+	}
+	return fn(r)
 }
 
 // ClassifyBatch answers many queries concurrently (bounded by GOMAXPROCS).
@@ -691,30 +1040,57 @@ func (e *Engine) ClassifyBatch(qs []Query) ([][]NodeResult, error) {
 	return out, nil
 }
 
+// PatchMeta describes how a label update was applied; the HTTP layer
+// reports it in PATCH /labels responses.
+type PatchMeta struct {
+	// Residual is true when the update was propagated in place by o(Δ)
+	// residual pushes; false means the belief snapshot was invalidated and
+	// the next query pays a full propagation (non-incremental engines, or
+	// an incremental engine whose residual state is still cold).
+	Residual bool
+	// PushedNodes / TouchedEdges is the push work the flush performed.
+	PushedNodes  int
+	TouchedEdges int
+	// FellBack reports that the perturbation spread past the edge budget:
+	// the residual state was dropped (no propagation-scale work runs under
+	// the engine's write lock) and the next query pays one full re-solve,
+	// outside the lock.
+	FellBack bool
+}
+
 // UpdateLabels applies an incremental seed-label update without rebuilding
 // anything expensive: set assigns classes to nodes, remove clears seeds.
-// The CSR matrix, ρ(W) and the H estimate are all retained; only the
-// explicit-belief matrix changes and the belief snapshot is invalidated
-// (rebuilt lazily by the next query). Call Reestimate when enough labels
-// changed that H itself should be refreshed.
+// The CSR matrix, ρ(W) and the H estimate are all retained. On a
+// non-incremental engine only the explicit-belief matrix changes and the
+// belief snapshot is invalidated (rebuilt lazily by the next query); on an
+// Incremental engine the change is pushed through the live residual state,
+// so the next query costs o(Δ), not a propagation. Call Reestimate when
+// enough labels changed that H itself should be refreshed.
 func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
+	_, err := e.UpdateLabelsMeta(set, remove)
+	return err
+}
+
+// UpdateLabelsMeta is UpdateLabels plus metadata about how the update was
+// propagated.
+func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return ErrEngineClosed
+		return PatchMeta{}, ErrEngineClosed
 	}
 	// Validate fully before mutating so a bad request leaves state intact.
 	for node, c := range set {
 		if node < 0 || node >= e.g.N {
-			return fmt.Errorf("factorgraph: label update node %d out of range n=%d", node, e.g.N)
+			return PatchMeta{}, fmt.Errorf("factorgraph: label update node %d out of range n=%d", node, e.g.N)
 		}
 		if c < 0 || c >= e.k {
-			return fmt.Errorf("factorgraph: label update class %d outside [0,%d)", c, e.k)
+			return PatchMeta{}, fmt.Errorf("factorgraph: label update class %d outside [0,%d)", c, e.k)
 		}
 	}
 	for _, node := range remove {
 		if node < 0 || node >= e.g.N {
-			return fmt.Errorf("factorgraph: label removal node %d out of range n=%d", node, e.g.N)
+			return PatchMeta{}, fmt.Errorf("factorgraph: label removal node %d out of range n=%d", node, e.g.N)
 		}
 	}
 	for node, c := range set {
@@ -723,15 +1099,36 @@ func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
 	for _, node := range remove {
 		e.setSeedLocked(node, Unlabeled)
 	}
+	var meta PatchMeta
+	if e.res != nil {
+		// The deltas queued by setSeedLocked propagate in place: the
+		// residual state stays the converged truth for the new seeds. The
+		// snapshot still goes stale (its argmax labels predate the patch),
+		// but its rebuild is a clone, not a propagation. The flush is
+		// bounded: a perturbation past the edge budget must NOT run dense
+		// sweeps here — we hold the write lock, and propagation-scale work
+		// under it would stall every reader — so the residual state is
+		// dropped instead and the next query re-solves outside the lock
+		// via the usual snapshot rebuild.
+		st, converged := e.res.FlushBounded()
+		e.nResidualPatches.Add(1)
+		e.nResidualPushes.Add(int64(st.Pushed))
+		if !converged {
+			e.nResidualFallbacks.Add(1)
+			e.res = nil
+		}
+		meta = PatchMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, FellBack: !converged}
+	}
 	e.snap = nil
 	e.gen++
 	e.labelGen++ // seeds changed ⇒ cached summaries are stale
 	e.nLabelUpdates.Add(1)
-	return nil
+	return meta, nil
 }
 
 func (e *Engine) setSeedLocked(node, c int) {
-	if old := e.seeds[node]; old == Unlabeled && c != Unlabeled {
+	old := e.seeds[node]
+	if old == Unlabeled && c != Unlabeled {
 		e.nLabeled++
 	} else if old != Unlabeled && c == Unlabeled {
 		e.nLabeled--
@@ -743,6 +1140,18 @@ func (e *Engine) setSeedLocked(node, c int) {
 	}
 	if c != Unlabeled {
 		row[c] = 1
+	}
+	if e.res != nil && old != c {
+		// Queue the explicit-belief delta; UpdateLabelsMeta flushes once
+		// after the whole batch so overlapping patches coalesce.
+		delta := make([]float64, e.k)
+		if old != Unlabeled {
+			delta[old] -= 1
+		}
+		if c != Unlabeled {
+			delta[c] += 1
+		}
+		e.res.AddDelta(node, delta)
 	}
 }
 
@@ -769,6 +1178,7 @@ func (e *Engine) Reestimate() (*Estimate, error) {
 	e.est = est
 	e.pool = pool
 	e.snap = nil
+	e.res = nil // H changed: the residual fixed point is void
 	e.gen++
 	return est, nil
 }
@@ -793,6 +1203,7 @@ func (e *Engine) SetH(h *Matrix, method string) error {
 	e.est = est
 	e.pool = pool
 	e.snap = nil
+	e.res = nil // H changed: the residual fixed point is void
 	e.gen++
 	return nil
 }

@@ -1,0 +1,73 @@
+package registry
+
+import (
+	"testing"
+
+	"factorgraph"
+)
+
+// TestEvictionPersistsH: rebuilding an evicted graph must reuse the H
+// captured at eviction — the rebuilt engine runs zero estimations and
+// serves the identical compatibility matrix.
+func TestEvictionPersistsH(t *testing.T) {
+	// Budget fits one engine: admitting the second evicts the first.
+	r := New(Options{MemoryBudget: testEngineBytes() + testEngineBytes()/2})
+	if _, err := r.Register("a", testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("b", testSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	engA, release, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBefore := engA.Estimate().H.Clone()
+	methodBefore := engA.Estimate().Method
+	if st := engA.Stats(); st.Estimations != 1 {
+		t.Fatalf("first build ran %d estimations, want 1", st.Estimations)
+	}
+	release()
+
+	// Build b: evicts a (cold, unpinned, unmutated).
+	if _, release, err = r.Acquire("b"); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	info, err := r.Info("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "cold" || info.Evictions != 1 {
+		t.Fatalf("a not evicted: %+v", info)
+	}
+	if !info.HRetained {
+		t.Errorf("eviction did not retain H: %+v", info)
+	}
+
+	// Rebuild a: no estimation, same H.
+	engA2, release, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if st := engA2.Stats(); st.Estimations != 0 {
+		t.Errorf("rebuild ran %d estimations, want 0 (persisted H)", st.Estimations)
+	}
+	hAfter := engA2.Estimate().H
+	if hAfter.Rows != hBefore.Rows || hAfter.Cols != hBefore.Cols {
+		t.Fatalf("rebuilt H is %dx%d, want %dx%d", hAfter.Rows, hAfter.Cols, hBefore.Rows, hBefore.Cols)
+	}
+	for i := range hBefore.Data {
+		if hBefore.Data[i] != hAfter.Data[i] {
+			t.Fatalf("rebuilt H differs at %d: %g vs %g", i, hBefore.Data[i], hAfter.Data[i])
+		}
+	}
+	if m := engA2.Estimate().Method; m != methodBefore {
+		t.Errorf("rebuilt method %q, want %q", m, methodBefore)
+	}
+	// The rebuilt engine still classifies.
+	if _, err := engA2.Classify(factorgraph.Query{Nodes: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,6 +78,13 @@ type entry struct {
 
 	nodes, edges, classes int // known dimensions (0 until discoverable)
 
+	// lastH is the engine's compatibility estimate captured at eviction
+	// (k×k — a few hundred bytes). Rebuilds install it via the spec's
+	// presetH, cutting rebuild cost from estimation + propagation to one
+	// propagation. Freed with the entry on Delete.
+	lastH       *factorgraph.Matrix
+	lastHMethod string
+
 	hits, builds, evictions int64
 	lastTick                uint64 // registry tick of the last acquisition
 	lastAccess              time.Time
@@ -197,6 +204,9 @@ func (r *Registry) Acquire(name string) (*factorgraph.Engine, func(), error) {
 		ch := make(chan struct{})
 		e.building = ch
 		spec := e.spec
+		// A rebuild after eviction reuses the H persisted from the evicted
+		// engine, skipping the estimator pass.
+		spec.presetH, spec.presetHMethod = e.lastH, e.lastHMethod
 		r.mu.Unlock()
 
 		eng, err := r.builder(spec)
@@ -315,6 +325,13 @@ func (r *Registry) evictLocked() {
 		if victim == nil {
 			return // everything resident is pinned or unevictable
 		}
+		// Persist the engine's H (k×k) before dropping it: the next access
+		// then rebuilds with one propagation instead of re-estimating.
+		// Victims are never mutated (see the skip above), so this H is the
+		// one the spec's own seeds produced.
+		if est := victim.engine.Estimate(); est != nil && est.H != nil {
+			victim.lastH, victim.lastHMethod = est.H.Clone(), est.Method
+		}
 		victim.engine.Close()
 		victim.engine = nil
 		r.resident -= victim.mem
@@ -336,7 +353,10 @@ type GraphInfo struct {
 	// Mutated marks a resident engine whose labels or H were changed
 	// after build; such engines are pinned against eviction (a spec
 	// rebuild would lose the mutations — DELETE and re-admit to release).
-	Mutated   bool  `json:"mutated,omitempty"`
+	Mutated bool `json:"mutated,omitempty"`
+	// HRetained marks a graph whose last compatibility estimate survived
+	// an eviction: the next (re)build skips estimation.
+	HRetained bool  `json:"h_retained,omitempty"`
 	Refs      int   `json:"refs"`
 	MemBytes  int64 `json:"mem_bytes"`
 	SpecBytes int64 `json:"spec_bytes,omitempty"`
@@ -364,6 +384,7 @@ func (r *Registry) infoLocked(e *entry) GraphInfo {
 		Hits: e.hits, Builds: e.builds, Evictions: e.evictions,
 		RegisteredUnixMS: e.registered.UnixMilli(),
 	}
+	info.HRetained = e.lastH != nil
 	if e.engine != nil {
 		info.Mutated = e.engine.Mutated()
 	}

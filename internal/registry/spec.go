@@ -57,6 +57,13 @@ type Spec struct {
 	// dimsN/M/K cache the known dimensions, filled by validate so inline
 	// uploads are parsed once at admission, not once per stats query.
 	dimsN, dimsM, dimsK int
+
+	// presetH, when set, is installed as the engine's compatibility
+	// estimate instead of running the estimator — the registry fills it
+	// from the H persisted at eviction, so a spec-backed rebuild costs one
+	// propagation, not estimation + propagation.
+	presetH       *factorgraph.Matrix
+	presetHMethod string
 }
 
 // source names the admission path for stats.
@@ -92,6 +99,12 @@ func (s *Spec) validate() error {
 	if !factorgraph.KnownEstimator(s.Options.Estimator) {
 		return fmt.Errorf("registry: %w %q (want dcer, dce, mce, lce or holdout)",
 			factorgraph.ErrUnknownEstimator, s.Options.Estimator)
+	}
+	if s.Options.ResidualTol < 0 || s.Options.ResidualEdgeBudget < 0 {
+		return fmt.Errorf("registry: negative residual tolerance/edge budget")
+	}
+	if (s.Options.ResidualTol > 0 || s.Options.ResidualEdgeBudget > 0) && !s.Options.Incremental {
+		return fmt.Errorf("registry: residual_tol/residual_edge_budget require incremental")
 	}
 	switch {
 	case s.Synthetic != nil:
@@ -186,11 +199,15 @@ func (s *Spec) loadSynthetic() (*factorgraph.Graph, []int, int, error) {
 }
 
 // buildEngine is the default builder: load the spec's graph and run the
-// full engine preprocessing (CSR, ρ(W), compatibility estimate).
+// full engine preprocessing (CSR, ρ(W), compatibility estimate). A rebuild
+// after eviction reuses the persisted H (presetH), skipping the estimator.
 func buildEngine(s Spec) (*factorgraph.Engine, error) {
 	g, seeds, k, err := s.load()
 	if err != nil {
 		return nil, err
+	}
+	if s.presetH != nil && s.presetH.Rows == k {
+		return factorgraph.NewEngineWithH(g, seeds, k, s.presetH, s.presetHMethod, s.Options)
 	}
 	return factorgraph.NewEngine(g, seeds, k, s.Options)
 }

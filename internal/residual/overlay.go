@@ -1,0 +1,196 @@
+package residual
+
+import "container/heap"
+
+// Overlay is a copy-on-write view over a base State for what-if queries:
+// ephemeral seed changes land as residual deltas in the overlay, and the
+// push loop clones exactly the belief rows its frontier touches — the rest
+// of the graph is read through to the base. An overlay never mutates its
+// base, so concurrent queries each run their own Overlay over one shared
+// State; the caller must only guarantee the base is not flushed (mutated)
+// while overlays read it, which the Engine does with its read lock.
+type Overlay struct {
+	base *State
+
+	rows map[int][]float64 // CoW belief rows (node → owned row)
+	res  map[int][]float64 // overlay residual rows (sparse)
+	inq  map[int]bool
+	pq   nodeHeap
+
+	rowBuf []float64
+	rhBuf  []float64
+
+	edges int
+}
+
+// NewOverlay returns an empty overlay over the state. The base must be
+// initialized (Init) first.
+func (s *State) NewOverlay() *Overlay {
+	return &Overlay{
+		base:   s,
+		rows:   make(map[int][]float64),
+		res:    make(map[int][]float64),
+		inq:    make(map[int]bool),
+		rowBuf: make([]float64, s.k),
+		rhBuf:  make([]float64, s.k),
+	}
+}
+
+// resRow returns the overlay residual row for node, creating it zeroed.
+func (o *Overlay) resRow(node int) []float64 {
+	row, ok := o.res[node]
+	if !ok {
+		row = make([]float64, o.base.k)
+		o.res[node] = row
+	}
+	return row
+}
+
+// beliefRow returns the writable (cloned) belief row for node.
+func (o *Overlay) beliefRow(node int) []float64 {
+	row, ok := o.rows[node]
+	if !ok {
+		row = append([]float64(nil), o.base.f.Row(node)...)
+		o.rows[node] = row
+	}
+	return row
+}
+
+// AddDelta adds an explicit-belief change for node to the overlay residual
+// (delta in uncentered space, as in State.AddDelta). The base's X is not
+// modified.
+func (o *Overlay) AddDelta(node int, delta []float64) {
+	row := o.resRow(node)
+	norm := 0.0
+	for j, d := range delta {
+		row[j] += d
+		v := row[j]
+		if v < 0 {
+			v = -v
+		}
+		if v > norm {
+			norm = v
+		}
+	}
+	if norm > o.base.opts.Tol && !o.inq[node] {
+		heap.Push(&o.pq, heapEntry{node: int32(node), norm: norm})
+		o.inq[node] = true
+	}
+}
+
+// SetSeed overlays "this node's explicit belief becomes one-hot class c"
+// (c < 0 clears the seed): the delta against the base's retained X is
+// computed internally. The base X rows are centered or not according to the
+// state; the constant shift cancels in the delta either way.
+func (o *Overlay) SetSeed(node, c int) {
+	x := o.base.XRow(node)
+	k := o.base.k
+	shift := 0.0
+	if o.base.Centered() {
+		shift = 1.0 / float64(k)
+	}
+	delta := make([]float64, k)
+	for j := 0; j < k; j++ {
+		delta[j] = -(x[j] + shift) // remove current uncentered mass
+		if j == c {
+			delta[j] += 1 // ... and place the new one-hot seed
+		}
+	}
+	o.AddDelta(node, delta)
+}
+
+// Flush pushes the overlay's residual queue to the tolerance of the base
+// state, cloning belief rows as the frontier reaches them. If the frontier
+// exceeds the base's edge budget the overlay gives up and reports
+// FellBack=true with the flush incomplete — the caller should answer the
+// query with a full propagation instead (a what-if that perturbs a large
+// fraction of the graph has no cheap incremental answer).
+func (o *Overlay) Flush() Stats {
+	var st Stats
+	k := o.base.k
+	tol := o.base.opts.Tol
+	hs := o.base.hScaled
+	w := o.base.w
+	for len(o.pq) > 0 {
+		top := heap.Pop(&o.pq).(heapEntry)
+		u := int(top.node)
+		o.inq[u] = false
+		rRow := o.res[u]
+		if rRow == nil || infNorm(rRow) <= tol {
+			continue
+		}
+		fRow := o.beliefRow(u)
+		copy(o.rowBuf, rRow)
+		for j := 0; j < k; j++ {
+			fRow[j] += rRow[j]
+			rRow[j] = 0
+		}
+		st.Pushed++
+		rh := o.rhBuf
+		for j := 0; j < k; j++ {
+			acc := 0.0
+			for c := 0; c < k; c++ {
+				acc += o.rowBuf[c] * hs.Data[c*k+j]
+			}
+			rh[j] = acc
+		}
+		lo, hi := w.IndPtr[u], w.IndPtr[u+1]
+		st.Edges += hi - lo
+		o.edges += hi - lo
+		for p := lo; p < hi; p++ {
+			v := int(w.Indices[p])
+			wv := 1.0
+			if w.Data != nil {
+				wv = w.Data[p]
+			}
+			nRow := o.resRow(v)
+			norm := 0.0
+			for j := 0; j < k; j++ {
+				nRow[j] += wv * rh[j]
+				a := nRow[j]
+				if a < 0 {
+					a = -a
+				}
+				if a > norm {
+					norm = a
+				}
+			}
+			if norm > tol && !o.inq[v] {
+				heap.Push(&o.pq, heapEntry{node: int32(v), norm: norm})
+				o.inq[v] = true
+			}
+		}
+		if o.edges > o.base.edgeBudget {
+			st.FellBack = true
+			return st
+		}
+	}
+	return st
+}
+
+// Row returns node's belief row through the overlay: the cloned row when
+// the frontier touched it, the base row otherwise. The returned slice
+// aliases either the overlay or the base; treat it as read-only and do not
+// retain it past the lock that protects the base.
+func (o *Overlay) Row(node int) []float64 {
+	if row, ok := o.rows[node]; ok {
+		return row
+	}
+	return o.base.f.Row(node)
+}
+
+// Touched returns how many belief rows the overlay cloned.
+func (o *Overlay) Touched() int { return len(o.rows) }
+
+func infNorm(row []float64) float64 {
+	m := 0.0
+	for _, v := range row {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

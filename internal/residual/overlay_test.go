@@ -1,0 +1,193 @@
+package residual
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"factorgraph/internal/dense"
+)
+
+// TestOverlayMatchesFullPropagation: an overlay seed change answers the
+// same beliefs as a from-scratch propagation with that seed applied, while
+// the base state stays untouched.
+func TestOverlayMatchesFullPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n, k := 300, 3
+	w := randGraph(t, n, 6, 21)
+	h := testH(k, 0.4)
+	x := randX(n, k, 0.1, rng)
+	// Generous edge budget: at 300 nodes the frontier saturates the graph
+	// well before a 1e-10 tolerance is reached (see TestPatchIsLocal).
+	s, err := NewState(w, h, Options{Tol: 1e-10, EdgeBudgetFactor: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Init(x); err != nil {
+		t.Fatal(err)
+	}
+	baseCopy := s.Beliefs().Clone()
+
+	// Overlay: plant node 5 as class 2, clear node 6's seed (if any).
+	o := s.NewOverlay()
+	o.SetSeed(5, 2)
+	o.SetSeed(6, -1)
+	st := o.Flush()
+	if st.FellBack {
+		t.Fatal("small overlay fell back")
+	}
+	if st.Pushed == 0 || o.Touched() == 0 {
+		t.Fatalf("overlay did no work: %+v, touched=%d", st, o.Touched())
+	}
+	if o.Touched() == n {
+		t.Errorf("overlay cloned every row; frontier is not localized")
+	}
+
+	// Reference: full converged propagation on the overlaid X.
+	x2 := x.Clone()
+	for j := 0; j < k; j++ {
+		x2.Set(5, j, 0)
+		x2.Set(6, j, 0)
+	}
+	x2.Set(5, 2, 1)
+	want := fixedPoint(t, w, h, x2)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		row := o.Row(i)
+		for j := 0; j < k; j++ {
+			if d := math.Abs(row[j] - want.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("overlay beliefs differ from full propagation by %g", worst)
+	}
+
+	// Base state bit-identical.
+	if d := maxAbsDiff(s.Beliefs(), baseCopy); d != 0 {
+		t.Errorf("overlay mutated base beliefs by %g", d)
+	}
+	if mr := s.MaxResidual(); mr > 1e-10 {
+		t.Errorf("overlay left residual %g in base", mr)
+	}
+}
+
+// TestOverlayFrontierIsolationConcurrent runs many overlays with different
+// seeds concurrently over one base state (plus concurrent plain readers)
+// and checks every overlay answers its own what-if, unpolluted by the
+// others. Run with -race.
+func TestOverlayFrontierIsolationConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, k := 400, 3
+	w := randGraph(t, n, 6, 31)
+	h := testH(k, 0.4)
+	x := randX(n, k, 0.1, rng)
+	s, err := NewState(w, h, Options{EdgeBudgetFactor: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Init(x); err != nil {
+		t.Fatal(err)
+	}
+	baseCopy := s.Beliefs().Clone()
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			node := wk * 20
+			class := wk % k
+			o := s.NewOverlay()
+			o.SetSeed(node, class)
+			o.Flush()
+			// The overlaid node's own belief must now favor its class.
+			row := o.Row(node)
+			best := 0
+			for j := 1; j < k; j++ {
+				if row[j] > row[best] {
+					best = j
+				}
+			}
+			if best != class {
+				t.Errorf("overlay %d: node %d argmax %d, want %d", wk, node, best, class)
+			}
+		}(wk)
+	}
+	// Plain readers scanning base rows concurrently.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				_ = s.Row(i)[0]
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if d := maxAbsDiff(s.Beliefs(), baseCopy); d != 0 {
+		t.Errorf("concurrent overlays mutated base by %g", d)
+	}
+}
+
+// TestOverlayFallbackSignal: an overlay that floods the graph reports
+// FellBack so the caller can reroute to a full propagation.
+func TestOverlayFallbackSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, k := 300, 3
+	w := randGraph(t, n, 8, 41)
+	h := testH(k, 0.5)
+	x := randX(n, k, 0.1, rng)
+	s, err := NewState(w, h, Options{EdgeBudgetFactor: 1, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Init(x); err != nil {
+		t.Fatal(err)
+	}
+	o := s.NewOverlay()
+	for i := 0; i < n; i++ {
+		o.SetSeed(i, i%k)
+	}
+	if st := o.Flush(); !st.FellBack {
+		t.Error("graph-wide overlay did not signal fallback")
+	}
+}
+
+// TestOverlaySetSeedDelta: SetSeed must produce the exact delta between the
+// current explicit row and the requested one, including for already-seeded
+// nodes and for clearing.
+func TestOverlaySetSeedDelta(t *testing.T) {
+	w := randGraph(t, 30, 4, 51)
+	h := testH(2, 0.4)
+	x := dense.New(30, 2)
+	x.Set(3, 1, 1) // node 3 seeded class 1
+	s, err := NewState(w, h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Init(x); err != nil {
+		t.Fatal(err)
+	}
+	o := s.NewOverlay()
+	o.SetSeed(3, 1) // no-op: already class 1
+	if len(o.res) != 0 {
+		row := o.res[3]
+		if infNorm(row) > 1e-15 {
+			t.Errorf("no-op SetSeed produced residual %v", row)
+		}
+	}
+	o.SetSeed(3, 0) // flip 1 → 0: delta (+1, −1)
+	row := o.res[3]
+	if math.Abs(row[0]-1) > 1e-15 || math.Abs(row[1]+1) > 1e-15 {
+		t.Errorf("flip delta = %v, want [1 -1]", row)
+	}
+}

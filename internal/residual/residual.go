@@ -1,0 +1,581 @@
+// Package residual implements push-based (Gauss–Southwell-style) residual
+// propagation for LinBP: an incremental solver for the fixed point
+//
+//	F* = X̃ + εW F* H̃
+//
+// that the dense iteration of internal/propagation approaches one full
+// sweep at a time. The State keeps the current belief matrix F, the
+// explicit-belief matrix X̃ and a per-node residual matrix R with the
+// invariant
+//
+//	F* = F + (I − A)⁻¹ R,   A·M := εW M H̃,
+//
+// so beliefs are exact up to the residual mass still queued. When seed
+// labels change, the change lands as a sparse delta in R; Flush then pushes
+// residual rows whose ∞-norm exceeds the tolerance to their neighbors,
+// largest first (a priority work-queue), touching only the perturbed
+// neighborhood instead of re-running O(m·k·iters) over the whole graph.
+// Because ε is chosen so that ρ(A) = s < 1 (Eq. 2 of the paper), pushed
+// mass contracts geometrically and the loop terminates.
+//
+// The same push kernel powers two layers above:
+//
+//   - the serving Engine keeps one live State per graph so PATCH /labels
+//     costs o(Δ) instead of a full re-propagation, and
+//   - what-if queries run on an Overlay — copy-on-write belief/residual
+//     rows over a shared base State — so each overlay clones only the
+//     frontier its extra seeds actually touch.
+//
+// A State is NOT safe for concurrent mutation; the Engine serializes
+// Init/AddDelta/Flush behind its write lock and reads behind its read lock.
+// Overlays never mutate their base, so any number of them may run
+// concurrently over one State as long as the base is not flushed meanwhile.
+package residual
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/propagation"
+	"factorgraph/internal/sparse"
+)
+
+// DefaultTol is the per-node residual ∞-norm below which residual mass is
+// left unpushed. Leftover mass perturbs final beliefs by O(tol/(1−s)) per
+// node in the worst case; 1e-8 keeps serving beliefs well inside the 1e-6
+// agreement budget the parity tests enforce.
+const DefaultTol = 1e-8
+
+// Options configures a State. The zero value matches the serving engine's
+// propagation settings (s = 0.5, centered) with DefaultTol.
+type Options struct {
+	// S is the LinBP convergence parameter s ∈ (0,1); default 0.5. The
+	// compatibility matrix is scaled by ε = S/(ρ(W)·ρ(H̃)) exactly as in
+	// internal/propagation, so the fixed point is the same.
+	S float64
+	// Center centers X and H̃ around 1/k before propagating (Theorem 3.1:
+	// labels are identical either way). Default true; set CenterOff to
+	// disable.
+	CenterOff bool
+	// Tol is the per-node residual ∞-norm threshold; rows at or below it
+	// are not pushed. 0 means DefaultTol.
+	Tol float64
+	// MaxSweeps bounds the dense Jacobi sweeps of Init and of the push
+	// fallback; default 100 (with s = 0.5 the residual contracts by ~s per
+	// sweep, so 100 is far past any realistic tolerance).
+	MaxSweeps int
+	// SpectralIters bounds the power iterations for ρ(W); default 50.
+	SpectralIters int
+	// EdgeBudgetFactor bounds a single Flush: once a push pass has touched
+	// more than EdgeBudgetFactor·nnz(W) edges it abandons the queue and
+	// finishes with dense sweeps (at that point a sweep is cheaper than
+	// continuing node-at-a-time). Default 4.
+	EdgeBudgetFactor float64
+}
+
+func (o *Options) defaults() {
+	if o.S == 0 {
+		o.S = 0.5
+	}
+	if o.Tol == 0 {
+		o.Tol = DefaultTol
+	}
+	if o.MaxSweeps == 0 {
+		// Residual mass decays like s^t per sweep, so reaching Tol from
+		// O(1) mass needs ~log_s(Tol) sweeps; slack plus a floor of 100
+		// covers mid-range s. A fixed cap independent of s would silently
+		// stop short of the tolerance for s close to 1.
+		o.MaxSweeps = int(math.Ceil(math.Log(o.Tol)/math.Log(o.S))) + 10
+		if o.MaxSweeps < 100 {
+			o.MaxSweeps = 100
+		}
+	}
+	if o.SpectralIters == 0 {
+		o.SpectralIters = 50
+	}
+	if o.EdgeBudgetFactor == 0 {
+		o.EdgeBudgetFactor = 4
+	}
+}
+
+// Stats reports the work one Init or Flush performed; the Engine surfaces
+// them through its own counters and the HTTP layer puts them in responses.
+type Stats struct {
+	// Pushed is the number of node pushes (a node may be pushed more than
+	// once as returning mass re-raises its residual).
+	Pushed int
+	// Edges is the number of edge traversals performed by pushes.
+	Edges int
+	// Sweeps is the number of dense full-graph sweeps (Init always sweeps;
+	// Flush sweeps only after exhausting its edge budget).
+	Sweeps int
+	// FellBack reports that Flush abandoned the push queue for dense
+	// sweeps (the perturbation had spread past the point where push-based
+	// propagation is cheaper).
+	FellBack bool
+	// MaxResidual is the largest per-node residual ∞-norm left behind.
+	MaxResidual float64
+}
+
+// State is a resident incremental propagation context for one (W, H) pair.
+type State struct {
+	w    *sparse.CSR
+	opts Options
+	k    int
+
+	hScaled *dense.Matrix // centered, ε-scaled H̃ (same as propagation.State)
+
+	x *dense.Matrix // centered explicit beliefs, kept in sync via AddDelta
+	f *dense.Matrix // current belief estimate
+	r *dense.Matrix // residual rows
+
+	norms []float64 // cached residual ∞-norm per node
+	inq   []bool    // node currently enqueued
+	pq    nodeHeap
+
+	fh, wfh *dense.Matrix // dense-sweep scratch
+	rowBuf  []float64     // push scratch: the row being pushed
+	rhBuf   []float64     // push scratch: row × H̃
+
+	edgeBudget int
+}
+
+// NewState validates shapes, computes the ε-scaled compatibility matrix
+// (sharing the CSR-level ρ(W) cache with internal/propagation) and
+// allocates the n×k working set. Call Init before anything else.
+func NewState(w *sparse.CSR, h *dense.Matrix, opts Options) (*State, error) {
+	if h.Rows != h.Cols {
+		return nil, fmt.Errorf("residual: H is %d×%d, want square", h.Rows, h.Cols)
+	}
+	if w.N == 0 {
+		return nil, fmt.Errorf("residual: empty graph")
+	}
+	if opts.S < 0 || opts.S >= 1 {
+		return nil, fmt.Errorf("residual: convergence parameter s=%v outside (0,1)", opts.S)
+	}
+	if opts.Tol < 0 {
+		return nil, fmt.Errorf("residual: negative tolerance %v", opts.Tol)
+	}
+	opts.defaults()
+	k := h.Rows
+	hUse := h.Clone()
+	if !opts.CenterOff {
+		hUse = dense.AddScalar(hUse, -1.0/float64(k))
+	}
+	eps, err := propagation.ScalingFactor(w, hUse, opts.S, opts.SpectralIters)
+	if err != nil {
+		return nil, err
+	}
+	s := &State{
+		w:       w,
+		opts:    opts,
+		k:       k,
+		hScaled: dense.Scale(hUse, eps),
+		x:       dense.New(w.N, k),
+		f:       dense.New(w.N, k),
+		r:       dense.New(w.N, k),
+		norms:   make([]float64, w.N),
+		inq:     make([]bool, w.N),
+		fh:      dense.New(w.N, k),
+		wfh:     dense.New(w.N, k),
+		rowBuf:  make([]float64, k),
+		rhBuf:   make([]float64, k),
+	}
+	s.edgeBudget = int(opts.EdgeBudgetFactor * float64(w.NNZ()))
+	if s.edgeBudget < w.NNZ() {
+		s.edgeBudget = w.NNZ()
+	}
+	return s, nil
+}
+
+// K returns the class count the state was built for.
+func (s *State) K() int { return s.k }
+
+// N returns the node count.
+func (s *State) N() int { return s.w.N }
+
+// Tol returns the configured per-node residual tolerance.
+func (s *State) Tol() float64 { return s.opts.Tol }
+
+// Init solves for the fixed point from scratch: it installs x (the
+// explicit-belief matrix, uncentered) and runs dense Jacobi sweeps
+// F ← X̃ + εWFH̃ until every node's residual is at or below the tolerance.
+// This is the one full-graph propagation the incremental engine pays per
+// (graph, H) pair; everything after is o(Δ).
+func (s *State) Init(x *dense.Matrix) (Stats, error) {
+	if x.Rows != s.w.N || x.Cols != s.k {
+		return Stats{}, fmt.Errorf("residual: X is %d×%d, state wants %d×%d", x.Rows, x.Cols, s.w.N, s.k)
+	}
+	s.x.CopyFrom(x)
+	if !s.opts.CenterOff {
+		shift := 1.0 / float64(s.k)
+		for i := range s.x.Data {
+			s.x.Data[i] -= shift
+		}
+	}
+	s.f.CopyFrom(s.x)
+	for i := range s.r.Data {
+		s.r.Data[i] = 0
+	}
+	for i := range s.norms {
+		s.norms[i] = 0
+	}
+	s.pq = s.pq[:0]
+	for i := range s.inq {
+		s.inq[i] = false
+	}
+	return s.sweepToTol(), nil
+}
+
+// sweepToTol repeatedly applies one dense Jacobi step f ← f + r followed by
+// a residual recomputation r ← x + A·f − f, until the largest per-node
+// residual ∞-norm is at or below the tolerance (or MaxSweeps is hit).
+// Precondition: s.r holds the residual of s.f — which is trivially true
+// right after Init seeds f = x̃, r = 0 once the first recomputation runs, so
+// the loop recomputes first and absorbs second.
+func (s *State) sweepToTol() Stats {
+	var st Stats
+	for {
+		// r ← x̃ + εW f H̃ − f
+		dense.MulInto(s.fh, s.f, s.hScaled)
+		s.w.MulDenseInto(s.wfh, s.fh)
+		maxNorm := 0.0
+		k := s.k
+		for i := 0; i < s.w.N; i++ {
+			rRow := s.r.Data[i*k : (i+1)*k]
+			fRow := s.f.Data[i*k : (i+1)*k]
+			xRow := s.x.Data[i*k : (i+1)*k]
+			wRow := s.wfh.Data[i*k : (i+1)*k]
+			norm := 0.0
+			for j := 0; j < k; j++ {
+				v := xRow[j] + wRow[j] - fRow[j]
+				rRow[j] = v
+				if v < 0 {
+					v = -v
+				}
+				if v > norm {
+					norm = v
+				}
+			}
+			s.norms[i] = norm
+			if norm > maxNorm {
+				maxNorm = norm
+			}
+		}
+		st.Sweeps++
+		st.MaxResidual = maxNorm
+		if maxNorm <= s.opts.Tol || st.Sweeps >= s.opts.MaxSweeps {
+			return st
+		}
+		// f ← f + r (absorb the whole residual at once: a dense push). The
+		// recomputation at the top of the next iteration replaces r, so the
+		// (f, r) pair is consistent at every loop exit.
+		for i := range s.f.Data {
+			s.f.Data[i] += s.r.Data[i]
+		}
+	}
+}
+
+// AddDelta adds a sparse explicit-belief change to node's residual (and to
+// the retained X̃): delta is newXRow − oldXRow in the uncentered space —
+// centering is a constant shift, so deltas are identical either way. Call
+// Flush afterwards to propagate; beliefs read between AddDelta and Flush
+// simply predate the patch.
+func (s *State) AddDelta(node int, delta []float64) {
+	xRow := s.x.Row(node)
+	rRow := s.r.Row(node)
+	norm := 0.0
+	for j, d := range delta {
+		xRow[j] += d
+		rRow[j] += d
+		v := rRow[j]
+		if v < 0 {
+			v = -v
+		}
+		if v > norm {
+			norm = v
+		}
+	}
+	s.norms[node] = norm
+	if norm > s.opts.Tol && !s.inq[node] {
+		heap.Push(&s.pq, heapEntry{node: int32(node), norm: norm})
+		s.inq[node] = true
+	}
+}
+
+// heapFrontierMax is the queue size at which Flush abandons strict
+// Gauss–Southwell ordering for round-synchronous active-set scans: the
+// priority heap wins while the perturbation is a handful of nodes (it
+// pushes the largest residuals first and often converges without ever
+// growing the frontier), but once thousands of nodes are dirty the heap's
+// per-edge overhead dwarfs the ordering benefit — sequential scans over an
+// active list run at dense-sweep speed while still skipping every clean
+// node.
+const heapFrontierMax = 1024
+
+// Flush pushes queued residual rows — largest ∞-norm first — until every
+// node is at or below the tolerance. Each push absorbs the node's residual
+// into its belief row and forwards ε·w(u,v)·(r H̃) to every neighbor,
+// so the work is proportional to the perturbed neighborhood. Wide
+// perturbations degrade gracefully twice: past heapFrontierMax queued nodes
+// the strict priority order gives way to round-synchronous scans of the
+// active set, and past EdgeBudgetFactor·nnz edge traversals Flush finishes
+// with dense sweeps instead (cheaper at that point) and reports FellBack.
+//
+// On clean completion MaxResidual is left 0: the queue-drain itself
+// guarantees every node is at or below Tol, and scanning all n norms to
+// report the exact value would make the o(Δ) path Ω(n). It is populated
+// only when dense sweeps ran (they track it for free); call the
+// MaxResidual method for an on-demand exact scan.
+func (s *State) Flush() Stats {
+	st, _ := s.flush(true)
+	return st
+}
+
+// FlushBounded is Flush without the dense-sweep fallback: once the edge
+// budget is exhausted it stops and returns converged=false, leaving the
+// residual invariant intact (F + (I−A)⁻¹R is unchanged, R just isn't
+// drained). Callers that hold a lock other readers contend on — the
+// serving engine flushes patches under its write lock — use this so a
+// frontier that outgrew push economics never runs propagation-scale dense
+// sweeps inside the lock; they discard the state and rebuild it outside.
+func (s *State) FlushBounded() (Stats, bool) {
+	return s.flush(false)
+}
+
+func (s *State) flush(sweepFallback bool) (Stats, bool) {
+	var st Stats
+	k := s.k
+	for len(s.pq) > 0 {
+		if len(s.pq) > heapFrontierMax {
+			done := s.flushRounds(&st, sweepFallback)
+			return st, done
+		}
+		top := heap.Pop(&s.pq).(heapEntry)
+		u := int(top.node)
+		s.inq[u] = false
+		if s.norms[u] <= s.opts.Tol {
+			continue // pushed down (or absorbed) since it was enqueued
+		}
+		// Absorb: F_u += R_u, R_u = 0.
+		rRow := s.r.Row(u)
+		fRow := s.f.Row(u)
+		copy(s.rowBuf, rRow)
+		for j := 0; j < k; j++ {
+			fRow[j] += rRow[j]
+			rRow[j] = 0
+		}
+		s.norms[u] = 0
+		st.Pushed++
+		// Forward: R_v += w(u,v) · (r · H̃scaled) for every neighbor v.
+		// H̃scaled already carries ε, and W is symmetric so the row scan
+		// of u yields exactly the in-edges of the update.
+		rh := s.rhBuf
+		for j := 0; j < k; j++ {
+			acc := 0.0
+			for c := 0; c < k; c++ {
+				acc += s.rowBuf[c] * s.hScaled.Data[c*k+j]
+			}
+			rh[j] = acc
+		}
+		lo, hi := s.w.IndPtr[u], s.w.IndPtr[u+1]
+		st.Edges += hi - lo
+		for p := lo; p < hi; p++ {
+			v := int(s.w.Indices[p])
+			wv := 1.0
+			if s.w.Data != nil {
+				wv = s.w.Data[p]
+			}
+			nRow := s.r.Row(v)
+			norm := 0.0
+			for j := 0; j < k; j++ {
+				nRow[j] += wv * rh[j]
+				a := nRow[j]
+				if a < 0 {
+					a = -a
+				}
+				if a > norm {
+					norm = a
+				}
+			}
+			s.norms[v] = norm
+			if norm > s.opts.Tol && !s.inq[v] {
+				heap.Push(&s.pq, heapEntry{node: int32(v), norm: norm})
+				s.inq[v] = true
+			}
+		}
+		if st.Edges > s.edgeBudget {
+			st.FellBack = true
+			if !sweepFallback {
+				// Leave the queue (and the residual invariant) intact;
+				// the caller rebuilds densely outside its locks.
+				return st, false
+			}
+			// The frontier has grown past the point where node-at-a-time
+			// pushing beats a dense sweep; drain the queue and finish flat.
+			s.pq = s.pq[:0]
+			for i := range s.inq {
+				s.inq[i] = false
+			}
+			sw := s.sweepToTol()
+			st.Sweeps += sw.Sweeps
+			st.MaxResidual = sw.MaxResidual
+			return st, true
+		}
+	}
+	return st, true
+}
+
+// flushRounds drains a wide frontier with level-synchronous passes over the
+// active set: every dirty node is absorbed and forwarded once per round,
+// newly-dirtied nodes join the next round. Per round the pending mass
+// contracts by ~s (the same rate as a dense sweep) but only active rows are
+// touched, and the sequential row scans avoid the heap's per-edge overhead.
+// The edge budget still applies; past it the flush finishes densely (or,
+// with sweepFallback false, stops and reports false).
+func (s *State) flushRounds(st *Stats, sweepFallback bool) bool {
+	k := s.k
+	// Rebuild the frontier from the norm table; the heap's ordering is no
+	// longer needed and its entries may be stale.
+	s.pq = s.pq[:0]
+	active := make([]int32, 0, 2*heapFrontierMax)
+	for i := range s.inq {
+		s.inq[i] = false
+	}
+	for i, norm := range s.norms {
+		if norm > s.opts.Tol {
+			active = append(active, int32(i))
+			s.inq[i] = true
+		}
+	}
+	next := make([]int32, 0, len(active))
+	for len(active) > 0 {
+		next = next[:0]
+		for _, u32 := range active {
+			u := int(u32)
+			s.inq[u] = false
+			if s.norms[u] <= s.opts.Tol {
+				continue
+			}
+			rRow := s.r.Row(u)
+			fRow := s.f.Row(u)
+			copy(s.rowBuf, rRow)
+			for j := 0; j < k; j++ {
+				fRow[j] += rRow[j]
+				rRow[j] = 0
+			}
+			s.norms[u] = 0
+			st.Pushed++
+			rh := s.rhBuf
+			for j := 0; j < k; j++ {
+				acc := 0.0
+				for c := 0; c < k; c++ {
+					acc += s.rowBuf[c] * s.hScaled.Data[c*k+j]
+				}
+				rh[j] = acc
+			}
+			lo, hi := s.w.IndPtr[u], s.w.IndPtr[u+1]
+			st.Edges += hi - lo
+			for p := lo; p < hi; p++ {
+				v := int(s.w.Indices[p])
+				wv := 1.0
+				if s.w.Data != nil {
+					wv = s.w.Data[p]
+				}
+				nRow := s.r.Row(v)
+				norm := 0.0
+				for j := 0; j < k; j++ {
+					nRow[j] += wv * rh[j]
+					a := nRow[j]
+					if a < 0 {
+						a = -a
+					}
+					if a > norm {
+						norm = a
+					}
+				}
+				s.norms[v] = norm
+				if norm > s.opts.Tol && !s.inq[v] {
+					next = append(next, int32(v))
+					s.inq[v] = true
+				}
+			}
+		}
+		if st.Edges > s.edgeBudget {
+			st.FellBack = true
+			if !sweepFallback {
+				// Re-queue the still-dirty nodes so the state stays
+				// consistent for a caller that keeps it; inq marks exactly
+				// the members of next.
+				for _, v := range next {
+					heap.Push(&s.pq, heapEntry{node: v, norm: s.norms[v]})
+				}
+				return false
+			}
+			for i := range s.inq {
+				s.inq[i] = false
+			}
+			sw := s.sweepToTol()
+			st.Sweeps += sw.Sweeps
+			st.MaxResidual = sw.MaxResidual
+			return true
+		}
+		active, next = next, active
+	}
+	return true
+}
+
+func (s *State) maxNorm() float64 {
+	m := 0.0
+	for _, v := range s.norms {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Beliefs returns the live belief matrix. It aliases internal storage:
+// callers must hold whatever lock serializes AddDelta/Flush, and must clone
+// rows that need to outlive that lock.
+func (s *State) Beliefs() *dense.Matrix { return s.f }
+
+// Row returns node's live belief row (aliasing; see Beliefs).
+func (s *State) Row(node int) []float64 { return s.f.Row(node) }
+
+// XRow returns node's retained explicit-belief row in centered space
+// (aliasing; see Beliefs). Overlays use it to turn "set this seed" into a
+// delta against the current X.
+func (s *State) XRow(node int) []float64 { return s.x.Row(node) }
+
+// Centered reports whether the state works in centered coordinates (and
+// therefore what space XRow rows live in).
+func (s *State) Centered() bool { return !s.opts.CenterOff }
+
+// MaxResidual returns the largest pending per-node residual ∞-norm — the
+// quality bound on the current beliefs.
+func (s *State) MaxResidual() float64 { return s.maxNorm() }
+
+// heapEntry orders the work queue by residual ∞-norm at enqueue time
+// (Gauss–Southwell selection). Norms may grow while queued; the pop-side
+// re-check against the live norm keeps correctness independent of staleness.
+type heapEntry struct {
+	node int32
+	norm float64
+}
+
+type nodeHeap []heapEntry
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].norm > h[j].norm }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(heapEntry)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -166,6 +166,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeJSONNegotiated is writeJSON with gzip content negotiation: the body
+// is compressed when the client advertised Accept-Encoding: gzip.
+func writeJSONNegotiated(w http.ResponseWriter, r *http.Request, status int, v any) {
+	if !acceptsGzip(r) {
+		writeJSON(w, status, v)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Encoding", "gzip")
+	w.WriteHeader(status)
+	gz := gzip.NewWriter(w)
+	_ = json.NewEncoder(gz).Encode(v)
+	_ = gz.Close()
+}
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, APIError{Error: fmt.Sprintf(format, args...)})
 }
@@ -298,7 +313,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, eng *fac
 	for i := range h {
 		h[i] = append([]float64(nil), est.H.Row(i)...)
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{
+	writeJSONNegotiated(w, r, http.StatusOK, EstimateResponse{
 		Method:    est.Method,
 		H:         h,
 		RuntimeMS: float64(est.Runtime) / float64(time.Millisecond),
@@ -339,22 +354,24 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 	}
 	gzipOK := acceptsGzip(r)
 	if !req.Stream {
-		results, err := eng.Classify(q)
+		var results []factorgraph.NodeResult
+		if q.Nodes != nil {
+			results = make([]factorgraph.NodeResult, 0, len(q.Nodes))
+		}
+		meta, err := eng.ClassifyEachMeta(q, func(res factorgraph.NodeResult) error {
+			results = append(results, res)
+			return nil
+		})
 		if err != nil {
 			writeError(w, classifyStatus(err), "%v", err)
 			return
 		}
-		resp := ClassifyResponse{Count: len(results), Results: results}
-		if !gzipOK {
-			writeJSON(w, http.StatusOK, resp)
-			return
+		resp := ClassifyResponse{
+			Count: len(results), Results: results,
+			Residual: meta.Residual, PushedNodes: meta.PushedNodes,
+			TouchedEdges: meta.TouchedEdges, ClonedRows: meta.ClonedRows,
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Content-Encoding", "gzip")
-		w.WriteHeader(http.StatusOK)
-		gz := gzip.NewWriter(w)
-		_ = json.NewEncoder(gz).Encode(resp)
-		_ = gz.Close()
+		writeJSONNegotiated(w, r, http.StatusOK, resp)
 		return
 	}
 	// NDJSON streaming: records are produced and written one at a time via
@@ -453,8 +470,10 @@ func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request, eng *
 		}
 		set[node] = c
 	}
+	var meta factorgraph.PatchMeta
 	if len(set) > 0 || len(req.Remove) > 0 {
-		if err := eng.UpdateLabels(set, req.Remove); err != nil {
+		var err error
+		if meta, err = eng.UpdateLabelsMeta(set, req.Remove); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -470,8 +489,16 @@ func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request, eng *
 			return
 		}
 	}
+	mode := "full"
+	if meta.Residual {
+		mode = "residual"
+	}
 	writeJSON(w, http.StatusOK, LabelsPatchResponse{
-		Labeled:     eng.LabeledCount(),
-		Reestimated: req.Reestimate,
+		Labeled:      eng.LabeledCount(),
+		Reestimated:  req.Reestimate,
+		Mode:         mode,
+		PushedNodes:  meta.PushedNodes,
+		TouchedEdges: meta.TouchedEdges,
+		FellBack:     meta.FellBack,
 	})
 }

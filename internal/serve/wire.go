@@ -23,6 +23,19 @@ type CreateGraphRequest struct {
 	// Estimator selects the engine's compatibility estimator: dcer
 	// (default), dce, mce, lce, holdout.
 	Estimator string `json:"estimator"`
+	// Incremental enables the push-based residual propagation subsystem
+	// for this graph: label patches cost o(Δ) pushes instead of a full
+	// re-propagation, and what-if queries clone only the frontier they
+	// touch. Beliefs are served at the LinBP fixed point (to the
+	// tolerance) rather than at a fixed iteration count.
+	Incremental bool `json:"incremental"`
+	// ResidualTol is the per-node residual tolerance of the incremental
+	// mode (0 = the engine default, 1e-8). Requires incremental.
+	ResidualTol float64 `json:"residual_tol"`
+	// ResidualEdgeBudget bounds one push pass at this multiple of the
+	// graph's stored edges before falling back to dense propagation
+	// (0 = the engine default, 4). Requires incremental.
+	ResidualEdgeBudget float64 `json:"residual_edge_budget"`
 	// Synthetic plants a partition graph with the paper's generator.
 	Synthetic *SyntheticGraphSpec `json:"synthetic"`
 	// Files loads TSV files from the server's filesystem.
@@ -64,8 +77,13 @@ type InlineGraphSpec struct {
 // at registration).
 func (r *CreateGraphRequest) Spec() registry.Spec {
 	spec := registry.Spec{
-		K:       r.K,
-		Options: factorgraph.EngineOptions{Estimator: r.Estimator},
+		K: r.K,
+		Options: factorgraph.EngineOptions{
+			Estimator:          r.Estimator,
+			Incremental:        r.Incremental,
+			ResidualTol:        r.ResidualTol,
+			ResidualEdgeBudget: r.ResidualEdgeBudget,
+		},
 	}
 	if r.Synthetic != nil {
 		spec.Synthetic = &registry.SyntheticSpec{
@@ -137,10 +155,23 @@ func (r *ClassifyRequest) Query() (factorgraph.Query, error) {
 	return q, nil
 }
 
-// ClassifyResponse is the non-streaming response of POST /v1/classify.
+// ClassifyResponse is the non-streaming response of POST /v1/classify. The
+// residual fields are present when the query was answered by the
+// incremental subsystem (engines registered with "incremental": true);
+// pushed/cloned counts are non-zero for what-if (extra_seeds) queries and
+// report the size of the perturbed frontier.
 type ClassifyResponse struct {
 	Count   int                      `json:"count"`
 	Results []factorgraph.NodeResult `json:"results"`
+	// Residual is true when the answer came from the residual subsystem
+	// (live fixed-point beliefs or a copy-on-write overlay).
+	Residual bool `json:"residual,omitempty"`
+	// PushedNodes / TouchedEdges is the push work the overlay performed.
+	PushedNodes  int `json:"pushed_nodes,omitempty"`
+	TouchedEdges int `json:"touched_edges,omitempty"`
+	// ClonedRows is how many copy-on-write belief rows the overlay
+	// materialized.
+	ClonedRows int `json:"cloned_rows,omitempty"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate.
@@ -180,10 +211,21 @@ type LabelsPatch struct {
 	Reestimate bool `json:"reestimate"`
 }
 
-// LabelsPatchResponse reports the post-update seed count.
+// LabelsPatchResponse reports the post-update seed count and how the patch
+// was propagated: mode "residual" means the change was pushed through the
+// live residual state in o(Δ) (pushed_nodes/touched_edges quantify the
+// perturbed neighborhood); mode "full" means the belief snapshot was
+// invalidated and the next query pays a full propagation.
 type LabelsPatchResponse struct {
-	Labeled     int  `json:"labeled"`
-	Reestimated bool `json:"reestimated"`
+	Labeled     int    `json:"labeled"`
+	Reestimated bool   `json:"reestimated"`
+	Mode        string `json:"mode"`
+	// PushedNodes / TouchedEdges is the push work of a residual patch.
+	PushedNodes  int `json:"pushed_nodes,omitempty"`
+	TouchedEdges int `json:"touched_edges,omitempty"`
+	// FellBack reports that the perturbation spread past the edge budget:
+	// pushing stopped and the next query pays one full re-solve.
+	FellBack bool `json:"fell_back,omitempty"`
 }
 
 // Health is the body of GET /healthz. The per-graph fields (Nodes, Edges,
