@@ -1,15 +1,23 @@
-// Command benchdiff compares two loadgen reports (BENCH_serve.json) and
+// Command benchdiff compares benchmark artifacts between two runs and
 // fails when the new one regresses: CI runs it against the previous
-// commit's artifact so a serving-latency regression breaks the build
-// instead of sliding by unnoticed.
+// commit's artifacts so a performance regression breaks the build instead
+// of sliding by unnoticed. Two artifact pairs are understood:
 //
-//	benchdiff -old baseline/BENCH_serve.json -new BENCH_serve.json
-//	benchdiff -old prev.json -new cur.json -max-regress 0.25
+//   - loadgen serve reports (BENCH_serve.json): the gate is the classify
+//     p95 (and the patch p95 when both reports carry one) — new_p95 must
+//     not exceed old_p95 × (1 + max-regress). QPS is reported for context
+//     but not gated: it conflates client and server effects on shared CI
+//     runners.
 //
-// The gate is the classify p95 (and the patch p95 when both reports carry
-// one): new_p95 must not exceed old_p95 × (1 + max-regress). QPS is
-// reported for context but not gated — it conflates client and server
-// effects on shared CI runners.
+//   - residual-path reports (BENCH_residual.json, emitted by
+//     TestResidualPatchQuerySpeedup under BENCH_RESIDUAL_OUT): the gate is
+//     the WORK RATIO — edges the o(Δ) patch touched over edges a full
+//     propagation scans. It is deterministic, so the gate cannot flake on
+//     a noisy runner; the wall-clock speedup is reported for context only.
+//
+//     benchdiff -old baseline/BENCH_serve.json -new BENCH_serve.json
+//     benchdiff -old prev.json -new cur.json -max-regress 0.25 \
+//     -old-residual baseline/BENCH_residual.json -new-residual BENCH_residual.json
 package main
 
 import (
@@ -33,6 +41,12 @@ type benchReport struct {
 	} `json:"patch_latency_ms"`
 }
 
+// residualReport is the subset of the residual-path artifact the diff reads.
+type residualReport struct {
+	WorkRatio float64 `json:"work_ratio"`
+	Speedup   float64 `json:"speedup"`
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -43,34 +57,63 @@ func main() {
 func run() error {
 	oldPath := flag.String("old", "", "baseline report (previous commit's BENCH_serve.json)")
 	newPath := flag.String("new", "BENCH_serve.json", "fresh report")
-	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated p95 growth (0.25 = +25%)")
-	allowMissing := flag.Bool("allow-missing-old", false, "exit 0 when the baseline file does not exist (first run)")
+	oldResidual := flag.String("old-residual", "", "baseline residual-path report (BENCH_residual.json)")
+	newResidual := flag.String("new-residual", "", "fresh residual-path report")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated p95/work-ratio growth (0.25 = +25%)")
+	allowMissing := flag.Bool("allow-missing-old", false, "exit 0 for comparisons whose baseline file does not exist (first run)")
 	flag.Parse()
 
 	if *oldPath == "" {
 		return errors.New("-old is required")
 	}
-	oldRep, err := load(*oldPath)
-	if err != nil {
-		if *allowMissing && errors.Is(err, os.ErrNotExist) {
-			fmt.Printf("benchdiff: no baseline at %s; nothing to compare\n", *oldPath)
-			return nil
+	var failures []error
+	oldRep, err := load[benchReport](*oldPath)
+	switch {
+	case err == nil:
+		newRep, err := load[benchReport](*newPath)
+		if err != nil {
+			return err
 		}
+		if err := compare(oldRep, newRep, *maxRegress, os.Stdout); err != nil {
+			failures = append(failures, err)
+		}
+	case *allowMissing && errors.Is(err, os.ErrNotExist):
+		fmt.Printf("benchdiff: no baseline at %s; nothing to compare\n", *oldPath)
+	default:
 		return err
 	}
-	newRep, err := load(*newPath)
-	if err != nil {
-		return err
+	if *newResidual != "" {
+		if *oldResidual == "" {
+			return errors.New("-new-residual requires -old-residual")
+		}
+		oldRes, err := load[residualReport](*oldResidual)
+		switch {
+		case err == nil:
+			newRes, err := load[residualReport](*newResidual)
+			if err != nil {
+				return err
+			}
+			if err := compareResidual(oldRes, newRes, *maxRegress, os.Stdout); err != nil {
+				failures = append(failures, err)
+			}
+		case *allowMissing && errors.Is(err, os.ErrNotExist):
+			fmt.Printf("benchdiff: no residual baseline at %s; nothing to compare\n", *oldResidual)
+		default:
+			return err
+		}
 	}
-	return compare(oldRep, newRep, *maxRegress, os.Stdout)
+	if len(failures) > 0 {
+		return errors.Join(failures...)
+	}
+	return nil
 }
 
-func load(path string) (*benchReport, error) {
+func load[T any](path string) (*T, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var r benchReport
+	var r T
 	if err := json.Unmarshal(blob, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -98,7 +141,22 @@ func compare(oldRep, newRep *benchReport, maxRegress float64, w *os.File) error 
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s): %v", len(failures), failures)
 	}
-	fmt.Fprintln(w, "benchdiff: within budget")
+	fmt.Fprintln(w, "benchdiff: serve within budget")
+	return nil
+}
+
+// compareResidual gates the residual path's deterministic work ratio; the
+// wall-clock speedup is printed for context but never gated (it measures
+// the runner as much as the code).
+func compareResidual(oldRes, newRes *residualReport, maxRegress float64, w *os.File) error {
+	fmt.Fprintf(w, "residual speedup: %.1fx → %.1fx (context only)\n", oldRes.Speedup, newRes.Speedup)
+	fmt.Fprintf(w, "residual work ratio: %.6f → %.6f (%+.1f%%, limit +%.0f%%)\n",
+		oldRes.WorkRatio, newRes.WorkRatio, pct(oldRes.WorkRatio, newRes.WorkRatio), maxRegress*100)
+	if oldRes.WorkRatio > 0 && newRes.WorkRatio > oldRes.WorkRatio*(1+maxRegress) {
+		return fmt.Errorf("residual work ratio regressed %.6f → %.6f (>%.0f%%): the o(Δ) patch path is touching more of the graph",
+			oldRes.WorkRatio, newRes.WorkRatio, maxRegress*100)
+	}
+	fmt.Fprintln(w, "benchdiff: residual path within budget")
 	return nil
 }
 

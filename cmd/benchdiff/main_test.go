@@ -53,20 +53,49 @@ func TestLoadRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	r, err := load(path)
+	r, err := load[benchReport](path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.QPS != 50.5 || r.LatencyMS.P95 != 3.25 || r.PatchLatencyMS == nil || r.PatchLatencyMS.P95 != 9.5 {
 		t.Errorf("loaded %+v", r)
 	}
-	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := load[benchReport](filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing file did not error")
 	}
 	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := load(path); err == nil {
+	if _, err := load[benchReport](path); err == nil {
 		t.Error("bad JSON did not error")
+	}
+}
+
+func residual(workRatio, speedup float64) *residualReport {
+	return &residualReport{WorkRatio: workRatio, Speedup: speedup}
+}
+
+func TestCompareResidual(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// Within budget: +20% work ratio under a 25% limit.
+	if err := compareResidual(residual(0.001, 30), residual(0.0012, 28), 0.25, devnull); err != nil {
+		t.Errorf("+20%% work ratio flagged under 25%% budget: %v", err)
+	}
+	// Over budget: the o(Δ) path touching 30% more edges fails.
+	if err := compareResidual(residual(0.001, 30), residual(0.0013, 35), 0.25, devnull); err == nil {
+		t.Error("+30% work ratio not flagged")
+	}
+	// Speedup is context only: a halved speedup with a flat work ratio
+	// (noisy runner) must not fail the build.
+	if err := compareResidual(residual(0.001, 30), residual(0.001, 15), 0.25, devnull); err != nil {
+		t.Errorf("wall-clock speedup drop flagged despite flat work ratio: %v", err)
+	}
+	// Improvements always pass.
+	if err := compareResidual(residual(0.001, 30), residual(0.0004, 60), 0.25, devnull); err != nil {
+		t.Errorf("improvement flagged: %v", err)
 	}
 }

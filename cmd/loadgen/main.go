@@ -1,16 +1,25 @@
 // Command loadgen is a closed-loop load generator for the serving API: C
-// workers each keep exactly one request in flight against a graph, drawing
-// random node batches, until a duration or request budget is exhausted. By
-// default every request is a classify; -patch-frac mixes in PATCH /labels
-// writes (random nodes, random classes), which is the benchmark for the
+// workers each keep exactly one request in flight, drawing random node
+// batches, until a duration or request budget is exhausted. By default
+// every request is a classify; -patch-frac mixes in PATCH /labels writes
+// (random nodes, random classes), which is the benchmark for the
 // incremental residual subsystem — query and patch latencies are reported
 // separately. -repeat aggregates the percentiles over N runs instead of a
-// single one. Results are written as JSON — BENCH_serve.json by
-// convention — to seed the serving-performance trajectory tracked in CI.
+// single one.
+//
+// By default the run drives one graph (-graph). With -graphs N it becomes a
+// mixed-tenant workload: N synthetic graphs are registered over POST
+// /v1/graphs (and deleted afterwards), every request picks a tenant
+// uniformly at random, and the report carries a per-graph latency
+// breakdown alongside the aggregate — so registry contention, eviction and
+// per-tenant tail latency are measured, not just single-graph throughput.
+//
+// Results are written as JSON — BENCH_serve.json by convention — to seed
+// the serving-performance trajectory tracked in CI.
 //
 //	loadgen -addr http://localhost:8080 -graph default -c 8 -duration 10s
 //	loadgen -addr http://localhost:8080 -graph demo -requests 5000 -batch 32 -stream
-//	loadgen -addr http://localhost:8080 -graph demo -patch-frac 0.2 -repeat 3
+//	loadgen -addr http://localhost:8080 -graphs 4 -patch-frac 0.2 -repeat 3
 package main
 
 import (
@@ -31,7 +40,8 @@ import (
 )
 
 type workload struct {
-	Graph       string  `json:"graph"`
+	Graph       string  `json:"graph,omitempty"`
+	Graphs      int     `json:"graphs,omitempty"`
 	Concurrency int     `json:"concurrency"`
 	Batch       int     `json:"nodes_per_request"`
 	TopK        int     `json:"top_k"`
@@ -48,19 +58,37 @@ type workload struct {
 	GraphEdges  int     `json:"graph_edges"`
 }
 
+// graphLatencies is one tenant's slice of a mixed-tenant report.
+type graphLatencies struct {
+	LatencyMS      latencies  `json:"latency_ms"`
+	PatchLatencyMS *latencies `json:"patch_latency_ms,omitempty"`
+}
+
 type report struct {
 	Workload workload `json:"workload"`
 	QPS      float64  `json:"qps"`
-	// LatencyMS summarizes classify (read) requests only; patch (write)
-	// requests are reported separately so a mixed workload cannot hide
-	// write latency inside read percentiles.
+	// LatencyMS summarizes classify (read) requests only — across every
+	// graph of a mixed-tenant run — so benchdiff gates one stable number;
+	// patch (write) requests are reported separately so a mixed workload
+	// cannot hide write latency inside read percentiles.
 	LatencyMS      latencies  `json:"latency_ms"`
 	PatchLatencyMS *latencies `json:"patch_latency_ms,omitempty"`
-	Timestamp      string     `json:"timestamp"`
+	// PerGraph breaks the same populations down by tenant (present only
+	// with -graphs > 0 or as a single entry for the named graph).
+	PerGraph  map[string]graphLatencies `json:"per_graph,omitempty"`
+	Timestamp string                    `json:"timestamp"`
+}
+
+// target is one graph a worker can direct a request at.
+type target struct {
+	name                  string
+	n, m, k               int
+	classifyURL, patchURL string
 }
 
 type config struct {
-	base, graph       string
+	base              string
+	targets           []target
 	conc, batch, topK int
 	duration, warmup  time.Duration
 	requests          int64
@@ -68,12 +96,11 @@ type config struct {
 	patchFrac         float64
 	patchBatch        int
 	seed              int64
-	n, k              int
 }
 
-// runResult is one run's raw measurements.
+// runResult is one run's raw measurements, indexed by target.
 type runResult struct {
-	queries, patches []time.Duration
+	queries, patches [][]time.Duration
 	errs             int64
 	elapsed          time.Duration
 }
@@ -87,7 +114,12 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
-	graph := flag.String("graph", "default", "graph name to drive")
+	graph := flag.String("graph", "default", "graph name to drive (single-tenant mode)")
+	graphs := flag.Int("graphs", 0, "mixed-tenant mode: register N synthetic graphs and spread the workload across them")
+	graphsNodes := flag.Int("graphs-nodes", 2000, "mixed-tenant: nodes per registered graph")
+	graphsEdges := flag.Int("graphs-edges", 0, "mixed-tenant: edges per registered graph (0 = 5× nodes)")
+	graphsIncremental := flag.Bool("graphs-incremental", true, "mixed-tenant: register graphs with the incremental residual subsystem")
+	keepGraphs := flag.Bool("keep-graphs", false, "mixed-tenant: leave the registered graphs in place after the run")
 	conc := flag.Int("c", 8, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 10*time.Second, "run length (ignored when -requests > 0)")
 	requests := flag.Int64("requests", 0, "per-run request budget (0 = duration-bound)")
@@ -112,60 +144,113 @@ func run() error {
 	if *patchBatch < 1 {
 		return fmt.Errorf("-patch-batch must be ≥ 1, got %d", *patchBatch)
 	}
+	if *graphs < 0 {
+		return fmt.Errorf("-graphs must be ≥ 0, got %d", *graphs)
+	}
 
 	base := strings.TrimRight(*addr, "/")
-	n, m, k, err := graphDims(base, *graph)
-	if err != nil {
-		return err
+	var targets []target
+	if *graphs > 0 {
+		edges := *graphsEdges
+		if edges == 0 {
+			edges = 5 * *graphsNodes
+		}
+		names, err := registerGraphs(base, *graphs, *graphsNodes, edges, *graphsIncremental, uint64(*seed))
+		if err != nil {
+			return err
+		}
+		if !*keepGraphs {
+			defer deleteGraphs(base, names)
+		}
+		for _, name := range names {
+			t, err := resolveTarget(base, name)
+			if err != nil {
+				return err
+			}
+			targets = append(targets, t)
+		}
+	} else {
+		t, err := resolveTarget(base, *graph)
+		if err != nil {
+			return err
+		}
+		targets = []target{t}
 	}
-	if *batch > n {
-		*batch = n
+	minN := targets[0].n
+	for _, t := range targets {
+		if t.n < minN {
+			minN = t.n
+		}
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: graph %q has %d nodes, %d edges, %d classes; %d workers, batch=%d, top_k=%d, patch_frac=%g, repeat=%d\n",
-		*graph, n, m, k, *conc, *batch, *topK, *patchFrac, *repeat)
+	if *batch > minN {
+		*batch = minN
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d graph(s) (%d nodes each at least); %d workers, batch=%d, top_k=%d, patch_frac=%g, repeat=%d\n",
+		len(targets), minN, *conc, *batch, *topK, *patchFrac, *repeat)
 
 	cfg := config{
-		base: base, graph: *graph,
+		base: base, targets: targets,
 		conc: *conc, batch: *batch, topK: *topK,
 		duration: *duration, warmup: *warmup, requests: *requests,
 		stream: *stream, gz: *gz,
 		patchFrac: *patchFrac, patchBatch: *patchBatch,
-		seed: *seed, n: n, k: k,
+		seed: *seed,
 	}
 
-	var queries, patches []time.Duration
-	var nErrs, nPatches int64
+	queries := make([][]time.Duration, len(targets))
+	patches := make([][]time.Duration, len(targets))
+	var nErrs int64
 	var elapsed time.Duration
 	for r := 0; r < *repeat; r++ {
 		res, err := runOnce(cfg, int64(r))
 		if err != nil {
 			return fmt.Errorf("run %d/%d: %w", r+1, *repeat, err)
 		}
-		queries = append(queries, res.queries...)
-		patches = append(patches, res.patches...)
+		for t := range targets {
+			queries[t] = append(queries[t], res.queries[t]...)
+			patches[t] = append(patches[t], res.patches[t]...)
+		}
 		nErrs += res.errs
-		nPatches += int64(len(res.patches))
 		elapsed += res.elapsed
 	}
-	if len(queries) == 0 {
+	var allQ, allP []time.Duration
+	perGraph := make(map[string]graphLatencies, len(targets))
+	for t, tgt := range targets {
+		allQ = append(allQ, queries[t]...)
+		allP = append(allP, patches[t]...)
+		gl := graphLatencies{LatencyMS: summarize(queries[t])}
+		if len(patches[t]) > 0 {
+			pl := summarize(patches[t])
+			gl.PatchLatencyMS = &pl
+		}
+		perGraph[tgt.name] = gl
+	}
+	if len(allQ) == 0 {
 		return fmt.Errorf("no successful measured classify requests (%d errors)", nErrs)
 	}
 
+	wl := workload{
+		Concurrency: *conc, Batch: *batch, TopK: *topK,
+		Stream: *stream, Gzip: *gz,
+		PatchFrac: *patchFrac, PatchBatch: *patchBatch, Repeat: *repeat,
+		DurationS: elapsed.Seconds(),
+		Requests:  int64(len(allQ)) + int64(len(allP)), Patches: int64(len(allP)), Errors: nErrs,
+		GraphNodes: targets[0].n, GraphEdges: targets[0].m,
+	}
+	if *graphs > 0 {
+		wl.Graphs = len(targets)
+	} else {
+		wl.Graph = targets[0].name
+	}
 	rep := report{
-		Workload: workload{
-			Graph: *graph, Concurrency: *conc, Batch: *batch, TopK: *topK,
-			Stream: *stream, Gzip: *gz,
-			PatchFrac: *patchFrac, PatchBatch: *patchBatch, Repeat: *repeat,
-			DurationS: elapsed.Seconds(),
-			Requests:  int64(len(queries)) + nPatches, Patches: nPatches, Errors: nErrs,
-			GraphNodes: n, GraphEdges: m,
-		},
-		QPS:       float64(len(queries)+len(patches)) / elapsed.Seconds(),
-		LatencyMS: summarize(queries),
+		Workload:  wl,
+		QPS:       float64(len(allQ)+len(allP)) / elapsed.Seconds(),
+		LatencyMS: summarize(allQ),
+		PerGraph:  perGraph,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
-	if len(patches) > 0 {
-		pl := summarize(patches)
+	if len(allP) > 0 {
+		pl := summarize(allP)
 		rep.PatchLatencyMS = &pl
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -182,17 +267,15 @@ func run() error {
 	return nil
 }
 
-// runOnce executes one closed-loop measurement run.
+// runOnce executes one closed-loop measurement run across cfg.targets.
 func runOnce(cfg config, run int64) (runResult, error) {
-	classifyURL := fmt.Sprintf("%s/v1/graphs/%s/classify", cfg.base, cfg.graph)
-	patchURL := fmt.Sprintf("%s/v1/graphs/%s/labels", cfg.base, cfg.graph)
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		qAll     []time.Duration
-		pAll     []time.Duration
+		qAll     = make([][]time.Duration, len(cfg.targets))
+		pAll     = make([][]time.Duration, len(cfg.targets))
 		tickets  int64 // request budget ticket counter (budget mode only)
 		nErrs    int64
 		budget   = cfg.requests
@@ -228,12 +311,14 @@ func runOnce(cfg config, run int64) (runResult, error) {
 		go func(worker int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + run*1000003 + int64(worker)))
-			qLocal := make([]time.Duration, 0, 4096)
-			pLocal := make([]time.Duration, 0, 512)
+			qLocal := make([][]time.Duration, len(cfg.targets))
+			pLocal := make([][]time.Duration, len(cfg.targets))
 			flush := func() {
 				mu.Lock()
-				qAll = append(qAll, qLocal...)
-				pAll = append(pAll, pLocal...)
+				for t := range cfg.targets {
+					qAll[t] = append(qAll[t], qLocal[t]...)
+					pAll[t] = append(pAll[t], pLocal[t]...)
+				}
 				mu.Unlock()
 			}
 			for {
@@ -247,13 +332,18 @@ func runOnce(cfg config, run int64) (runResult, error) {
 					flush()
 					return
 				}
+				ti := 0
+				if len(cfg.targets) > 1 {
+					ti = rng.Intn(len(cfg.targets))
+				}
+				tgt := cfg.targets[ti]
 				isPatch := cfg.patchFrac > 0 && rng.Float64() < cfg.patchFrac
 				var lat time.Duration
 				var err error
 				if isPatch {
-					lat, err = onePatch(client, patchURL, rng, cfg.n, cfg.k, cfg.patchBatch)
+					lat, err = onePatch(client, tgt.patchURL, rng, tgt.n, tgt.k, cfg.patchBatch)
 				} else {
-					lat, err = oneRequest(client, classifyURL, rng, cfg.n, cfg.batch, cfg.topK, cfg.stream, cfg.gz)
+					lat, err = oneRequest(client, tgt.classifyURL, rng, tgt.n, cfg.batch, cfg.topK, cfg.stream, cfg.gz)
 				}
 				if err != nil {
 					atomic.AddInt64(&nErrs, 1)
@@ -261,9 +351,9 @@ func runOnce(cfg config, run int64) (runResult, error) {
 				}
 				if measured.Load() {
 					if isPatch {
-						pLocal = append(pLocal, lat)
+						pLocal[ti] = append(pLocal[ti], lat)
 					} else {
-						qLocal = append(qLocal, lat)
+						qLocal[ti] = append(qLocal[ti], lat)
 					}
 				}
 			}
@@ -277,9 +367,74 @@ func runOnce(cfg config, run int64) (runResult, error) {
 	return runResult{queries: qAll, patches: pAll, errs: atomic.LoadInt64(&nErrs), elapsed: elapsed}, nil
 }
 
-// graphDims resolves the graph's node/edge/class counts, warming the engine
-// with a one-node classify first so a cold (or file-backed) graph reports
-// real dimensions and the benchmark excludes the one-off build.
+// registerGraphs admits count synthetic graphs (warm, so the benchmark
+// excludes build cost) and returns their names.
+func registerGraphs(base string, count, nodes, edges int, incremental bool, seed uint64) ([]string, error) {
+	names := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("lg-%d", i)
+		body, err := json.Marshal(map[string]any{
+			"name":        name,
+			"incremental": incremental,
+			"warm":        true,
+			"synthetic": map[string]any{
+				"n": nodes, "m": edges, "f": 0.1, "seed": seed + uint64(i),
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("registering %s: %w", name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			names = append(names, name)
+		case http.StatusConflict:
+			// Left over from a -keep-graphs run: reuse it.
+			names = append(names, name)
+		default:
+			deleteGraphs(base, names)
+			return nil, fmt.Errorf("registering %s: status %d", name, resp.StatusCode)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: registered %d synthetic graphs (%d nodes, %d edges each)\n", len(names), nodes, edges)
+	return names, nil
+}
+
+// deleteGraphs best-effort unregisters the graphs a mixed-tenant run admitted.
+func deleteGraphs(base string, names []string) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, name := range names {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/graphs/%s", base, name), nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+}
+
+// resolveTarget resolves a graph's node/edge/class counts, warming the
+// engine with a one-node classify first so a cold (or file-backed) graph
+// reports real dimensions and the benchmark excludes the one-off build.
+func resolveTarget(base, graph string) (target, error) {
+	n, m, k, err := graphDims(base, graph)
+	if err != nil {
+		return target{}, err
+	}
+	return target{
+		name: graph, n: n, m: m, k: k,
+		classifyURL: fmt.Sprintf("%s/v1/graphs/%s/classify", base, graph),
+		patchURL:    fmt.Sprintf("%s/v1/graphs/%s/labels", base, graph),
+	}, nil
+}
+
 func graphDims(base, graph string) (n, m, k int, err error) {
 	warmBody := `{"nodes":[0]}`
 	resp, err := http.Post(fmt.Sprintf("%s/v1/graphs/%s/classify", base, graph),

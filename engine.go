@@ -41,12 +41,19 @@ var ErrEngineClosed = errors.New("engine closed")
 // answers classification queries concurrently.
 //
 // Concurrency model: queries take a read lock and serve from an immutable
-// belief snapshot; label updates and re-estimation take the write lock,
+// belief snapshot; label updates and re-estimation take the write lock to
 // mutate the seed state and invalidate the snapshot, which the next query
-// rebuilds. What-if queries (Query.ExtraSeeds) run their own propagation on
-// a pooled, buffer-reusing propagation.State, so steady-state serving does
-// not allocate per query. All propagation shares the row-parallel worker
-// pool inside internal/sparse.
+// rebuilds. On Incremental engines the write lock is narrow: a label
+// patch's residual flush runs on a cloned copy-on-write view
+// (residual.Patch) with NO engine lock held — concurrent readers keep
+// serving the untouched pre-patch beliefs — and only the final
+// belief/residual row swap (Patch.Apply) takes the write lock. patchMu
+// serializes patch sessions against each other, never against readers.
+// What-if queries (Query.ExtraSeeds) run on copy-on-write overlays (or a
+// pooled propagation.State on the non-incremental path), so steady-state
+// serving does not allocate per query. All execution — dense rounds and
+// saturated residual drains alike — runs on the shared parallel core in
+// internal/exec over internal/sparse's worker pool.
 type Engine struct {
 	mu sync.RWMutex
 
@@ -71,6 +78,13 @@ type Engine struct {
 	res *residual.State
 
 	rebuildMu sync.Mutex // serializes snapshot rebuilds (never held with mu)
+	patchMu   sync.Mutex // serializes residual patch sessions (acquired before mu)
+
+	// ovCache memoizes what-if overlay frontiers keyed by the canonical
+	// extra-seed set, so repeated interactive what-ifs skip the re-push
+	// entirely. Entries are validated against gen: any seed or H change
+	// invalidates them lazily.
+	ovCache overlayCache
 
 	// Cached factorized summaries (the M⁽ℓ⁾/P̂⁽ℓ⁾ sketches). They depend
 	// only on the graph and the seed labels — not on H — so they are keyed
@@ -89,6 +103,7 @@ type Engine struct {
 	nResidualPatches   atomic.Int64
 	nResidualPushes    atomic.Int64
 	nResidualFallbacks atomic.Int64
+	nOverlayCacheHits  atomic.Int64
 }
 
 // snapshot is an immutable (beliefs, labels) pair; readers that hold a
@@ -162,8 +177,11 @@ type EngineStats struct {
 	// residual subsystem, across patches and what-if overlays.
 	ResidualPushes int64
 	// ResidualFallbacks counts pushes that spread past the edge budget and
-	// finished as (or were rerouted to) full propagations.
+	// finished as (or were rerouted to) dense sweeps or full propagations.
 	ResidualFallbacks int64
+	// OverlayCacheHits counts what-if queries answered from the memoized
+	// overlay-frontier cache without any pushing.
+	OverlayCacheHits int64
 }
 
 // Query describes one classification request against an Engine.
@@ -475,7 +493,13 @@ func (e *Engine) newStatePool(h *Matrix) (*sync.Pool, error) {
 		}
 		return st
 	}}
-	pool.Put(first)
+	if !e.eopts.Incremental {
+		// Incremental engines touch pooled states only when an overlay
+		// floods its edge budget; retaining the eagerly-built one would pin
+		// four n×k buffers on an idle engine for a rare path. It served its
+		// purpose (validating the configuration) and is left to the GC.
+		pool.Put(first)
+	}
 	return pool, nil
 }
 
@@ -518,6 +542,7 @@ func (e *Engine) Stats() EngineStats {
 		ResidualPatches:   e.nResidualPatches.Load(),
 		ResidualPushes:    e.nResidualPushes.Load(),
 		ResidualFallbacks: e.nResidualFallbacks.Load(),
+		OverlayCacheHits:  e.nOverlayCacheHits.Load(),
 	}
 }
 
@@ -529,24 +554,52 @@ func (e *Engine) Stats() EngineStats {
 // four buffers each. The registry uses this as the admission weight for its
 // memory budget; it deliberately overcounts slightly rather than under.
 func EstimateEngineBytes(n, m, k int, weighted bool) int64 {
-	nn, mm, kk := int64(n), int64(m), int64(k)
-	csr := 8*(nn+1) + 8*mm // IndPtr + 2m int32 indices
-	if weighted {
-		csr += 16 * mm // 2m float64 weights
-	}
-	vectors := 2 * 8 * nn               // seeds + snapshot labels
-	matrices := (2 + 2*4) * 8 * nn * kk // x, snapshot beliefs, 2 states × 4 buffers
-	return csr + vectors + matrices
+	vectors := 2 * 8 * int64(n)                     // seeds + snapshot labels
+	matrices := (2 + 2*4) * 8 * int64(n) * int64(k) // x, snapshot beliefs, 2 states × 4 buffers
+	return csrBytes(n, m, weighted) + vectors + matrices
 }
 
-// MemoryFootprint estimates this engine's resident bytes from its graph
-// dimensions; see EstimateEngineBytes. Incremental engines add the residual
-// working set: five n×k float64 matrices (X̃, F, R and two sweep buffers)
-// plus the per-node norm/queue bookkeeping.
+// csrBytes is the CSR adjacency share of an engine's footprint.
+func csrBytes(n, m int, weighted bool) int64 {
+	b := 8*(int64(n)+1) + 8*int64(m) // IndPtr + 2m int32 indices
+	if weighted {
+		b += 16 * int64(m) // 2m float64 weights
+	}
+	return b
+}
+
+// MemoryFootprint estimates this engine's resident bytes.
+//
+// Non-incremental engines report the static EstimateEngineBytes formula
+// (their working set really is the pooled states plus the snapshot).
+// Incremental engines report the tier actually in use: the CSR matrix, the
+// seed/label vectors, the explicit-belief matrix, the snapshot if one is
+// resident, and the residual state's MemoryBytes — two n×k matrices plus
+// only the residual rows currently materialized. An idle incremental
+// engine with an empty frontier therefore reports a fraction of the old
+// five-dense-buffers estimate; the dense residual tier and the
+// patch/overlay clones are transient and never idle-resident. The pooled
+// propagation states an incremental engine keeps for overlay floods are
+// not retained eagerly (see newStatePool) and are excluded as transient
+// scratch. The registry re-reads this per access, so /v1/admin/registry
+// tracks tier changes live.
 func (e *Engine) MemoryFootprint() int64 {
-	b := EstimateEngineBytes(e.g.N, e.g.M, e.k, e.g.Adj.Data != nil)
-	if e.eopts.Incremental {
-		b += int64(e.g.N) * (5*8*int64(e.k) + 9)
+	if !e.eopts.Incremental {
+		return EstimateEngineBytes(e.g.N, e.g.M, e.k, e.g.Adj.Data != nil)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	nn, kk := int64(e.g.N), int64(e.k)
+	b := csrBytes(e.g.N, e.g.M, e.g.Adj.Data != nil)
+	b += 2 * 8 * nn // seeds + snapshot labels
+	if e.x != nil {
+		b += 8 * nn * kk // explicit beliefs
+	}
+	if e.snap != nil {
+		b += 8*nn*kk + 8*nn // snapshot beliefs + labels
+	}
+	if e.res != nil {
+		b += e.res.MemoryBytes()
 	}
 	return b
 }
@@ -578,6 +631,7 @@ func (e *Engine) Close() {
 	e.sumMu.Lock()
 	e.sums = nil
 	e.sumMu.Unlock()
+	e.ovCache.purge()
 }
 
 // currentSnapshot returns the cached propagation result, rebuilding it when
@@ -719,6 +773,11 @@ type QueryMeta struct {
 	// ClonedRows is how many copy-on-write belief rows an overlay
 	// materialized — the size of its frontier.
 	ClonedRows int
+	// CacheHit is true when the overlay frontier came from the engine's
+	// what-if cache: the query's extra-seed set was flushed before at the
+	// current label generation, so no pushing ran at all. The push/clone
+	// counts then describe the cached flush.
+	CacheHit bool
 }
 
 // ClassifyEach is Classify without materializing the result slice: fn is
@@ -846,6 +905,7 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 	if topk > e.k {
 		topk = e.k
 	}
+	key := overlayCacheKey(q.ExtraSeeds)
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -855,18 +915,47 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 		e.mu.RUnlock()
 		return QueryMeta{}, false, nil // raced an H change; full path serves it
 	}
-	ov := e.res.NewOverlay()
-	for node, c := range q.ExtraSeeds {
-		ov.SetSeed(node, c)
+	var meta QueryMeta
+	var overlayRow func(node int) []float64
+	if cached := e.ovCache.get(key, e.gen); cached != nil {
+		// This exact what-if was flushed at the current generation: its
+		// cloned frontier rows are still the fixed point, so serving is a
+		// pure read — no pushing, no cloning.
+		meta = QueryMeta{
+			Residual: true, CacheHit: true,
+			PushedNodes: cached.pushed, TouchedEdges: cached.edges,
+			ClonedRows: len(cached.rows),
+		}
+		overlayRow = func(node int) []float64 {
+			if row, ok := cached.rows[int32(node)]; ok {
+				return row
+			}
+			return e.res.Row(node)
+		}
+		e.nOverlayCacheHits.Add(1)
+	} else {
+		ov := e.res.NewOverlay()
+		for node, c := range q.ExtraSeeds {
+			ov.SetSeed(node, c)
+		}
+		st := ov.Flush()
+		e.nResidualPushes.Add(int64(st.Pushed))
+		if st.FellBack {
+			e.mu.RUnlock()
+			e.nResidualFallbacks.Add(1)
+			return QueryMeta{}, false, nil // graph-wide what-if: full propagation
+		}
+		meta = QueryMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, ClonedRows: ov.Touched()}
+		overlayRow = ov.Row
+		// Memoize the frontier for the next identical what-if. gen cannot
+		// move while we hold the read lock, so the entry is pinned to
+		// exactly the base state the flush read; any later patch or H
+		// change bumps gen and invalidates it lazily.
+		e.ovCache.put(&overlayCacheEntry{
+			key: key, gen: e.gen,
+			rows: ov.ClonedBeliefRows(), pushed: st.Pushed, edges: st.Edges,
+		})
 	}
-	st := ov.Flush()
-	e.nResidualPushes.Add(int64(st.Pushed))
-	if st.FellBack {
-		e.mu.RUnlock()
-		e.nResidualFallbacks.Add(1)
-		return QueryMeta{}, false, nil // graph-wide what-if: full propagation
-	}
-	meta := QueryMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, ClonedRows: ov.Touched()}
 	// Materialize the answer under the read lock (overlay rows alias the
 	// base), then emit outside it.
 	n := len(q.Nodes)
@@ -880,7 +969,7 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 		if q.Nodes != nil {
 			node = q.Nodes[i]
 		}
-		row := ov.Row(node)
+		row := overlayRow(node)
 		labs[i] = argmaxRow(row)
 		if topk > 0 {
 			rows[i] = append([]float64(nil), row...)
@@ -1051,10 +1140,10 @@ type PatchMeta struct {
 	// PushedNodes / TouchedEdges is the push work the flush performed.
 	PushedNodes  int
 	TouchedEdges int
-	// FellBack reports that the perturbation spread past the edge budget:
-	// the residual state was dropped (no propagation-scale work runs under
-	// the engine's write lock) and the next query pays one full re-solve,
-	// outside the lock.
+	// FellBack reports that the perturbation spread past the edge budget
+	// and the patch session finished with dense sweeps on its private
+	// cloned view — still outside the engine's locks, so readers were
+	// never stalled and the residual state survives the flood.
 	FellBack bool
 }
 
@@ -1073,60 +1162,83 @@ func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
 
 // UpdateLabelsMeta is UpdateLabels plus metadata about how the update was
 // propagated.
+//
+// Locking: the write lock is held twice, briefly — once to validate and
+// install the new seeds, once to swap in the flushed result. The residual
+// flush itself (the propagation-scale work) runs in between on a
+// copy-on-write residual.Patch with no engine lock held: concurrent
+// readers serve the pre-patch beliefs from the untouched base, exactly as
+// if they had arrived just before the patch. patchMu serializes patch
+// sessions so two concurrent updates cannot interleave their base views.
 func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, error) {
+	e.patchMu.Lock()
+	defer e.patchMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return PatchMeta{}, ErrEngineClosed
 	}
 	// Validate fully before mutating so a bad request leaves state intact.
 	for node, c := range set {
 		if node < 0 || node >= e.g.N {
+			e.mu.Unlock()
 			return PatchMeta{}, fmt.Errorf("factorgraph: label update node %d out of range n=%d", node, e.g.N)
 		}
 		if c < 0 || c >= e.k {
+			e.mu.Unlock()
 			return PatchMeta{}, fmt.Errorf("factorgraph: label update class %d outside [0,%d)", c, e.k)
 		}
 	}
 	for _, node := range remove {
 		if node < 0 || node >= e.g.N {
+			e.mu.Unlock()
 			return PatchMeta{}, fmt.Errorf("factorgraph: label removal node %d out of range n=%d", node, e.g.N)
 		}
 	}
+	res := e.res
+	var patch *residual.Patch
+	if res != nil {
+		patch = res.BeginPatch()
+	}
 	for node, c := range set {
-		e.setSeedLocked(node, c)
+		e.setSeedLocked(node, c, patch)
 	}
 	for _, node := range remove {
-		e.setSeedLocked(node, Unlabeled)
-	}
-	var meta PatchMeta
-	if e.res != nil {
-		// The deltas queued by setSeedLocked propagate in place: the
-		// residual state stays the converged truth for the new seeds. The
-		// snapshot still goes stale (its argmax labels predate the patch),
-		// but its rebuild is a clone, not a propagation. The flush is
-		// bounded: a perturbation past the edge budget must NOT run dense
-		// sweeps here — we hold the write lock, and propagation-scale work
-		// under it would stall every reader — so the residual state is
-		// dropped instead and the next query re-solves outside the lock
-		// via the usual snapshot rebuild.
-		st, converged := e.res.FlushBounded()
-		e.nResidualPatches.Add(1)
-		e.nResidualPushes.Add(int64(st.Pushed))
-		if !converged {
-			e.nResidualFallbacks.Add(1)
-			e.res = nil
-		}
-		meta = PatchMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, FellBack: !converged}
+		e.setSeedLocked(node, Unlabeled, patch)
 	}
 	e.snap = nil
 	e.gen++
 	e.labelGen++ // seeds changed ⇒ cached summaries are stale
 	e.nLabelUpdates.Add(1)
-	return meta, nil
+	e.mu.Unlock()
+	if patch == nil {
+		return PatchMeta{}, nil
+	}
+	// Flush OUTSIDE the engine locks: a wide patch promotes to parallel
+	// pull rounds (and dense sweeps past the edge budget) without stalling
+	// a single reader. The deltas queued by setSeedLocked coalesce into one
+	// flush per batch.
+	st := patch.Flush()
+	e.nResidualPatches.Add(1)
+	e.nResidualPushes.Add(int64(st.Pushed))
+	if st.FellBack {
+		e.nResidualFallbacks.Add(1)
+	}
+	e.mu.Lock()
+	if e.res == res && !e.closed {
+		// The swap: row copies for a narrow patch, pointer swaps for a
+		// promoted one. If an H change replaced (or dropped) the residual
+		// state mid-flush, the new state was initialized from the already
+		// patched seeds and the session result is simply discarded.
+		patch.Apply()
+		e.snap = nil
+		e.gen++
+	}
+	e.mu.Unlock()
+	return PatchMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, FellBack: st.FellBack}, nil
 }
 
-func (e *Engine) setSeedLocked(node, c int) {
+func (e *Engine) setSeedLocked(node, c int, patch *residual.Patch) {
 	old := e.seeds[node]
 	if old == Unlabeled && c != Unlabeled {
 		e.nLabeled++
@@ -1141,9 +1253,10 @@ func (e *Engine) setSeedLocked(node, c int) {
 	if c != Unlabeled {
 		row[c] = 1
 	}
-	if e.res != nil && old != c {
-		// Queue the explicit-belief delta; UpdateLabelsMeta flushes once
-		// after the whole batch so overlapping patches coalesce.
+	if patch != nil && old != c {
+		// Queue the explicit-belief delta on the patch session;
+		// UpdateLabelsMeta flushes once after the whole batch so
+		// overlapping patches coalesce.
 		delta := make([]float64, e.k)
 		if old != Unlabeled {
 			delta[old] -= 1
@@ -1151,7 +1264,7 @@ func (e *Engine) setSeedLocked(node, c int) {
 		if c != Unlabeled {
 			delta[c] += 1
 		}
-		e.res.AddDelta(node, delta)
+		patch.AddDelta(node, delta)
 	}
 }
 

@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/sparse"
+)
+
+// TestRunnerRowsIndexed: every index in [0, n) is visited exactly once,
+// chunk ids stay below MaxChunks, and a chunk id is never shared by two
+// concurrent ranges (per-chunk scratch would race otherwise).
+func TestRunnerRowsIndexed(t *testing.T) {
+	for _, workers := range []int{0, 1, 3} {
+		r := Runner{Workers: workers}
+		for _, n := range []int{0, 1, 7, 1000} {
+			seen := make([]int32, n)
+			r.RowsIndexed(n, func(chunk, lo, hi int) {
+				if chunk < 0 || chunk >= r.MaxChunks() {
+					t.Errorf("workers=%d n=%d: chunk %d outside [0,%d)", workers, n, chunk, r.MaxChunks())
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// ring builds a weighted ring graph with a couple of chords per node.
+func ring(t *testing.T, n int) *sparse.CSR {
+	t.Helper()
+	edges := make([][2]int32, 0, 2*n)
+	weights := make([]float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int32{int32(i), int32((i + 1) % n)})
+		weights = append(weights, 1)
+		edges = append(edges, [2]int32{int32(i), int32((i + 7) % n)})
+		weights = append(weights, 0.5)
+	}
+	w, err := sparse.NewSymmetricFromEdges(n, edges, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// pullFixture builds a (W, H̃, F, R) quadruple with a dirty frontier. The
+// scaled H̃ has spectral norm well below 1 so drains contract.
+func pullFixture(t *testing.T, n, k int, dirtyFrac float64, seed int64) (w *sparse.CSR, hs, f, r *dense.Matrix, norms []float64, active []int32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w = ring(t, n)
+	hs = dense.New(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			hs.Set(i, j, (rng.Float64()-0.5)*0.05) // ‖εWH̃‖ ≪ 1 on a ring
+		}
+	}
+	f = dense.New(n, k)
+	r = dense.New(n, k)
+	norms = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			f.Set(i, j, rng.Float64())
+		}
+		if rng.Float64() < dirtyFrac {
+			norm := 0.0
+			for j := 0; j < k; j++ {
+				v := rng.Float64() - 0.5
+				r.Set(i, j, v)
+				if math.Abs(v) > norm {
+					norm = math.Abs(v)
+				}
+			}
+			norms[i] = norm
+			active = append(active, int32(i))
+		}
+	}
+	return w, hs, f, r, norms, active
+}
+
+// applyA computes out = W · (m · H̃), the contraction the drain applies.
+func applyA(w *sparse.CSR, hs, m *dense.Matrix) *dense.Matrix {
+	mh := dense.Mul(m, hs)
+	return w.MulDense(mh)
+}
+
+// TestPullPassConvergesToInvariant: after a drain, F must equal the exact
+// solution F0 + (I − A)⁻¹ R0 within the tolerance bound, and every norm
+// must be at or below tolerance — for every schedule: the parallel pull
+// rounds (both candidate-discovery and full-scan flavors), the pinned
+// single-worker execution of the same pull schedule (which must agree
+// bitwise — Jacobi is schedule-deterministic), and the sequential
+// Gauss–Seidel scatter.
+func TestPullPassConvergesToInvariant(t *testing.T) {
+	const n, k, tol = 600, 3, 1e-10
+	for _, dirtyFrac := range []float64{0.05, 0.5} { // below and above the full-scan density
+		w, hs, f0, r0, _, _ := pullFixture(t, n, k, dirtyFrac, 7)
+
+		// Reference: F* = F0 + Σ_{i≥0} A^i R0, summed until exhaustion.
+		want := f0.Clone()
+		acc := r0.Clone()
+		for i := 0; i < 200; i++ {
+			dense.AddInPlace(want, acc)
+			acc = applyA(w, hs, acc)
+			if dense.MaxAbs(acc) < 1e-14 {
+				break
+			}
+		}
+
+		drains := map[string]func(p *PullPass, active []int32) (int, int, int, []int32){
+			"pull":        func(p *PullPass, a []int32) (int, int, int, []int32) { return p.drainPull(a, 0) },
+			"pull-seq":    func(p *PullPass, a []int32) (int, int, int, []int32) { return p.drainPull(a, 0) },
+			"scatter":     func(p *PullPass, a []int32) (int, int, int, []int32) { return p.drainScatter(a, 0) },
+			"auto-select": func(p *PullPass, a []int32) (int, int, int, []int32) { return p.Drain(a, 0) },
+		}
+		workersFor := map[string]int{"pull": 0, "pull-seq": 1, "scatter": 0, "auto-select": 0}
+		results := map[string]*dense.Matrix{}
+		for name, drain := range drains {
+			f := f0.Clone()
+			r := r0.Clone()
+			norms := make([]float64, n)
+			var active []int32
+			for i := 0; i < n; i++ {
+				norms[i] = infRow(r.Row(i))
+				if norms[i] > tol {
+					active = append(active, int32(i))
+				}
+			}
+			p := NewPullPass(w, hs, f, r, norms, tol, Runner{Workers: workersFor[name]})
+			pushed, edges, rounds, remaining := drain(p, active)
+			if remaining != nil {
+				t.Fatalf("%s frac=%v: unbounded drain returned remaining frontier", name, dirtyFrac)
+			}
+			if pushed == 0 || edges == 0 || rounds == 0 {
+				t.Fatalf("%s frac=%v: drain did no work: pushed=%d edges=%d rounds=%d", name, dirtyFrac, pushed, edges, rounds)
+			}
+			for i := range norms {
+				if norms[i] > tol {
+					t.Fatalf("%s frac=%v: node %d left at norm %g > tol", name, dirtyFrac, i, norms[i])
+				}
+			}
+			// F + (I−A)⁻¹ R must still be the invariant: with R ≤ tol the
+			// belief error against the exact solution is O(tol/(1−s)).
+			worst := 0.0
+			for i := range f.Data {
+				if d := math.Abs(f.Data[i] - want.Data[i]); d > worst {
+					worst = d
+				}
+			}
+			if worst > 1e-8 {
+				t.Errorf("%s frac=%v: drained beliefs off the exact solution by %g", name, dirtyFrac, worst)
+			}
+			results[name] = f
+		}
+		// The Jacobi pull schedule is worker-count-deterministic: the same
+		// arithmetic runs, only on different goroutines.
+		for i := range results["pull"].Data {
+			if d := math.Abs(results["pull"].Data[i] - results["pull-seq"].Data[i]); d > 1e-12 {
+				t.Fatalf("frac=%v: pull diverges across worker counts by %g at %d", dirtyFrac, d, i)
+			}
+		}
+	}
+}
+
+// TestPullPassBudget: a tight edge budget stops the drain between rounds
+// with an exact remaining frontier the caller can resume.
+func TestPullPassBudget(t *testing.T) {
+	const n, k, tol = 600, 3, 1e-12
+	w, hs, f, r, norms, active := pullFixture(t, n, k, 0.8, 11)
+	p := NewPullPass(w, hs, f, r, norms, tol, Runner{})
+	pushed, edges, _, remaining := p.Drain(active, 1) // one round's worth at most
+	if remaining == nil {
+		t.Fatal("tight budget drained cleanly")
+	}
+	if edges <= 1 || pushed == 0 {
+		t.Fatalf("no work before budget stop: pushed=%d edges=%d", pushed, edges)
+	}
+	for _, v := range remaining {
+		if norms[v] <= tol {
+			t.Fatalf("remaining frontier lists clean node %d", v)
+		}
+	}
+	// Resuming with no budget finishes the job.
+	if _, _, _, rem2 := p.Drain(remaining, 0); rem2 != nil {
+		t.Fatal("resumed drain did not finish")
+	}
+	for i, v := range norms {
+		if v > tol {
+			t.Fatalf("node %d left dirty after resume (%g)", i, v)
+		}
+	}
+}
+
+// TestDenseRoundMatchesNaive: the fused dense round equals the naive
+// two-multiply composition.
+func TestDenseRoundMatchesNaive(t *testing.T) {
+	const n, k = 200, 4
+	rng := rand.New(rand.NewSource(3))
+	w := ring(t, n)
+	h := dense.New(k, k)
+	f := dense.New(n, k)
+	for i := range h.Data {
+		h.Data[i] = rng.Float64() - 0.5
+	}
+	for i := range f.Data {
+		f.Data[i] = rng.Float64()
+	}
+	want := w.MulDense(dense.Mul(f, h))
+	fh, wfh := dense.New(n, k), dense.New(n, k)
+	got := dense.New(n, k)
+	Runner{}.DenseRound(w, f, h, fh, wfh, func(_, lo, hi int) {
+		copy(got.Data[lo*k:hi*k], wfh.Data[lo*k:hi*k])
+	})
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-12 {
+			t.Fatalf("dense round diverges at %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func infRow(row []float64) float64 {
+	m := 0.0
+	for _, v := range row {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

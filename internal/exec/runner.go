@@ -1,0 +1,80 @@
+// Package exec is the shared parallel execution core of the two LinBP
+// solvers. Before it existed the repo had two divergent execution paths:
+// internal/propagation ran dense rounds on the sparse worker pool while
+// internal/residual drained its push queue single-threaded under the
+// serving engine's write lock. This package owns what both need —
+//
+//   - Runner: a chunked row-parallel executor over internal/sparse's
+//     long-lived worker pool, with a worker cap so benchmarks can pin a
+//     sequential baseline against identical code;
+//   - Frontier: the small-tier dirty-node set of the push solver — a
+//     Gauss–Southwell priority heap over a sparse membership map, with a
+//     promotion signal once the set saturates (the saturated tier's
+//     active arrays and mark bitmaps belong to PullPass);
+//   - Drain: the sequential largest-first push loop for heap-tier
+//     frontiers, generic over a PushKernel so the resident state and its
+//     copy-on-write views (overlays, patch sessions) share one loop;
+//   - PullPass: the level-synchronous parallel drain for saturated
+//     frontiers — per round, every active node's residual is absorbed in
+//     parallel, then the dirtied neighborhood *pulls* its incoming mass in
+//     parallel (gather, not scatter, so rows are written by exactly one
+//     worker and the pass is race-free without atomics on the data);
+//   - DenseRound: the one dense iteration W·(F·H̃) both solvers share, with
+//     a parallel per-row-chunk finish hook (propagation fuses its belief
+//     update into it, residual its residual recomputation).
+//
+// The package deliberately contains no solver mathematics beyond the pull
+// gather: tolerances, scaling and storage tiers stay with the solvers.
+package exec
+
+import (
+	"factorgraph/internal/sparse"
+)
+
+// Runner executes row-chunked work on the shared sparse worker pool.
+// The zero value uses every available worker; Workers=1 is a strictly
+// sequential executor running the same code path (speedup baselines and
+// deterministic debugging use it).
+type Runner struct {
+	// Workers caps the parallelism (0 = GOMAXPROCS, bounded by the pool).
+	Workers int
+}
+
+// Rows runs fn over [0, n) split into one chunk per worker.
+func (r Runner) Rows(n int, fn func(lo, hi int)) {
+	sparse.ParallelRowsLimit(n, r.Workers, fn)
+}
+
+// MaxChunks reports an upper bound on the chunk indices RowsIndexed will
+// produce; callers allocate per-chunk scratch (partial reductions,
+// worker-local lists) with it.
+func (r Runner) MaxChunks() int {
+	return sparse.MaxParallelWorkers(r.Workers)
+}
+
+// RowsIndexed is Rows with a stable chunk index: [0, n) is split into
+// exactly MaxChunks() contiguous ranges (empty ranges are skipped) and fn
+// receives the index of the range it is running. Per-chunk scratch indexed
+// by chunk is therefore written by exactly one worker at a time.
+func (r Runner) RowsIndexed(n int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := r.MaxChunks()
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	sparse.ParallelRowsLimit(chunks, r.Workers, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*size, (c+1)*size
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			fn(c, lo, hi)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"factorgraph/internal/dense"
+	"factorgraph/internal/exec"
 	"factorgraph/internal/sparse"
 )
 
@@ -31,6 +32,8 @@ type State struct {
 	fh, wfh  *dense.Matrix
 	echo     *dense.Matrix
 	cur, prv []int // label-stability scratch
+
+	run exec.Runner // shared execution core; all dense rounds go through it
 }
 
 // NewState validates shapes, computes ε = s/(ρ(W)·ρ(H̃)) once, and
@@ -104,6 +107,10 @@ func (s *State) K() int { return s.k }
 // Run iterates F ← X + εWFH̃ and returns the final belief matrix. The
 // returned matrix aliases the state's buffer: it is valid until the next
 // Run and must be cloned to outlive it. x is not mutated.
+//
+// Every round runs on the shared execution core (internal/exec): the dense
+// products and the fused per-row belief update are row-parallel on the same
+// worker pool the residual solver's saturated drains use.
 func (s *State) Run(x *dense.Matrix) (*dense.Matrix, error) {
 	if x.Rows != s.w.N || x.Cols != s.k {
 		return nil, fmt.Errorf("propagation: X is %d×%d, state wants %d×%d", x.Rows, x.Cols, s.w.N, s.k)
@@ -117,29 +124,40 @@ func (s *State) Run(x *dense.Matrix) (*dense.Matrix, error) {
 		xUse = s.x
 	}
 	s.f.CopyFrom(xUse)
+	k := s.k
 	stable := 0
 	havePrev := false
 	for it := 0; it < s.opts.Iterations; it++ {
 		if s.opts.EchoCancellation {
 			// −DF̃H̃²: each node subtracts the degree-weighted reflection of
 			// its own belief.
-			dense.MulInto(s.echo, s.f, s.h2)
-			for i := 0; i < s.w.N; i++ {
-				row := s.echo.Row(i)
-				for j := range row {
-					row[j] *= s.deg[i]
+			s.run.Rows(s.w.N, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					fRow := s.f.Data[i*k : (i+1)*k]
+					eRow := s.echo.Data[i*k : (i+1)*k]
+					for j := 0; j < k; j++ {
+						acc := 0.0
+						for c := 0; c < k; c++ {
+							acc += fRow[c] * s.h2.Data[c*k+j]
+						}
+						eRow[j] = acc * s.deg[i]
+					}
 				}
-			}
+			})
 		}
-		dense.MulInto(s.fh, s.f, s.hScaled)
-		s.w.MulDenseInto(s.wfh, s.fh)
-		s.f.CopyFrom(xUse)
-		dense.AddInPlace(s.f, s.wfh)
-		if s.opts.EchoCancellation {
-			for i := range s.f.Data {
-				s.f.Data[i] -= s.echo.Data[i]
+		// One dense round: wfh = W·(F·H̃), then the fused belief update
+		// F ← X (+ WFH̃ − echo) per row chunk.
+		s.run.DenseRound(s.w, s.f, s.hScaled, s.fh, s.wfh, func(_, lo, hi int) {
+			if s.opts.EchoCancellation {
+				for i := lo * k; i < hi*k; i++ {
+					s.f.Data[i] = xUse.Data[i] + s.wfh.Data[i] - s.echo.Data[i]
+				}
+				return
 			}
-		}
+			for i := lo * k; i < hi*k; i++ {
+				s.f.Data[i] = xUse.Data[i] + s.wfh.Data[i]
+			}
+		})
 		if s.opts.StopWhenStable > 0 {
 			s.cur = dense.ArgmaxRowsInto(s.cur, s.f)
 			if havePrev && equalInts(s.cur, s.prv) {

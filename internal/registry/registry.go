@@ -179,7 +179,7 @@ func (r *Registry) Acquire(name string) (*factorgraph.Engine, func(), error) {
 			e.hits++
 			r.touchLocked(e)
 			r.mu.Unlock()
-			return eng, r.releaseFunc(e), nil
+			return eng, r.releaseFunc(e, eng), nil
 		}
 		if e.building != nil {
 			// Another goroutine is building this engine; wait for it and
@@ -235,7 +235,7 @@ func (r *Registry) Acquire(name string) (*factorgraph.Engine, func(), error) {
 		r.touchLocked(e)
 		r.evictLocked()
 		r.mu.Unlock()
-		return eng, r.releaseFunc(e), nil
+		return eng, r.releaseFunc(e, eng), nil
 	}
 }
 
@@ -251,7 +251,7 @@ func (r *Registry) AcquireIfBuilt(name string) (*factorgraph.Engine, func(), boo
 		return nil, nil, false
 	}
 	e.refs++
-	return e.engine, r.releaseFunc(e), true
+	return e.engine, r.releaseFunc(e, e.engine), true
 }
 
 // Delete unregisters a graph. An engine with in-flight requests stays
@@ -280,16 +280,25 @@ func (r *Registry) Delete(name string) error {
 }
 
 // releaseFunc returns the idempotent unpin closure handed out by Acquire.
-func (r *Registry) releaseFunc(e *entry) func() {
+func (r *Registry) releaseFunc(e *entry, eng *factorgraph.Engine) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
+			// The request may have grown (patch promoted a residual tier)
+			// or shrunk (tier demoted) the engine; measure BEFORE taking
+			// r.mu — MemoryFootprint takes the engine's own read lock, and
+			// holding the registry-global mutex while waiting on one
+			// tenant's engine lock would stall every other tenant. The
+			// engine is still pinned by our ref, so it cannot be closed
+			// under us; applyMemLocked re-checks it is still installed.
+			m := eng.MemoryFootprint()
 			r.mu.Lock()
 			e.refs--
 			if e.deleted && e.refs == 0 && e.engine != nil {
 				e.engine.Close()
 				e.engine = nil
 			}
+			r.applyMemLocked(e, eng, m)
 			r.evictLocked()
 			r.mu.Unlock()
 		})
@@ -300,6 +309,22 @@ func (r *Registry) touchLocked(e *entry) {
 	r.tick++
 	e.lastTick = r.tick
 	e.lastAccess = time.Now()
+}
+
+// applyMemLocked folds a footprint measurement (taken OUTSIDE r.mu — see
+// releaseFunc) into the registry's resident total, provided the entry
+// still holds the engine it was measured on. Incremental engines'
+// footprints move at runtime — the residual tier promotes and demotes, the
+// snapshot comes and goes — and the budget (plus /v1/admin/registry) must
+// see the tier actually in use, not the build-time estimate.
+func (r *Registry) applyMemLocked(e *entry, eng *factorgraph.Engine, m int64) {
+	if e.engine != eng || e.engine == nil || e.deleted {
+		return
+	}
+	if m != e.mem {
+		r.resident += m - e.mem
+		e.mem = m
+	}
 }
 
 // evictLocked closes least-recently-used cold engines until the resident
@@ -368,6 +393,10 @@ type GraphInfo struct {
 	RegisteredUnixMS int64 `json:"registered_unix_ms"`
 }
 
+// infoLocked reports e.mem as-is: footprints are re-measured at every
+// request release (see releaseFunc), deliberately NOT here — measuring
+// takes the engine's own lock, and the admin/listing paths must not hold
+// the registry-global mutex while waiting on one tenant's engine.
 func (r *Registry) infoLocked(e *entry) GraphInfo {
 	state := "cold"
 	switch {

@@ -1,21 +1,27 @@
 package residual
 
-import "container/heap"
+import "factorgraph/internal/exec"
 
 // Overlay is a copy-on-write view over a base State for what-if queries:
 // ephemeral seed changes land as residual deltas in the overlay, and the
 // push loop clones exactly the belief rows its frontier touches — the rest
 // of the graph is read through to the base. An overlay never mutates its
 // base, so concurrent queries each run their own Overlay over one shared
-// State; the caller must only guarantee the base is not flushed (mutated)
-// while overlays read it, which the Engine does with its read lock.
+// State; the caller must only guarantee the base is not mutated (flushed or
+// patched) while overlays read it, which the Engine does with its read
+// lock.
+//
+// Overlays drain through the same exec.Drain loop as the resident state but
+// never promote: a what-if whose frontier would saturate has no cheap
+// incremental answer, and the edge budget reroutes it to a full propagation
+// long before a saturated drain could pay off.
 type Overlay struct {
 	base *State
 
-	rows map[int][]float64 // CoW belief rows (node → owned row)
-	res  map[int][]float64 // overlay residual rows (sparse)
-	inq  map[int]bool
-	pq   nodeHeap
+	rows map[int32][]float64 // CoW belief rows (node → owned row)
+	res  map[int32][]float64 // overlay residual rows (sparse)
+
+	front *exec.Frontier
 
 	rowBuf []float64
 	rhBuf  []float64
@@ -28,16 +34,16 @@ type Overlay struct {
 func (s *State) NewOverlay() *Overlay {
 	return &Overlay{
 		base:   s,
-		rows:   make(map[int][]float64),
-		res:    make(map[int][]float64),
-		inq:    make(map[int]bool),
+		rows:   make(map[int32][]float64),
+		res:    make(map[int32][]float64),
+		front:  exec.NewFrontier(s.opts.Tol, 0),
 		rowBuf: make([]float64, s.k),
 		rhBuf:  make([]float64, s.k),
 	}
 }
 
 // resRow returns the overlay residual row for node, creating it zeroed.
-func (o *Overlay) resRow(node int) []float64 {
+func (o *Overlay) resRow(node int32) []float64 {
 	row, ok := o.res[node]
 	if !ok {
 		row = make([]float64, o.base.k)
@@ -47,10 +53,10 @@ func (o *Overlay) resRow(node int) []float64 {
 }
 
 // beliefRow returns the writable (cloned) belief row for node.
-func (o *Overlay) beliefRow(node int) []float64 {
+func (o *Overlay) beliefRow(node int32) []float64 {
 	row, ok := o.rows[node]
 	if !ok {
-		row = append([]float64(nil), o.base.f.Row(node)...)
+		row = append([]float64(nil), o.base.f.Row(int(node))...)
 		o.rows[node] = row
 	}
 	return row
@@ -60,22 +66,11 @@ func (o *Overlay) beliefRow(node int) []float64 {
 // (delta in uncentered space, as in State.AddDelta). The base's X is not
 // modified.
 func (o *Overlay) AddDelta(node int, delta []float64) {
-	row := o.resRow(node)
-	norm := 0.0
+	row := o.resRow(int32(node))
 	for j, d := range delta {
 		row[j] += d
-		v := row[j]
-		if v < 0 {
-			v = -v
-		}
-		if v > norm {
-			norm = v
-		}
 	}
-	if norm > o.base.opts.Tol && !o.inq[node] {
-		heap.Push(&o.pq, heapEntry{node: int32(node), norm: norm})
-		o.inq[node] = true
-	}
+	o.front.Add(int32(node), infNorm(row))
 }
 
 // SetSeed overlays "this node's explicit belief becomes one-hot class c"
@@ -101,71 +96,70 @@ func (o *Overlay) SetSeed(node, c int) {
 
 // Flush pushes the overlay's residual queue to the tolerance of the base
 // state, cloning belief rows as the frontier reaches them. If the frontier
-// exceeds the base's edge budget the overlay gives up and reports
-// FellBack=true with the flush incomplete — the caller should answer the
-// query with a full propagation instead (a what-if that perturbs a large
-// fraction of the graph has no cheap incremental answer).
+// exceeds the base's edge budget (cumulative across flushes) the overlay
+// gives up and reports FellBack=true with the flush incomplete — the caller
+// should answer the query with a full propagation instead.
 func (o *Overlay) Flush() Stats {
 	var st Stats
-	k := o.base.k
-	tol := o.base.opts.Tol
-	hs := o.base.hScaled
-	w := o.base.w
-	for len(o.pq) > 0 {
-		top := heap.Pop(&o.pq).(heapEntry)
-		u := int(top.node)
-		o.inq[u] = false
-		rRow := o.res[u]
-		if rRow == nil || infNorm(rRow) <= tol {
-			continue
-		}
-		fRow := o.beliefRow(u)
-		copy(o.rowBuf, rRow)
-		for j := 0; j < k; j++ {
-			fRow[j] += rRow[j]
-			rRow[j] = 0
-		}
-		st.Pushed++
-		rh := o.rhBuf
-		for j := 0; j < k; j++ {
-			acc := 0.0
-			for c := 0; c < k; c++ {
-				acc += o.rowBuf[c] * hs.Data[c*k+j]
-			}
-			rh[j] = acc
-		}
-		lo, hi := w.IndPtr[u], w.IndPtr[u+1]
-		st.Edges += hi - lo
-		o.edges += hi - lo
-		for p := lo; p < hi; p++ {
-			v := int(w.Indices[p])
-			wv := 1.0
-			if w.Data != nil {
-				wv = w.Data[p]
-			}
-			nRow := o.resRow(v)
-			norm := 0.0
-			for j := 0; j < k; j++ {
-				nRow[j] += wv * rh[j]
-				a := nRow[j]
-				if a < 0 {
-					a = -a
-				}
-				if a > norm {
-					norm = a
-				}
-			}
-			if norm > tol && !o.inq[v] {
-				heap.Push(&o.pq, heapEntry{node: int32(v), norm: norm})
-				o.inq[v] = true
-			}
-		}
-		if o.edges > o.base.edgeBudget {
+	budget := o.base.edgeBudget - o.edges
+	if budget <= 0 {
+		// A previous flush already exhausted the budget; don't hand Drain a
+		// non-positive budget (it would read it as unbounded).
+		if o.front.Len() > 0 {
 			st.FellBack = true
-			return st
 		}
+		return st
+	}
+	pushed, edges, outcome := exec.Drain(o.front, overlayKernel{o}, budget)
+	o.edges += edges
+	st.Pushed, st.Edges = pushed, edges
+	if outcome == exec.BudgetExceeded {
+		st.FellBack = true
 	}
 	return st
+}
+
+// overlayKernel is the copy-on-write push step.
+type overlayKernel struct{ o *Overlay }
+
+func (k overlayKernel) Norm(node int32) float64 {
+	return infNorm(k.o.res[node])
+}
+
+func (k overlayKernel) Push(node int32, dirtied func(int32, float64)) int {
+	o := k.o
+	base := o.base
+	kk := base.k
+	rRow := o.res[node]
+	fRow := o.beliefRow(node)
+	for j := 0; j < kk; j++ {
+		fRow[j] += rRow[j]
+	}
+	copy(o.rowBuf, rRow)
+	delete(o.res, node)
+	mulRowH(o.rhBuf, o.rowBuf, base.hScaled.Data, kk)
+	lo, hi := base.w.IndPtr[node], base.w.IndPtr[node+1]
+	for p := lo; p < hi; p++ {
+		v := base.w.Indices[p]
+		wv := 1.0
+		if base.w.Data != nil {
+			wv = base.w.Data[p]
+		}
+		nRow := o.resRow(v)
+		norm := 0.0
+		for j := 0; j < kk; j++ {
+			nRow[j] += wv * o.rhBuf[j]
+			a := nRow[j]
+			if a < 0 {
+				a = -a
+			}
+			if a > norm {
+				norm = a
+			}
+		}
+		dirtied(v, norm)
+	}
+	return hi - lo
 }
 
 // Row returns node's belief row through the overlay: the cloned row when
@@ -173,7 +167,7 @@ func (o *Overlay) Flush() Stats {
 // aliases either the overlay or the base; treat it as read-only and do not
 // retain it past the lock that protects the base.
 func (o *Overlay) Row(node int) []float64 {
-	if row, ok := o.rows[node]; ok {
+	if row, ok := o.rows[int32(node)]; ok {
 		return row
 	}
 	return o.base.f.Row(node)
@@ -182,15 +176,7 @@ func (o *Overlay) Row(node int) []float64 {
 // Touched returns how many belief rows the overlay cloned.
 func (o *Overlay) Touched() int { return len(o.rows) }
 
-func infNorm(row []float64) float64 {
-	m := 0.0
-	for _, v := range row {
-		if v < 0 {
-			v = -v
-		}
-		if v > m {
-			m = v
-		}
-	}
-	return m
-}
+// ClonedBeliefRows hands out the overlay's cloned rows (node → owned row).
+// The engine's what-if cache retains them after the overlay is discarded;
+// the map must not be mutated while the overlay is still in use.
+func (o *Overlay) ClonedBeliefRows() map[int32][]float64 { return o.rows }

@@ -1,0 +1,311 @@
+package residual
+
+import (
+	"factorgraph/internal/dense"
+	"factorgraph/internal/exec"
+)
+
+// Patch is a copy-on-write flush session over a base State for label
+// patches: the serving engine queues seed deltas on it, flushes it OUTSIDE
+// the engine write lock — readers keep serving the pre-patch beliefs from
+// the untouched base meanwhile — and then applies the result under the
+// write lock with Apply, which only swaps rows (or, for a promoted patch,
+// whole matrices). That is the narrow-locking contract: propagation-scale
+// work never runs under a lock readers contend on.
+//
+// A small patch stays in the sparse tier: residual rows copy-on-write from
+// the base's sparse map, belief rows clone on first touch, and the drain is
+// the same sequential exec.Drain loop overlays use. A wide patch — one
+// whose frontier saturates or whose pushes exhaust the edge budget —
+// promotes to a private dense view: the base beliefs are cloned wholesale
+// (O(n·k), far below a propagation's O(m·k·T)) and the drain becomes
+// exec.PullPass parallel rounds, with dense sweeps as the final fallback.
+// Either way Flush converges, so the engine never discards its residual
+// state on a flooding patch anymore; FellBack merely reports that sweeps
+// finished the job.
+//
+// A Patch never mutates its base before Apply. The caller must serialize
+// patch sessions against each other and Apply against every base access
+// (the engine holds its patch mutex across the session and its write lock
+// across Apply). Exactly one Apply per patch.
+type Patch struct {
+	base *State
+
+	xdel map[int32][]float64 // accumulated explicit-belief deltas
+
+	// sparse copy-on-write tier
+	rows          map[int32][]float64 // cloned belief rows
+	res           map[int32][]float64 // patch residual rows (seeded from base rows)
+	front         *exec.Frontier
+	rowBuf, rhBuf []float64
+
+	// private dense tier; non-nil once promoted
+	df, dr *dense.Matrix
+	dx     *dense.Matrix // cloned X̃ with deltas applied; built only for sweeps
+	norms  []float64
+	pull   *exec.PullPass
+}
+
+// BeginPatch opens a patch session. If the base's dense residual tier is
+// resident (a bounded flush stopped mid-drain), the session starts
+// promoted so the retained residual is carried exactly.
+func (s *State) BeginPatch() *Patch {
+	p := &Patch{
+		base:   s,
+		xdel:   make(map[int32][]float64),
+		rowBuf: make([]float64, s.k),
+		rhBuf:  make([]float64, s.k),
+	}
+	if s.r != nil {
+		p.df = s.f.Clone()
+		p.dr = s.r.Clone()
+		p.norms = append([]float64(nil), s.norms...)
+		p.pull = exec.NewPullPass(s.w, s.hScaled, p.df, p.dr, p.norms, s.opts.Tol, s.run)
+		return p
+	}
+	p.rows = make(map[int32][]float64)
+	p.res = make(map[int32][]float64)
+	p.front = exec.NewFrontier(s.opts.Tol, s.promoteAt)
+	return p
+}
+
+// resRow returns the patch's residual row for node, seeding it from the
+// base's retained row so sub-tolerance mass participates in the flush.
+func (p *Patch) resRow(node int32) []float64 {
+	row, ok := p.res[node]
+	if !ok {
+		if b, had := p.base.sRows[node]; had {
+			row = append([]float64(nil), b...)
+		} else {
+			row = make([]float64, p.base.k)
+		}
+		p.res[node] = row
+	}
+	return row
+}
+
+// beliefRow returns the writable (cloned) belief row for node.
+func (p *Patch) beliefRow(node int32) []float64 {
+	row, ok := p.rows[node]
+	if !ok {
+		row = append([]float64(nil), p.base.f.Row(int(node))...)
+		p.rows[node] = row
+	}
+	return row
+}
+
+// AddDelta queues an explicit-belief change (newXRow − oldXRow, uncentered
+// space) for node. The base is untouched; X̃ catches up at Apply.
+func (p *Patch) AddDelta(node int, delta []float64) {
+	d, ok := p.xdel[int32(node)]
+	if !ok {
+		d = make([]float64, p.base.k)
+		p.xdel[int32(node)] = d
+	}
+	for j, v := range delta {
+		d[j] += v
+	}
+	if p.df != nil {
+		rRow := p.dr.Row(node)
+		for j, v := range delta {
+			rRow[j] += v
+		}
+		p.norms[node] = infNorm(rRow)
+		return
+	}
+	row := p.resRow(int32(node))
+	for j, v := range delta {
+		row[j] += v
+	}
+	p.front.Add(int32(node), infNorm(row))
+}
+
+// promote switches the session to its private dense view: base beliefs are
+// cloned wholesale, base and patch residual rows fold into a dense array,
+// and the sparse session storage is dropped.
+func (p *Patch) promote() {
+	if p.df != nil {
+		return
+	}
+	p.promoteForSweep()
+	s := p.base
+	p.pull = exec.NewPullPass(s.w, s.hScaled, p.df, p.dr, p.norms, s.opts.Tol, s.run)
+}
+
+// promoteForSweep is promote without the PullPass scratch: a session that
+// goes straight to dense sweeps never drains node-at-a-time, and the
+// sweep's first recomputation regenerates the residual from (X̃+Δ, F)
+// anyway — the exact invariant makes the folded rows a consistency nicety,
+// not an input.
+func (p *Patch) promoteForSweep() {
+	if p.df != nil {
+		return
+	}
+	s := p.base
+	p.df = s.f.Clone()
+	p.dr = dense.New(s.w.N, s.k)
+	p.norms = make([]float64, s.w.N)
+	for node, row := range s.sRows {
+		copy(p.dr.Row(int(node)), row)
+		p.norms[node] = infNorm(row)
+	}
+	for node, row := range p.res { // patch rows already include base content
+		copy(p.dr.Row(int(node)), row)
+		p.norms[node] = infNorm(row)
+	}
+	for node, row := range p.rows {
+		copy(p.df.Row(int(node)), row)
+	}
+	p.rows, p.res = nil, nil
+	p.front = nil
+}
+
+// ensureDX materializes the patched explicit-belief matrix for sweeps.
+func (p *Patch) ensureDX() *dense.Matrix {
+	if p.dx == nil {
+		p.dx = p.base.x.Clone()
+		for node, d := range p.xdel {
+			row := p.dx.Row(int(node))
+			for j, v := range d {
+				row[j] += v
+			}
+		}
+	}
+	return p.dx
+}
+
+// Flush drains the queued deltas to the base's tolerance. It always
+// converges: a frontier past the promotion threshold switches to parallel
+// pull rounds on the private dense view, and one past the edge budget
+// finishes with dense sweeps there (FellBack reports it). Safe to call
+// with concurrent readers on the base.
+func (p *Patch) Flush() Stats {
+	s := p.base
+	var st Stats
+	if p.df == nil {
+		pushed, edges, outcome := exec.Drain(p.front, patchKernel{p}, s.edgeBudget)
+		st.Pushed += pushed
+		st.Edges += edges
+		switch outcome {
+		case exec.Drained:
+			return st
+		case exec.BudgetExceeded:
+			st.FellBack = true
+			p.promoteForSweep()
+			p.ensureDX()
+			sw := sweepToTol(s.run, s.w, s.hScaled, p.dx, p.df, p.dr, p.norms,
+				s.opts.Tol*sweepSlack, s.opts.MaxSweeps)
+			st.Sweeps, st.MaxResidual = sw.Sweeps, sw.MaxResidual
+			return st
+		case exec.Saturated:
+			p.promote()
+		}
+	}
+	active := activeFromNorms(p.norms, s.opts.Tol)
+	budget := s.edgeBudget - st.Edges
+	if budget < 1 {
+		budget = 1
+	}
+	pushed, edges, rounds, remaining := p.pull.Drain(active, budget)
+	st.Pushed += pushed
+	st.Edges += edges
+	st.Rounds += rounds
+	if remaining != nil {
+		st.FellBack = true
+		p.ensureDX()
+		sw := sweepToTol(s.run, s.w, s.hScaled, p.dx, p.df, p.dr, p.norms,
+			s.opts.Tol*sweepSlack, s.opts.MaxSweeps)
+		st.Sweeps, st.MaxResidual = sw.Sweeps, sw.MaxResidual
+	}
+	return st
+}
+
+// Apply merges the flushed session into the base. The caller must hold the
+// lock that excludes every base reader and mutator; the work here is row
+// copies for a sparse patch and pointer swaps for a promoted one — never
+// propagation.
+func (p *Patch) Apply() {
+	s := p.base
+	for node, d := range p.xdel {
+		row := s.x.Row(int(node))
+		for j, v := range d {
+			row[j] += v
+		}
+	}
+	if p.df != nil {
+		s.f = p.df
+		// The private dense residual supersedes whatever tier the base
+		// held; carry still-dirty rows (post-sweep there normally are none)
+		// into a fresh sparse tier and drop the rest — the same
+		// Tol-bounded discard as a demotion.
+		s.r, s.norms, s.pull = nil, nil, nil
+		s.sRows = make(map[int32][]float64)
+		s.front.Reset()
+		for i, norm := range p.norms {
+			if norm > s.opts.Tol {
+				s.sRows[int32(i)] = append([]float64(nil), p.dr.Row(i)...)
+				s.front.Add(int32(i), norm)
+			}
+		}
+		return
+	}
+	for node, row := range p.rows {
+		copy(s.f.Row(int(node)), row)
+	}
+	for node, row := range p.res {
+		if infNorm(row) > 0 {
+			s.sRows[node] = row
+		} else {
+			delete(s.sRows, node)
+		}
+	}
+	s.compact()
+}
+
+// patchKernel is the copy-on-write push step of a sparse-tier patch.
+type patchKernel struct{ p *Patch }
+
+func (k patchKernel) Norm(node int32) float64 {
+	if row, ok := k.p.res[node]; ok {
+		return infNorm(row)
+	}
+	return infNorm(k.p.base.sRows[node])
+}
+
+func (k patchKernel) Push(node int32, dirtied func(int32, float64)) int {
+	p := k.p
+	base := p.base
+	kk := base.k
+	rRow := p.resRow(node)
+	fRow := p.beliefRow(node)
+	for j := 0; j < kk; j++ {
+		fRow[j] += rRow[j]
+	}
+	copy(p.rowBuf, rRow)
+	for j := 0; j < kk; j++ {
+		rRow[j] = 0
+	}
+	mulRowH(p.rhBuf, p.rowBuf, base.hScaled.Data, kk)
+	lo, hi := base.w.IndPtr[node], base.w.IndPtr[node+1]
+	for q := lo; q < hi; q++ {
+		v := base.w.Indices[q]
+		wv := 1.0
+		if base.w.Data != nil {
+			wv = base.w.Data[q]
+		}
+		nRow := p.resRow(v)
+		norm := 0.0
+		for j := 0; j < kk; j++ {
+			nRow[j] += wv * p.rhBuf[j]
+			a := nRow[j]
+			if a < 0 {
+				a = -a
+			}
+			if a > norm {
+				norm = a
+			}
+		}
+		dirtied(v, norm)
+	}
+	return hi - lo
+}

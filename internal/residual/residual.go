@@ -5,39 +5,61 @@
 //
 // that the dense iteration of internal/propagation approaches one full
 // sweep at a time. The State keeps the current belief matrix F, the
-// explicit-belief matrix X̃ and a per-node residual matrix R with the
-// invariant
+// explicit-belief matrix X̃ and a per-node residual R with the invariant
 //
 //	F* = F + (I − A)⁻¹ R,   A·M := εW M H̃,
 //
 // so beliefs are exact up to the residual mass still queued. When seed
 // labels change, the change lands as a sparse delta in R; Flush then pushes
 // residual rows whose ∞-norm exceeds the tolerance to their neighbors,
-// largest first (a priority work-queue), touching only the perturbed
-// neighborhood instead of re-running O(m·k·iters) over the whole graph.
-// Because ε is chosen so that ρ(A) = s < 1 (Eq. 2 of the paper), pushed
-// mass contracts geometrically and the loop terminates.
+// largest first, touching only the perturbed neighborhood instead of
+// re-running O(m·k·iters) over the whole graph. Because ε is chosen so that
+// ρ(A) = s < 1 (Eq. 2 of the paper), pushed mass contracts geometrically
+// and the loop terminates.
 //
-// The same push kernel powers two layers above:
+// Scheduling lives in internal/exec and is tiered. A small frontier drains
+// through exec.Drain — the sequential priority-queue push loop — over a
+// compact sparse residual map holding only the dirty rows. Past a
+// load-factor threshold the frontier saturates: the residual promotes to
+// dense arrays and exec.PullPass drains it with level-synchronous PARALLEL
+// pull rounds on the shared worker pool. When the frontier drains the dense
+// tier is demoted and freed again, so an idle State holds two n×k matrices
+// (X̃ and F), not five — the sparse tier is what keeps a quiescent
+// Incremental engine's footprint near a plain engine's.
+//
+// The demotion discards residual mass at or below the tolerance (retaining
+// it would keep the dense array alive). Each discard perturbs the fixed
+// point by at most Tol·s/(1−s) per node, and the sparse tier's compaction
+// applies the same bound; DefaultTol keeps the cumulative drift of any
+// realistic patch sequence orders of magnitude inside the 1e-6 agreement
+// budget the parity tests enforce. FlushBounded never discards: a
+// non-converged bounded flush keeps the dense tier resident so the
+// invariant stays exact for the caller.
+//
+// The same push kernel powers three layers above:
 //
 //   - the serving Engine keeps one live State per graph so PATCH /labels
-//     costs o(Δ) instead of a full re-propagation, and
+//     costs o(Δ) instead of a full re-propagation,
+//   - label patches flush on a Patch — a copy-on-write session over the
+//     base State — so the engine's write lock is held only for the final
+//     row swap, not the propagation work, and
 //   - what-if queries run on an Overlay — copy-on-write belief/residual
 //     rows over a shared base State — so each overlay clones only the
 //     frontier its extra seeds actually touch.
 //
 // A State is NOT safe for concurrent mutation; the Engine serializes
-// Init/AddDelta/Flush behind its write lock and reads behind its read lock.
-// Overlays never mutate their base, so any number of them may run
-// concurrently over one State as long as the base is not flushed meanwhile.
+// Init/AddDelta/Flush/Patch.Apply behind its write lock and reads behind
+// its read lock. Overlays and Patches never mutate their base, so any
+// number of them may run concurrently over one State as long as the base
+// is not mutated meanwhile.
 package residual
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
 	"factorgraph/internal/dense"
+	"factorgraph/internal/exec"
 	"factorgraph/internal/propagation"
 	"factorgraph/internal/sparse"
 )
@@ -47,6 +69,13 @@ import (
 // node in the worst case; 1e-8 keeps serving beliefs well inside the 1e-6
 // agreement budget the parity tests enforce.
 const DefaultTol = 1e-8
+
+// sweepSlack tightens the dense-sweep convergence target below the push
+// tolerance: sweeps run until the residual is at or below Tol·sweepSlack.
+// Sweeps end in a demotion that discards the leftover sub-threshold mass,
+// so the tighter target shrinks what a fallback discards to a quarter of a
+// push drain's — two extra sweeps at s = 0.5.
+const sweepSlack = 0.25
 
 // Options configures a State. The zero value matches the serving engine's
 // propagation settings (s = 0.5, centered) with DefaultTol.
@@ -73,6 +102,10 @@ type Options struct {
 	// finishes with dense sweeps (at that point a sweep is cheaper than
 	// continuing node-at-a-time). Default 4.
 	EdgeBudgetFactor float64
+	// Workers caps the parallelism of saturated-round drains and dense
+	// sweeps (0 = all available workers, 1 = sequential). Benchmarks use 1
+	// as the like-for-like sequential baseline.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -87,7 +120,7 @@ func (o *Options) defaults() {
 		// O(1) mass needs ~log_s(Tol) sweeps; slack plus a floor of 100
 		// covers mid-range s. A fixed cap independent of s would silently
 		// stop short of the tolerance for s close to 1.
-		o.MaxSweeps = int(math.Ceil(math.Log(o.Tol)/math.Log(o.S))) + 10
+		o.MaxSweeps = int(math.Ceil(math.Log(o.Tol*sweepSlack)/math.Log(o.S))) + 10
 		if o.MaxSweeps < 100 {
 			o.MaxSweeps = 100
 		}
@@ -111,6 +144,9 @@ type Stats struct {
 	// Sweeps is the number of dense full-graph sweeps (Init always sweeps;
 	// Flush sweeps only after exhausting its edge budget).
 	Sweeps int
+	// Rounds is the number of parallel pull rounds run by a saturated
+	// drain (0 when the frontier never outgrew the priority queue).
+	Rounds int
 	// FellBack reports that Flush abandoned the push queue for dense
 	// sweeps (the perturbation had spread past the point where push-based
 	// propagation is cheaper).
@@ -129,22 +165,31 @@ type State struct {
 
 	x *dense.Matrix // centered explicit beliefs, kept in sync via AddDelta
 	f *dense.Matrix // current belief estimate
-	r *dense.Matrix // residual rows
 
-	norms []float64 // cached residual ∞-norm per node
-	inq   []bool    // node currently enqueued
-	pq    nodeHeap
+	run       exec.Runner
+	front     *exec.Frontier
+	promoteAt int
 
-	fh, wfh *dense.Matrix // dense-sweep scratch
-	rowBuf  []float64     // push scratch: the row being pushed
-	rhBuf   []float64     // push scratch: row × H̃
+	// Sparse residual tier: the only residual storage while the frontier
+	// is small. Rows are exact residual rows; absent means zero.
+	sRows map[int32][]float64
+
+	// Dense residual tier; non-nil while promoted (saturated drains,
+	// sweeps, or a bounded flush that stopped mid-drain).
+	r     *dense.Matrix
+	norms []float64
+	pull  *exec.PullPass
+
+	rowBuf []float64 // push scratch: the row being pushed
+	rhBuf  []float64 // push scratch: row × H̃
 
 	edgeBudget int
 }
 
 // NewState validates shapes, computes the ε-scaled compatibility matrix
 // (sharing the CSR-level ρ(W) cache with internal/propagation) and
-// allocates the n×k working set. Call Init before anything else.
+// allocates the belief/explicit-belief working set (the residual tier
+// starts empty). Call Init before anything else.
 func NewState(w *sparse.CSR, h *dense.Matrix, opts Options) (*State, error) {
 	if h.Rows != h.Cols {
 		return nil, fmt.Errorf("residual: H is %d×%d, want square", h.Rows, h.Cols)
@@ -169,25 +214,39 @@ func NewState(w *sparse.CSR, h *dense.Matrix, opts Options) (*State, error) {
 		return nil, err
 	}
 	s := &State{
-		w:       w,
-		opts:    opts,
-		k:       k,
-		hScaled: dense.Scale(hUse, eps),
-		x:       dense.New(w.N, k),
-		f:       dense.New(w.N, k),
-		r:       dense.New(w.N, k),
-		norms:   make([]float64, w.N),
-		inq:     make([]bool, w.N),
-		fh:      dense.New(w.N, k),
-		wfh:     dense.New(w.N, k),
-		rowBuf:  make([]float64, k),
-		rhBuf:   make([]float64, k),
+		w:         w,
+		opts:      opts,
+		k:         k,
+		hScaled:   dense.Scale(hUse, eps),
+		x:         dense.New(w.N, k),
+		f:         dense.New(w.N, k),
+		run:       exec.Runner{Workers: opts.Workers},
+		promoteAt: promoteThreshold(w.N),
+		sRows:     make(map[int32][]float64),
+		rowBuf:    make([]float64, k),
+		rhBuf:     make([]float64, k),
 	}
+	s.front = exec.NewFrontier(opts.Tol, s.promoteAt)
 	s.edgeBudget = int(opts.EdgeBudgetFactor * float64(w.NNZ()))
 	if s.edgeBudget < w.NNZ() {
 		s.edgeBudget = w.NNZ()
 	}
 	return s, nil
+}
+
+// promoteThreshold is the frontier size at which a drain abandons the
+// sparse tier: the priority queue wins while the perturbation is a handful
+// of nodes (it pushes the largest residuals first and often converges
+// without ever growing the frontier), but once the dirty set is a
+// noticeable fraction of the graph the heap's per-edge overhead dwarfs the
+// ordering benefit — promoted drains run parallel level-synchronous rounds
+// over dense arrays at sweep-like speed while still skipping clean nodes.
+func promoteThreshold(n int) int {
+	t := n / 32
+	if t < 1024 {
+		t = 1024
+	}
+	return t
 }
 
 // K returns the class count the state was built for.
@@ -216,66 +275,139 @@ func (s *State) Init(x *dense.Matrix) (Stats, error) {
 		}
 	}
 	s.f.CopyFrom(s.x)
-	for i := range s.r.Data {
-		s.r.Data[i] = 0
+	s.sRows = make(map[int32][]float64)
+	s.front.Reset()
+	s.promote()
+	st := s.sweepToTol()
+	s.demote()
+	return st, nil
+}
+
+// promote moves the residual into the dense tier: allocates the n×k array,
+// folds the sparse rows in, and builds the PullPass scratch.
+func (s *State) promote() {
+	if s.r != nil {
+		return
 	}
-	for i := range s.norms {
-		s.norms[i] = 0
+	s.promoteForSweep()
+	s.pull = exec.NewPullPass(s.w, s.hScaled, s.f, s.r, s.norms, s.opts.Tol, s.run)
+}
+
+// promoteForSweep is the cheap promotion for a drain that goes straight to
+// dense sweeps: just the dense array and the norm table. The sparse rows
+// are NOT folded in — the invariant R = X̃ + A·F − F holds exactly at all
+// times, so the sweep's first recomputation regenerates the residual from
+// (X̃, F) and anything folded would be overwritten unread. No PullPass is
+// built either; sweeps never drain node-at-a-time.
+func (s *State) promoteForSweep() {
+	if s.r != nil {
+		return
 	}
-	s.pq = s.pq[:0]
-	for i := range s.inq {
-		s.inq[i] = false
+	s.r = dense.New(s.w.N, s.k)
+	s.norms = make([]float64, s.w.N)
+	for node, row := range s.sRows {
+		copy(s.r.Row(int(node)), row)
+		s.norms[node] = infNorm(row)
 	}
-	return s.sweepToTol(), nil
+	s.sRows = make(map[int32][]float64)
+	s.front.Reset()
+}
+
+// demote releases the dense tier, carrying any still-dirty rows back into
+// the sparse map. Residual mass at or below the tolerance is discarded
+// (see the package comment for the error bound); after a complete drain or
+// sweep that is all of it, so an idle State holds no residual storage.
+func (s *State) demote() {
+	if s.r == nil {
+		return
+	}
+	for i, norm := range s.norms {
+		if norm > s.opts.Tol {
+			row := append([]float64(nil), s.r.Row(i)...)
+			s.sRows[int32(i)] = row
+			s.front.Add(int32(i), norm)
+		}
+	}
+	s.r, s.norms, s.pull = nil, nil, nil
+}
+
+// sweepToTol runs the shared dense-sweep loop over the state's dense tier.
+func (s *State) sweepToTol() Stats {
+	return sweepToTol(s.run, s.w, s.hScaled, s.x, s.f, s.r, s.norms,
+		s.opts.Tol*sweepSlack, s.opts.MaxSweeps)
 }
 
 // sweepToTol repeatedly applies one dense Jacobi step f ← f + r followed by
 // a residual recomputation r ← x + A·f − f, until the largest per-node
-// residual ∞-norm is at or below the tolerance (or MaxSweeps is hit).
-// Precondition: s.r holds the residual of s.f — which is trivially true
-// right after Init seeds f = x̃, r = 0 once the first recomputation runs, so
-// the loop recomputes first and absorbs second.
-func (s *State) sweepToTol() Stats {
+// residual ∞-norm is at or below target (or maxSweeps is hit). The
+// recompute-then-absorb order keeps the (f, r) pair consistent at every
+// loop exit. State fallbacks and Patch fallbacks share it (a Patch passes
+// its private clones); the scratch matrices are transient, so a quiescent
+// state retains nothing from its last sweep.
+func sweepToTol(run exec.Runner, w *sparse.CSR, hScaled, x, f, r *dense.Matrix, norms []float64, target float64, maxSweeps int) Stats {
+	k := hScaled.Rows
+	fh := dense.New(w.N, k)
+	wfh := dense.New(w.N, k)
 	var st Stats
+	chunkMax := make([]float64, run.MaxChunks())
 	for {
-		// r ← x̃ + εW f H̃ − f
-		dense.MulInto(s.fh, s.f, s.hScaled)
-		s.w.MulDenseInto(s.wfh, s.fh)
-		maxNorm := 0.0
-		k := s.k
-		for i := 0; i < s.w.N; i++ {
-			rRow := s.r.Data[i*k : (i+1)*k]
-			fRow := s.f.Data[i*k : (i+1)*k]
-			xRow := s.x.Data[i*k : (i+1)*k]
-			wRow := s.wfh.Data[i*k : (i+1)*k]
-			norm := 0.0
-			for j := 0; j < k; j++ {
-				v := xRow[j] + wRow[j] - fRow[j]
-				rRow[j] = v
-				if v < 0 {
-					v = -v
+		for c := range chunkMax {
+			chunkMax[c] = 0
+		}
+		// r ← x̃ + εW f H̃ − f, fused with the norm scan.
+		run.DenseRound(w, f, hScaled, fh, wfh, func(chunk, lo, hi int) {
+			maxNorm := chunkMax[chunk]
+			for i := lo; i < hi; i++ {
+				rRow := r.Data[i*k : (i+1)*k]
+				fRow := f.Data[i*k : (i+1)*k]
+				xRow := x.Data[i*k : (i+1)*k]
+				wRow := wfh.Data[i*k : (i+1)*k]
+				norm := 0.0
+				for j := 0; j < k; j++ {
+					v := xRow[j] + wRow[j] - fRow[j]
+					rRow[j] = v
+					if v < 0 {
+						v = -v
+					}
+					if v > norm {
+						norm = v
+					}
 				}
-				if v > norm {
-					norm = v
+				norms[i] = norm
+				if norm > maxNorm {
+					maxNorm = norm
 				}
 			}
-			s.norms[i] = norm
-			if norm > maxNorm {
-				maxNorm = norm
+			chunkMax[chunk] = maxNorm
+		})
+		maxNorm := 0.0
+		for _, v := range chunkMax {
+			if v > maxNorm {
+				maxNorm = v
 			}
 		}
 		st.Sweeps++
 		st.MaxResidual = maxNorm
-		if maxNorm <= s.opts.Tol || st.Sweeps >= s.opts.MaxSweeps {
+		if maxNorm <= target || st.Sweeps >= maxSweeps {
 			return st
 		}
-		// f ← f + r (absorb the whole residual at once: a dense push). The
-		// recomputation at the top of the next iteration replaces r, so the
-		// (f, r) pair is consistent at every loop exit.
-		for i := range s.f.Data {
-			s.f.Data[i] += s.r.Data[i]
-		}
+		// f ← f + r (absorb the whole residual at once: a dense push).
+		run.Rows(w.N, func(lo, hi int) {
+			for i := lo * k; i < hi*k; i++ {
+				f.Data[i] += r.Data[i]
+			}
+		})
 	}
+}
+
+// sRow returns node's sparse residual row, creating it zeroed.
+func (s *State) sRow(node int32) []float64 {
+	row, ok := s.sRows[node]
+	if !ok {
+		row = make([]float64, s.k)
+		s.sRows[node] = row
+	}
+	return row
 }
 
 // AddDelta adds a sparse explicit-belief change to node's residual (and to
@@ -285,50 +417,38 @@ func (s *State) sweepToTol() Stats {
 // simply predate the patch.
 func (s *State) AddDelta(node int, delta []float64) {
 	xRow := s.x.Row(node)
-	rRow := s.r.Row(node)
-	norm := 0.0
 	for j, d := range delta {
 		xRow[j] += d
+	}
+	if s.r != nil {
+		// Dense tier resident (a bounded flush stopped mid-drain): land the
+		// delta directly; the next flush rebuilds its frontier from norms.
+		rRow := s.r.Row(node)
+		for j, d := range delta {
+			rRow[j] += d
+		}
+		s.norms[node] = infNorm(rRow)
+		return
+	}
+	rRow := s.sRow(int32(node))
+	for j, d := range delta {
 		rRow[j] += d
-		v := rRow[j]
-		if v < 0 {
-			v = -v
-		}
-		if v > norm {
-			norm = v
-		}
 	}
-	s.norms[node] = norm
-	if norm > s.opts.Tol && !s.inq[node] {
-		heap.Push(&s.pq, heapEntry{node: int32(node), norm: norm})
-		s.inq[node] = true
-	}
+	s.front.Add(int32(node), infNorm(rRow))
 }
 
-// heapFrontierMax is the queue size at which Flush abandons strict
-// Gauss–Southwell ordering for round-synchronous active-set scans: the
-// priority heap wins while the perturbation is a handful of nodes (it
-// pushes the largest residuals first and often converges without ever
-// growing the frontier), but once thousands of nodes are dirty the heap's
-// per-edge overhead dwarfs the ordering benefit — sequential scans over an
-// active list run at dense-sweep speed while still skipping every clean
-// node.
-const heapFrontierMax = 1024
-
-// Flush pushes queued residual rows — largest ∞-norm first — until every
-// node is at or below the tolerance. Each push absorbs the node's residual
-// into its belief row and forwards ε·w(u,v)·(r H̃) to every neighbor,
-// so the work is proportional to the perturbed neighborhood. Wide
-// perturbations degrade gracefully twice: past heapFrontierMax queued nodes
-// the strict priority order gives way to round-synchronous scans of the
-// active set, and past EdgeBudgetFactor·nnz edge traversals Flush finishes
-// with dense sweeps instead (cheaper at that point) and reports FellBack.
+// Flush pushes queued residual rows until every node is at or below the
+// tolerance. Small frontiers drain largest-first through the sequential
+// priority queue; saturated ones promote to the dense tier and drain with
+// parallel pull rounds. Past EdgeBudgetFactor·nnz edge traversals Flush
+// finishes with dense sweeps instead (cheaper at that point) and reports
+// FellBack.
 //
-// On clean completion MaxResidual is left 0: the queue-drain itself
-// guarantees every node is at or below Tol, and scanning all n norms to
-// report the exact value would make the o(Δ) path Ω(n). It is populated
-// only when dense sweeps ran (they track it for free); call the
-// MaxResidual method for an on-demand exact scan.
+// On clean completion MaxResidual is left 0: the drain itself guarantees
+// every node is at or below Tol, and scanning all n norms to report the
+// exact value would make the o(Δ) path Ω(n). It is populated only when
+// dense sweeps ran (they track it for free); call the MaxResidual method
+// for an on-demand exact scan.
 func (s *State) Flush() Stats {
 	st, _ := s.flush(true)
 	return st
@@ -336,201 +456,159 @@ func (s *State) Flush() Stats {
 
 // FlushBounded is Flush without the dense-sweep fallback: once the edge
 // budget is exhausted it stops and returns converged=false, leaving the
-// residual invariant intact (F + (I−A)⁻¹R is unchanged, R just isn't
-// drained). Callers that hold a lock other readers contend on — the
-// serving engine flushes patches under its write lock — use this so a
-// frontier that outgrew push economics never runs propagation-scale dense
-// sweeps inside the lock; they discard the state and rebuild it outside.
+// residual invariant exactly intact (F + (I−A)⁻¹R is unchanged, R just
+// isn't drained — the dense tier stays resident to retain the
+// sub-tolerance rows). Callers that must bound a flush's work — historical
+// engine builds flushed patches under their write lock — use this; the
+// current engine instead flushes on a Patch outside its locks.
 func (s *State) FlushBounded() (Stats, bool) {
 	return s.flush(false)
 }
 
 func (s *State) flush(sweepFallback bool) (Stats, bool) {
 	var st Stats
-	k := s.k
-	for len(s.pq) > 0 {
-		if len(s.pq) > heapFrontierMax {
-			done := s.flushRounds(&st, sweepFallback)
-			return st, done
-		}
-		top := heap.Pop(&s.pq).(heapEntry)
-		u := int(top.node)
-		s.inq[u] = false
-		if s.norms[u] <= s.opts.Tol {
-			continue // pushed down (or absorbed) since it was enqueued
-		}
-		// Absorb: F_u += R_u, R_u = 0.
-		rRow := s.r.Row(u)
-		fRow := s.f.Row(u)
-		copy(s.rowBuf, rRow)
-		for j := 0; j < k; j++ {
-			fRow[j] += rRow[j]
-			rRow[j] = 0
-		}
-		s.norms[u] = 0
-		st.Pushed++
-		// Forward: R_v += w(u,v) · (r · H̃scaled) for every neighbor v.
-		// H̃scaled already carries ε, and W is symmetric so the row scan
-		// of u yields exactly the in-edges of the update.
-		rh := s.rhBuf
-		for j := 0; j < k; j++ {
-			acc := 0.0
-			for c := 0; c < k; c++ {
-				acc += s.rowBuf[c] * s.hScaled.Data[c*k+j]
-			}
-			rh[j] = acc
-		}
-		lo, hi := s.w.IndPtr[u], s.w.IndPtr[u+1]
-		st.Edges += hi - lo
-		for p := lo; p < hi; p++ {
-			v := int(s.w.Indices[p])
-			wv := 1.0
-			if s.w.Data != nil {
-				wv = s.w.Data[p]
-			}
-			nRow := s.r.Row(v)
-			norm := 0.0
-			for j := 0; j < k; j++ {
-				nRow[j] += wv * rh[j]
-				a := nRow[j]
-				if a < 0 {
-					a = -a
-				}
-				if a > norm {
-					norm = a
-				}
-			}
-			s.norms[v] = norm
-			if norm > s.opts.Tol && !s.inq[v] {
-				heap.Push(&s.pq, heapEntry{node: int32(v), norm: norm})
-				s.inq[v] = true
-			}
-		}
-		if st.Edges > s.edgeBudget {
+	if s.r == nil {
+		pushed, edges, outcome := exec.Drain(s.front, stateKernel{s}, s.edgeBudget)
+		st.Pushed += pushed
+		st.Edges += edges
+		switch outcome {
+		case exec.Drained:
+			s.compact()
+			return st, true
+		case exec.BudgetExceeded:
 			st.FellBack = true
 			if !sweepFallback {
-				// Leave the queue (and the residual invariant) intact;
-				// the caller rebuilds densely outside its locks.
+				// Keep the queue (and the residual invariant) intact in the
+				// sparse tier; the caller decides what to do with the state.
 				return st, false
 			}
-			// The frontier has grown past the point where node-at-a-time
-			// pushing beats a dense sweep; drain the queue and finish flat.
-			s.pq = s.pq[:0]
-			for i := range s.inq {
-				s.inq[i] = false
-			}
+			s.promoteForSweep()
 			sw := s.sweepToTol()
-			st.Sweeps += sw.Sweeps
-			st.MaxResidual = sw.MaxResidual
+			st.Sweeps, st.MaxResidual = sw.Sweeps, sw.MaxResidual
+			s.demote()
 			return st, true
+		case exec.Saturated:
+			s.promote()
 		}
 	}
+	// Dense tier: rebuild the frontier from the norm table and drain it
+	// with parallel pull rounds.
+	active := activeFromNorms(s.norms, s.opts.Tol)
+	budget := s.edgeBudget - st.Edges
+	if budget < 1 {
+		budget = 1 // spent at promotion: the first round decides the fallback
+	}
+	pushed, edges, rounds, remaining := s.pull.Drain(active, budget)
+	st.Pushed += pushed
+	st.Edges += edges
+	st.Rounds += rounds
+	if remaining == nil {
+		s.demote()
+		return st, true
+	}
+	st.FellBack = true
+	if !sweepFallback {
+		// Stay promoted: the dense tier holds the exact residual for the
+		// caller's follow-up flush.
+		return st, false
+	}
+	sw := s.sweepToTol()
+	st.Sweeps, st.MaxResidual = sw.Sweeps, sw.MaxResidual
+	s.demote()
 	return st, true
 }
 
-// flushRounds drains a wide frontier with level-synchronous passes over the
-// active set: every dirty node is absorbed and forwarded once per round,
-// newly-dirtied nodes join the next round. Per round the pending mass
-// contracts by ~s (the same rate as a dense sweep) but only active rows are
-// touched, and the sequential row scans avoid the heap's per-edge overhead.
-// The edge budget still applies; past it the flush finishes densely (or,
-// with sweepFallback false, stops and reports false).
-func (s *State) flushRounds(st *Stats, sweepFallback bool) bool {
-	k := s.k
-	// Rebuild the frontier from the norm table; the heap's ordering is no
-	// longer needed and its entries may be stale.
-	s.pq = s.pq[:0]
-	active := make([]int32, 0, 2*heapFrontierMax)
-	for i := range s.inq {
-		s.inq[i] = false
+// compact bounds the sparse tier after a drain: if retained sub-tolerance
+// rows have accumulated past the promotion threshold they are discarded
+// (the same Tol-bounded error as a demotion) so the map can never creep
+// toward a dense matrix worth of entries.
+func (s *State) compact() {
+	if len(s.sRows) <= s.promoteAt {
+		return
 	}
-	for i, norm := range s.norms {
-		if norm > s.opts.Tol {
+	for node, row := range s.sRows {
+		if infNorm(row) <= s.opts.Tol {
+			delete(s.sRows, node)
+		}
+	}
+}
+
+// activeFromNorms lists every node whose residual norm exceeds tol.
+func activeFromNorms(norms []float64, tol float64) []int32 {
+	active := make([]int32, 0, 1024)
+	for i, norm := range norms {
+		if norm > tol {
 			active = append(active, int32(i))
-			s.inq[i] = true
 		}
 	}
-	next := make([]int32, 0, len(active))
-	for len(active) > 0 {
-		next = next[:0]
-		for _, u32 := range active {
-			u := int(u32)
-			s.inq[u] = false
-			if s.norms[u] <= s.opts.Tol {
-				continue
-			}
-			rRow := s.r.Row(u)
-			fRow := s.f.Row(u)
-			copy(s.rowBuf, rRow)
-			for j := 0; j < k; j++ {
-				fRow[j] += rRow[j]
-				rRow[j] = 0
-			}
-			s.norms[u] = 0
-			st.Pushed++
-			rh := s.rhBuf
-			for j := 0; j < k; j++ {
-				acc := 0.0
-				for c := 0; c < k; c++ {
-					acc += s.rowBuf[c] * s.hScaled.Data[c*k+j]
-				}
-				rh[j] = acc
-			}
-			lo, hi := s.w.IndPtr[u], s.w.IndPtr[u+1]
-			st.Edges += hi - lo
-			for p := lo; p < hi; p++ {
-				v := int(s.w.Indices[p])
-				wv := 1.0
-				if s.w.Data != nil {
-					wv = s.w.Data[p]
-				}
-				nRow := s.r.Row(v)
-				norm := 0.0
-				for j := 0; j < k; j++ {
-					nRow[j] += wv * rh[j]
-					a := nRow[j]
-					if a < 0 {
-						a = -a
-					}
-					if a > norm {
-						norm = a
-					}
-				}
-				s.norms[v] = norm
-				if norm > s.opts.Tol && !s.inq[v] {
-					next = append(next, int32(v))
-					s.inq[v] = true
-				}
-			}
-		}
-		if st.Edges > s.edgeBudget {
-			st.FellBack = true
-			if !sweepFallback {
-				// Re-queue the still-dirty nodes so the state stays
-				// consistent for a caller that keeps it; inq marks exactly
-				// the members of next.
-				for _, v := range next {
-					heap.Push(&s.pq, heapEntry{node: v, norm: s.norms[v]})
-				}
-				return false
-			}
-			for i := range s.inq {
-				s.inq[i] = false
-			}
-			sw := s.sweepToTol()
-			st.Sweeps += sw.Sweeps
-			st.MaxResidual = sw.MaxResidual
-			return true
-		}
-		active, next = next, active
+	return active
+}
+
+// stateKernel is the resident state's push step over the sparse tier.
+type stateKernel struct{ s *State }
+
+func (k stateKernel) Norm(node int32) float64 {
+	return infNorm(k.s.sRows[node])
+}
+
+func (k stateKernel) Push(node int32, dirtied func(int32, float64)) int {
+	s := k.s
+	rRow := s.sRows[node]
+	fRow := s.f.Row(int(node))
+	for j := 0; j < s.k; j++ {
+		fRow[j] += rRow[j]
 	}
-	return true
+	copy(s.rowBuf, rRow)
+	delete(s.sRows, node)
+	mulRowH(s.rhBuf, s.rowBuf, s.hScaled.Data, s.k)
+	lo, hi := s.w.IndPtr[node], s.w.IndPtr[node+1]
+	for p := lo; p < hi; p++ {
+		v := s.w.Indices[p]
+		wv := 1.0
+		if s.w.Data != nil {
+			wv = s.w.Data[p]
+		}
+		nRow := s.sRow(v)
+		norm := 0.0
+		for j := 0; j < s.k; j++ {
+			nRow[j] += wv * s.rhBuf[j]
+			a := nRow[j]
+			if a < 0 {
+				a = -a
+			}
+			if a > norm {
+				norm = a
+			}
+		}
+		dirtied(v, norm)
+	}
+	return hi - lo
+}
+
+// mulRowH computes dst = row · H̃ for a k×k row-major H̃.
+func mulRowH(dst, row, hs []float64, k int) {
+	for j := 0; j < k; j++ {
+		acc := 0.0
+		for c := 0; c < k; c++ {
+			acc += row[c] * hs[c*k+j]
+		}
+		dst[j] = acc
+	}
 }
 
 func (s *State) maxNorm() float64 {
+	if s.r != nil {
+		m := 0.0
+		for _, v := range s.norms {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
 	m := 0.0
-	for _, v := range s.norms {
-		if v > m {
+	for _, row := range s.sRows {
+		if v := infNorm(row); v > m {
 			m = v
 		}
 	}
@@ -538,8 +616,8 @@ func (s *State) maxNorm() float64 {
 }
 
 // Beliefs returns the live belief matrix. It aliases internal storage:
-// callers must hold whatever lock serializes AddDelta/Flush, and must clone
-// rows that need to outlive that lock.
+// callers must hold whatever lock serializes AddDelta/Flush/Patch.Apply,
+// and must clone rows that need to outlive that lock.
 func (s *State) Beliefs() *dense.Matrix { return s.f }
 
 // Row returns node's live belief row (aliasing; see Beliefs).
@@ -558,24 +636,56 @@ func (s *State) Centered() bool { return !s.opts.CenterOff }
 // quality bound on the current beliefs.
 func (s *State) MaxResidual() float64 { return s.maxNorm() }
 
-// heapEntry orders the work queue by residual ∞-norm at enqueue time
-// (Gauss–Southwell selection). Norms may grow while queued; the pop-side
-// re-check against the live norm keeps correctness independent of staleness.
-type heapEntry struct {
-	node int32
-	norm float64
+// DirtyRows reports how many residual rows are materialized: sparse-tier
+// map entries, or the dirty count of a resident dense tier. Memory
+// accounting and the tier tests read it.
+func (s *State) DirtyRows() int {
+	if s.r != nil {
+		n := 0
+		for _, v := range s.norms {
+			if v > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	return len(s.sRows)
 }
 
-type nodeHeap []heapEntry
+// DenseTier reports whether the dense residual tier is currently resident
+// (it is only between a bounded non-converged flush and the flush that
+// drains it; an idle state is always sparse).
+func (s *State) DenseTier() bool { return s.r != nil }
 
-func (h nodeHeap) Len() int           { return len(h) }
-func (h nodeHeap) Less(i, j int) bool { return h[i].norm > h[j].norm }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(heapEntry)) }
-func (h *nodeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// mapRowBytes approximates the per-entry cost of a sparse residual row:
+// the float64 payload plus map bucket and slice header overhead.
+func (s *State) mapRowBytes() int64 { return int64(8*s.k) + 64 }
+
+// MemoryBytes estimates the state's resident bytes in its CURRENT tier:
+// the two permanent n×k matrices (X̃ and F), the sparse rows actually
+// materialized, and — only while promoted — the dense residual array with
+// its norm/scheduling scratch. The serving engine's MemoryFootprint sums
+// this into what /v1/admin/registry reports.
+func (s *State) MemoryBytes() int64 {
+	n, k := int64(s.w.N), int64(s.k)
+	b := 2 * 8 * n * k // X̃ + F
+	b += int64(len(s.sRows)) * s.mapRowBytes()
+	if s.r != nil {
+		b += 8*n*k + 8*n // r + norms
+		b += 8 * n       // PullPass activeIdx + mark
+	}
+	return b
+}
+
+func infNorm(row []float64) float64 {
+	m := 0.0
+	for _, v := range row {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }

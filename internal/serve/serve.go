@@ -370,6 +370,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 			Count: len(results), Results: results,
 			Residual: meta.Residual, PushedNodes: meta.PushedNodes,
 			TouchedEdges: meta.TouchedEdges, ClonedRows: meta.ClonedRows,
+			Cached: meta.CacheHit,
 		}
 		writeJSONNegotiated(w, r, http.StatusOK, resp)
 		return

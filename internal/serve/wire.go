@@ -172,6 +172,12 @@ type ClassifyResponse struct {
 	// ClonedRows is how many copy-on-write belief rows the overlay
 	// materialized.
 	ClonedRows int `json:"cloned_rows,omitempty"`
+	// Cached is true when the what-if was answered from the engine's
+	// memoized overlay-frontier cache: an identical extra_seeds set was
+	// flushed earlier at the current label generation, so this response
+	// cost no pushing at all. The push/clone counts then describe the
+	// cached flush.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate.
@@ -223,8 +229,13 @@ type LabelsPatchResponse struct {
 	// PushedNodes / TouchedEdges is the push work of a residual patch.
 	PushedNodes  int `json:"pushed_nodes,omitempty"`
 	TouchedEdges int `json:"touched_edges,omitempty"`
-	// FellBack reports that the perturbation spread past the edge budget:
-	// pushing stopped and the next query pays one full re-solve.
+	// FellBack reports that the perturbation spread past the edge budget
+	// and the patch finished with dense sweeps on its private cloned view
+	// instead of pushes. The beliefs are already updated when the response
+	// arrives — no later query pays for it — so the flag is purely
+	// diagnostic: persistent fell_back means the workload's patches are
+	// wider than push economics and the edge budget (or the batch size)
+	// deserves a look.
 	FellBack bool `json:"fell_back,omitempty"`
 }
 

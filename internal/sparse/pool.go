@@ -41,6 +41,41 @@ func (p *workerPool) worker() {
 	}
 }
 
+// ParallelRows splits [0, n) into one chunk per worker and runs fn on the
+// shared pool, blocking until every chunk completes. fn must be safe to call
+// concurrently on disjoint ranges. This is the package's own row-parallel
+// primitive (MulDenseInto runs on it) exported for the execution layer
+// (internal/exec), so every parallel kernel in the process shares one
+// bounded goroutine pool instead of spawning its own.
+func ParallelRows(n int, fn func(lo, hi int)) {
+	defaultPool.parallelRowsLimit(n, 0, fn)
+}
+
+// ParallelRowsLimit is ParallelRows with the worker count capped at limit
+// (0 or negative = no extra cap beyond GOMAXPROCS and the pool size).
+// limit=1 degenerates to a plain sequential call — benchmark baselines use
+// it to measure parallel speedup against identical code.
+func ParallelRowsLimit(n, limit int, fn func(lo, hi int)) {
+	defaultPool.parallelRowsLimit(n, limit, fn)
+}
+
+// MaxParallelWorkers reports how many chunks ParallelRowsLimit would use at
+// most for a large n: the current GOMAXPROCS capped at the pool size (and at
+// limit, when positive). Callers sizing per-chunk scratch use it.
+func MaxParallelWorkers(limit int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > defaultPool.size {
+		workers = defaultPool.size
+	}
+	if limit > 0 && workers > limit {
+		workers = limit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // parallelRows splits [0, n) into one chunk per worker and runs fn on the
 // pool, blocking until every chunk completes. fn must be safe to call
 // concurrently on disjoint ranges. Small inputs run inline: the fan-out
@@ -48,12 +83,19 @@ func (p *workerPool) worker() {
 // (capped at the pool size), so lowering the proc limit after init does not
 // over-split work across contended threads.
 func (p *workerPool) parallelRows(n int, fn func(lo, hi int)) {
+	p.parallelRowsLimit(n, 0, fn)
+}
+
+func (p *workerPool) parallelRowsLimit(n, limit int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > p.size {
 		workers = p.size
+	}
+	if limit > 0 && workers > limit {
+		workers = limit
 	}
 	if workers > n {
 		workers = 1
