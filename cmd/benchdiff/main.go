@@ -15,9 +15,16 @@
 //     propagation scans. It is deterministic, so the gate cannot flake on
 //     a noisy runner; the wall-clock speedup is reported for context only.
 //
+//   - mutation-workload reports (BENCH_mutate.json, emitted by loadgen
+//     -mutate-frac): the gate is the PATCH /edges mutation p95 —
+//     new_p95 must not exceed old_p95 × (1 + max-regress) — so a
+//     regression in the streaming-mutation hot path (delta overlay,
+//     residual repropagation, compaction) breaks the build.
+//
 //     benchdiff -old baseline/BENCH_serve.json -new BENCH_serve.json
 //     benchdiff -old prev.json -new cur.json -max-regress 0.25 \
-//     -old-residual baseline/BENCH_residual.json -new-residual BENCH_residual.json
+//     -old-residual baseline/BENCH_residual.json -new-residual BENCH_residual.json \
+//     -old-mutate baseline/BENCH_mutate.json -new-mutate BENCH_mutate.json
 package main
 
 import (
@@ -47,6 +54,16 @@ type residualReport struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// mutateReport is the subset of the mutation-workload artifact the diff
+// reads: the loadgen report's mutation latency percentiles.
+type mutateReport struct {
+	QPS             float64 `json:"qps"`
+	MutateLatencyMS *struct {
+		P95    float64 `json:"p95"`
+		Sample int     `json:"samples"`
+	} `json:"mutate_latency_ms"`
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -59,6 +76,8 @@ func run() error {
 	newPath := flag.String("new", "BENCH_serve.json", "fresh report")
 	oldResidual := flag.String("old-residual", "", "baseline residual-path report (BENCH_residual.json)")
 	newResidual := flag.String("new-residual", "", "fresh residual-path report")
+	oldMutate := flag.String("old-mutate", "", "baseline mutation-workload report (BENCH_mutate.json)")
+	newMutate := flag.String("new-mutate", "", "fresh mutation-workload report")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated p95/work-ratio growth (0.25 = +25%)")
 	allowMissing := flag.Bool("allow-missing-old", false, "exit 0 for comparisons whose baseline file does not exist (first run)")
 	flag.Parse()
@@ -102,9 +121,47 @@ func run() error {
 			return err
 		}
 	}
+	if *newMutate != "" {
+		if *oldMutate == "" {
+			return errors.New("-new-mutate requires -old-mutate")
+		}
+		oldMut, err := load[mutateReport](*oldMutate)
+		switch {
+		case err == nil:
+			newMut, err := load[mutateReport](*newMutate)
+			if err != nil {
+				return err
+			}
+			if err := compareMutate(oldMut, newMut, *maxRegress, os.Stdout); err != nil {
+				failures = append(failures, err)
+			}
+		case *allowMissing && errors.Is(err, os.ErrNotExist):
+			fmt.Printf("benchdiff: no mutation baseline at %s; nothing to compare\n", *oldMutate)
+		default:
+			return err
+		}
+	}
 	if len(failures) > 0 {
 		return errors.Join(failures...)
 	}
+	return nil
+}
+
+// compareMutate gates the streaming-mutation p95 like compare gates the
+// classify/patch p95s. A report without mutation latencies (mutate-frac
+// was 0) cannot be gated and fails loudly rather than silently passing.
+func compareMutate(oldRep, newRep *mutateReport, maxRegress float64, w *os.File) error {
+	if oldRep.MutateLatencyMS == nil || newRep.MutateLatencyMS == nil {
+		return errors.New("mutation report carries no mutate_latency_ms (was loadgen run with -mutate-frac > 0?)")
+	}
+	oldP95, newP95 := oldRep.MutateLatencyMS.P95, newRep.MutateLatencyMS.P95
+	fmt.Fprintf(w, "mutate p95: %.3fms → %.3fms (%+.1f%%, limit +%.0f%%)\n",
+		oldP95, newP95, pct(oldP95, newP95), maxRegress*100)
+	if oldP95 > 0 && newP95 > oldP95*(1+maxRegress) {
+		return fmt.Errorf("mutate p95 regressed %.3fms → %.3fms (>%.0f%%): the streaming-mutation hot path slowed down",
+			oldP95, newP95, maxRegress*100)
+	}
+	fmt.Fprintln(w, "benchdiff: mutation path within budget")
 	return nil
 }
 

@@ -99,3 +99,38 @@ func TestCompareResidual(t *testing.T) {
 		t.Errorf("improvement flagged: %v", err)
 	}
 }
+
+func mutate(p95 float64) *mutateReport {
+	r := &mutateReport{QPS: 100}
+	if p95 > 0 {
+		r.MutateLatencyMS = &struct {
+			P95    float64 `json:"p95"`
+			Sample int     `json:"samples"`
+		}{P95: p95, Sample: 50}
+	}
+	return r
+}
+
+func TestCompareMutate(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// Within budget: +20% under a 25% limit.
+	if err := compareMutate(mutate(4), mutate(4.8), 0.25, devnull); err != nil {
+		t.Errorf("+20%% flagged under 25%% budget: %v", err)
+	}
+	// Over budget.
+	if err := compareMutate(mutate(4), mutate(5.1), 0.25, devnull); err == nil {
+		t.Error("+27.5% not flagged under 25% budget")
+	}
+	// Improvements pass.
+	if err := compareMutate(mutate(4), mutate(2), 0.25, devnull); err != nil {
+		t.Errorf("improvement flagged: %v", err)
+	}
+	// A report without mutation latencies must fail loudly, not pass.
+	if err := compareMutate(mutate(0), mutate(4), 0.25, devnull); err == nil {
+		t.Error("missing mutate_latency_ms not flagged")
+	}
+}

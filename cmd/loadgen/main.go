@@ -2,10 +2,12 @@
 // workers each keep exactly one request in flight, drawing random node
 // batches, until a duration or request budget is exhausted. By default
 // every request is a classify; -patch-frac mixes in PATCH /labels writes
-// (random nodes, random classes), which is the benchmark for the
-// incremental residual subsystem — query and patch latencies are reported
-// separately. -repeat aggregates the percentiles over N runs instead of a
-// single one.
+// (random nodes, random classes) and -mutate-frac mixes in PATCH /edges
+// topology mutations (random edge adds, removals of previously added
+// edges) — the benchmarks for the incremental residual subsystem and the
+// streaming-mutation subsystem respectively. Query, patch and mutation
+// latencies are reported separately. -repeat aggregates the percentiles
+// over N runs instead of a single one.
 //
 // By default the run drives one graph (-graph). With -graphs N it becomes a
 // mixed-tenant workload: N synthetic graphs are registered over POST
@@ -13,13 +15,18 @@
 // uniformly at random, and the report carries a per-graph latency
 // breakdown alongside the aggregate — so registry contention, eviction and
 // per-tenant tail latency are measured, not just single-graph throughput.
+// The auto-delete is signal-safe: SIGINT/SIGTERM stop the workers and the
+// registered graphs are cleaned up before exit, so an aborted burst cannot
+// leak tenants into a long-lived server.
 //
 // Results are written as JSON — BENCH_serve.json by convention — to seed
-// the serving-performance trajectory tracked in CI.
+// the serving-performance trajectory tracked in CI; a mutation workload
+// additionally writes BENCH_mutate.json, whose mutation p95 cmd/benchdiff
+// gates.
 //
 //	loadgen -addr http://localhost:8080 -graph default -c 8 -duration 10s
 //	loadgen -addr http://localhost:8080 -graph demo -requests 5000 -batch 32 -stream
-//	loadgen -addr http://localhost:8080 -graphs 4 -patch-frac 0.2 -repeat 3
+//	loadgen -addr http://localhost:8080 -graphs 4 -patch-frac 0.2 -mutate-frac 0.1 -repeat 3
 package main
 
 import (
@@ -32,10 +39,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -49,10 +58,13 @@ type workload struct {
 	Gzip        bool    `json:"gzip"`
 	PatchFrac   float64 `json:"patch_frac,omitempty"`
 	PatchBatch  int     `json:"patch_batch,omitempty"`
+	MutateFrac  float64 `json:"mutate_frac,omitempty"`
+	MutateBatch int     `json:"mutate_batch,omitempty"`
 	Repeat      int     `json:"repeat"`
 	DurationS   float64 `json:"duration_s"`
 	Requests    int64   `json:"requests"`
 	Patches     int64   `json:"patches,omitempty"`
+	Mutations   int64   `json:"mutations,omitempty"`
 	Errors      int64   `json:"errors"`
 	GraphNodes  int     `json:"graph_nodes"`
 	GraphEdges  int     `json:"graph_edges"`
@@ -60,8 +72,9 @@ type workload struct {
 
 // graphLatencies is one tenant's slice of a mixed-tenant report.
 type graphLatencies struct {
-	LatencyMS      latencies  `json:"latency_ms"`
-	PatchLatencyMS *latencies `json:"patch_latency_ms,omitempty"`
+	LatencyMS       latencies  `json:"latency_ms"`
+	PatchLatencyMS  *latencies `json:"patch_latency_ms,omitempty"`
+	MutateLatencyMS *latencies `json:"mutate_latency_ms,omitempty"`
 }
 
 type report struct {
@@ -69,10 +82,11 @@ type report struct {
 	QPS      float64  `json:"qps"`
 	// LatencyMS summarizes classify (read) requests only — across every
 	// graph of a mixed-tenant run — so benchdiff gates one stable number;
-	// patch (write) requests are reported separately so a mixed workload
-	// cannot hide write latency inside read percentiles.
-	LatencyMS      latencies  `json:"latency_ms"`
-	PatchLatencyMS *latencies `json:"patch_latency_ms,omitempty"`
+	// patch and mutation (write) requests are reported separately so a
+	// mixed workload cannot hide write latency inside read percentiles.
+	LatencyMS       latencies  `json:"latency_ms"`
+	PatchLatencyMS  *latencies `json:"patch_latency_ms,omitempty"`
+	MutateLatencyMS *latencies `json:"mutate_latency_ms,omitempty"`
 	// PerGraph breaks the same populations down by tenant (present only
 	// with -graphs > 0 or as a single entry for the named graph).
 	PerGraph  map[string]graphLatencies `json:"per_graph,omitempty"`
@@ -81,9 +95,9 @@ type report struct {
 
 // target is one graph a worker can direct a request at.
 type target struct {
-	name                  string
-	n, m, k               int
-	classifyURL, patchURL string
+	name                            string
+	n, m, k                         int
+	classifyURL, patchURL, edgesURL string
 }
 
 type config struct {
@@ -95,14 +109,35 @@ type config struct {
 	stream, gz        bool
 	patchFrac         float64
 	patchBatch        int
+	mutateFrac        float64
+	mutateBatch       int
 	seed              int64
+}
+
+// params is the parsed flag set; run is factored over it so tests can
+// drive the full workflow (including the abort-cleanup paths) against a
+// fake server without touching global flag state.
+type params struct {
+	addr, graph                   string
+	graphs, graphsNodes           int
+	graphsEdges                   int
+	graphsIncremental, keepGraphs bool
+	conc, batch, topK             int
+	duration, warmup              time.Duration
+	requests                      int64
+	stream, gz                    bool
+	out, mutateOut                string
+	seed                          int64
+	repeat                        int
+	patchFrac, mutateFrac         float64
+	patchBatch, mutateBatch       int
 }
 
 // runResult is one run's raw measurements, indexed by target.
 type runResult struct {
-	queries, patches [][]time.Duration
-	errs             int64
-	elapsed          time.Duration
+	queries, patches, mutates [][]time.Duration
+	errs                      int64
+	elapsed                   time.Duration
 }
 
 func main() {
@@ -113,54 +148,80 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
-	graph := flag.String("graph", "default", "graph name to drive (single-tenant mode)")
-	graphs := flag.Int("graphs", 0, "mixed-tenant mode: register N synthetic graphs and spread the workload across them")
-	graphsNodes := flag.Int("graphs-nodes", 2000, "mixed-tenant: nodes per registered graph")
-	graphsEdges := flag.Int("graphs-edges", 0, "mixed-tenant: edges per registered graph (0 = 5× nodes)")
-	graphsIncremental := flag.Bool("graphs-incremental", true, "mixed-tenant: register graphs with the incremental residual subsystem")
-	keepGraphs := flag.Bool("keep-graphs", false, "mixed-tenant: leave the registered graphs in place after the run")
-	conc := flag.Int("c", 8, "concurrent closed-loop workers")
-	duration := flag.Duration("duration", 10*time.Second, "run length (ignored when -requests > 0)")
-	requests := flag.Int64("requests", 0, "per-run request budget (0 = duration-bound)")
-	batch := flag.Int("batch", 16, "nodes per classify request")
-	topK := flag.Int("topk", 2, "top-k class scores per node")
-	stream := flag.Bool("stream", false, "request NDJSON streaming responses")
-	gz := flag.Bool("gzip", false, "advertise Accept-Encoding: gzip")
-	warmup := flag.Duration("warmup", 500*time.Millisecond, "measurement excluded warm-up period")
-	out := flag.String("out", "BENCH_serve.json", "output JSON path ('' = stdout only)")
-	seed := flag.Int64("seed", 1, "node-sampling RNG seed")
-	repeat := flag.Int("repeat", 1, "number of measured runs; percentiles aggregate across all of them")
-	patchFrac := flag.Float64("patch-frac", 0, "fraction of requests that are PATCH /labels writes (mixed patch+query workload)")
-	patchBatch := flag.Int("patch-batch", 1, "seed labels set per patch request")
+	var p params
+	flag.StringVar(&p.addr, "addr", "http://127.0.0.1:8080", "server base URL")
+	flag.StringVar(&p.graph, "graph", "default", "graph name to drive (single-tenant mode)")
+	flag.IntVar(&p.graphs, "graphs", 0, "mixed-tenant mode: register N synthetic graphs and spread the workload across them")
+	flag.IntVar(&p.graphsNodes, "graphs-nodes", 2000, "mixed-tenant: nodes per registered graph")
+	flag.IntVar(&p.graphsEdges, "graphs-edges", 0, "mixed-tenant: edges per registered graph (0 = 5× nodes)")
+	flag.BoolVar(&p.graphsIncremental, "graphs-incremental", true, "mixed-tenant: register graphs with the incremental residual subsystem")
+	flag.BoolVar(&p.keepGraphs, "keep-graphs", false, "mixed-tenant: leave the registered graphs in place after the run")
+	flag.IntVar(&p.conc, "c", 8, "concurrent closed-loop workers")
+	flag.DurationVar(&p.duration, "duration", 10*time.Second, "run length (ignored when -requests > 0)")
+	flag.Int64Var(&p.requests, "requests", 0, "per-run request budget (0 = duration-bound)")
+	flag.IntVar(&p.batch, "batch", 16, "nodes per classify request")
+	flag.IntVar(&p.topK, "topk", 2, "top-k class scores per node")
+	flag.BoolVar(&p.stream, "stream", false, "request NDJSON streaming responses")
+	flag.BoolVar(&p.gz, "gzip", false, "advertise Accept-Encoding: gzip")
+	flag.DurationVar(&p.warmup, "warmup", 500*time.Millisecond, "measurement excluded warm-up period")
+	flag.StringVar(&p.out, "out", "BENCH_serve.json", "output JSON path ('' = stdout only)")
+	flag.Int64Var(&p.seed, "seed", 1, "node-sampling RNG seed")
+	flag.IntVar(&p.repeat, "repeat", 1, "number of measured runs; percentiles aggregate across all of them")
+	flag.Float64Var(&p.patchFrac, "patch-frac", 0, "fraction of requests that are PATCH /labels writes (mixed patch+query workload)")
+	flag.IntVar(&p.patchBatch, "patch-batch", 1, "seed labels set per patch request")
+	flag.Float64Var(&p.mutateFrac, "mutate-frac", 0, "fraction of requests that are PATCH /edges topology mutations (mixed edge-mutation workload)")
+	flag.IntVar(&p.mutateBatch, "mutate-batch", 1, "edge mutations per PATCH /edges request")
+	flag.StringVar(&p.mutateOut, "mutate-out", "BENCH_mutate.json", "mutation-workload report path, written when -mutate-frac > 0 ('' disables)")
 	flag.Parse()
 
-	if *repeat < 1 {
-		return fmt.Errorf("-repeat must be ≥ 1, got %d", *repeat)
+	// SIGINT/SIGTERM cancel the context: workers stop, the run returns,
+	// and the deferred graph cleanup still executes — an aborted burst
+	// must not leak registered tenants into a long-lived server.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return execute(ctx, p)
+}
+
+func execute(ctx context.Context, p params) error {
+	if p.repeat < 1 {
+		return fmt.Errorf("-repeat must be ≥ 1, got %d", p.repeat)
 	}
-	if *patchFrac < 0 || *patchFrac > 1 {
-		return fmt.Errorf("-patch-frac %v outside [0,1]", *patchFrac)
+	if p.patchFrac < 0 || p.patchFrac > 1 {
+		return fmt.Errorf("-patch-frac %v outside [0,1]", p.patchFrac)
 	}
-	if *patchBatch < 1 {
-		return fmt.Errorf("-patch-batch must be ≥ 1, got %d", *patchBatch)
+	if p.patchBatch < 1 {
+		return fmt.Errorf("-patch-batch must be ≥ 1, got %d", p.patchBatch)
 	}
-	if *graphs < 0 {
-		return fmt.Errorf("-graphs must be ≥ 0, got %d", *graphs)
+	if p.mutateFrac < 0 || p.mutateFrac > 1 {
+		return fmt.Errorf("-mutate-frac %v outside [0,1]", p.mutateFrac)
+	}
+	if p.patchFrac+p.mutateFrac > 1 {
+		return fmt.Errorf("-patch-frac + -mutate-frac = %v exceeds 1", p.patchFrac+p.mutateFrac)
+	}
+	if p.mutateBatch < 1 {
+		return fmt.Errorf("-mutate-batch must be ≥ 1, got %d", p.mutateBatch)
+	}
+	if p.graphs < 0 {
+		return fmt.Errorf("-graphs must be ≥ 0, got %d", p.graphs)
 	}
 
-	base := strings.TrimRight(*addr, "/")
+	base := strings.TrimRight(p.addr, "/")
 	var targets []target
-	if *graphs > 0 {
-		edges := *graphsEdges
+	if p.graphs > 0 {
+		edges := p.graphsEdges
 		if edges == 0 {
-			edges = 5 * *graphsNodes
+			edges = 5 * p.graphsNodes
 		}
-		names, err := registerGraphs(base, *graphs, *graphsNodes, edges, *graphsIncremental, uint64(*seed))
+		names, err := registerGraphs(ctx, base, p.graphs, p.graphsNodes, edges, p.graphsIncremental, uint64(p.seed))
+		// The cleanup is registered BEFORE the error check: a partial
+		// registration (or a signal mid-burst) must still delete whatever
+		// was admitted. deleteGraphs is idempotent and detached from ctx —
+		// it must run precisely when ctx was canceled.
+		if !p.keepGraphs {
+			defer deleteGraphs(base, names)
+		}
 		if err != nil {
 			return err
-		}
-		if !*keepGraphs {
-			defer deleteGraphs(base, names)
 		}
 		for _, name := range names {
 			t, err := resolveTarget(base, name)
@@ -170,7 +231,7 @@ func run() error {
 			targets = append(targets, t)
 		}
 	} else {
-		t, err := resolveTarget(base, *graph)
+		t, err := resolveTarget(base, p.graph)
 		if err != nil {
 			return err
 		}
@@ -182,46 +243,57 @@ func run() error {
 			minN = t.n
 		}
 	}
-	if *batch > minN {
-		*batch = minN
+	if p.batch > minN {
+		p.batch = minN
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d graph(s) (%d nodes each at least); %d workers, batch=%d, top_k=%d, patch_frac=%g, repeat=%d\n",
-		len(targets), minN, *conc, *batch, *topK, *patchFrac, *repeat)
+	fmt.Fprintf(os.Stderr, "loadgen: %d graph(s) (%d nodes each at least); %d workers, batch=%d, top_k=%d, patch_frac=%g, mutate_frac=%g, repeat=%d\n",
+		len(targets), minN, p.conc, p.batch, p.topK, p.patchFrac, p.mutateFrac, p.repeat)
 
 	cfg := config{
 		base: base, targets: targets,
-		conc: *conc, batch: *batch, topK: *topK,
-		duration: *duration, warmup: *warmup, requests: *requests,
-		stream: *stream, gz: *gz,
-		patchFrac: *patchFrac, patchBatch: *patchBatch,
-		seed: *seed,
+		conc: p.conc, batch: p.batch, topK: p.topK,
+		duration: p.duration, warmup: p.warmup, requests: p.requests,
+		stream: p.stream, gz: p.gz,
+		patchFrac: p.patchFrac, patchBatch: p.patchBatch,
+		mutateFrac: p.mutateFrac, mutateBatch: p.mutateBatch,
+		seed: p.seed,
 	}
 
 	queries := make([][]time.Duration, len(targets))
 	patches := make([][]time.Duration, len(targets))
+	mutates := make([][]time.Duration, len(targets))
 	var nErrs int64
 	var elapsed time.Duration
-	for r := 0; r < *repeat; r++ {
-		res, err := runOnce(cfg, int64(r))
+	for r := 0; r < p.repeat; r++ {
+		res, err := runOnce(ctx, cfg, int64(r))
 		if err != nil {
-			return fmt.Errorf("run %d/%d: %w", r+1, *repeat, err)
+			return fmt.Errorf("run %d/%d: %w", r+1, p.repeat, err)
 		}
 		for t := range targets {
 			queries[t] = append(queries[t], res.queries[t]...)
 			patches[t] = append(patches[t], res.patches[t]...)
+			mutates[t] = append(mutates[t], res.mutates[t]...)
 		}
 		nErrs += res.errs
 		elapsed += res.elapsed
+		if ctx.Err() != nil {
+			break // aborted: report what was measured, then clean up
+		}
 	}
-	var allQ, allP []time.Duration
+	var allQ, allP, allM []time.Duration
 	perGraph := make(map[string]graphLatencies, len(targets))
 	for t, tgt := range targets {
 		allQ = append(allQ, queries[t]...)
 		allP = append(allP, patches[t]...)
+		allM = append(allM, mutates[t]...)
 		gl := graphLatencies{LatencyMS: summarize(queries[t])}
 		if len(patches[t]) > 0 {
 			pl := summarize(patches[t])
 			gl.PatchLatencyMS = &pl
+		}
+		if len(mutates[t]) > 0 {
+			ml := summarize(mutates[t])
+			gl.MutateLatencyMS = &ml
 		}
 		perGraph[tgt.name] = gl
 	}
@@ -230,21 +302,24 @@ func run() error {
 	}
 
 	wl := workload{
-		Concurrency: *conc, Batch: *batch, TopK: *topK,
-		Stream: *stream, Gzip: *gz,
-		PatchFrac: *patchFrac, PatchBatch: *patchBatch, Repeat: *repeat,
+		Concurrency: p.conc, Batch: p.batch, TopK: p.topK,
+		Stream: p.stream, Gzip: p.gz,
+		PatchFrac: p.patchFrac, PatchBatch: p.patchBatch,
+		MutateFrac: p.mutateFrac, MutateBatch: p.mutateBatch,
+		Repeat:    p.repeat,
 		DurationS: elapsed.Seconds(),
-		Requests:  int64(len(allQ)) + int64(len(allP)), Patches: int64(len(allP)), Errors: nErrs,
+		Requests:  int64(len(allQ) + len(allP) + len(allM)),
+		Patches:   int64(len(allP)), Mutations: int64(len(allM)), Errors: nErrs,
 		GraphNodes: targets[0].n, GraphEdges: targets[0].m,
 	}
-	if *graphs > 0 {
+	if p.graphs > 0 {
 		wl.Graphs = len(targets)
 	} else {
 		wl.Graph = targets[0].name
 	}
 	rep := report{
 		Workload:  wl,
-		QPS:       float64(len(allQ)+len(allP)) / elapsed.Seconds(),
+		QPS:       float64(wl.Requests) / elapsed.Seconds(),
 		LatencyMS: summarize(allQ),
 		PerGraph:  perGraph,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
@@ -253,22 +328,35 @@ func run() error {
 		pl := summarize(allP)
 		rep.PatchLatencyMS = &pl
 	}
+	if len(allM) > 0 {
+		ml := summarize(allM)
+		rep.MutateLatencyMS = &ml
+	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	fmt.Println(string(blob))
-	if *out != "" {
-		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+	if p.out != "" {
+		if err := os.WriteFile(p.out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", p.out)
+	}
+	if p.mutateFrac > 0 && p.mutateOut != "" {
+		// The mutation workload's dedicated artifact: benchdiff gates its
+		// mutate_latency_ms p95 (-old-mutate/-new-mutate).
+		if err := os.WriteFile(p.mutateOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", p.mutateOut)
 	}
 	return nil
 }
 
 // runOnce executes one closed-loop measurement run across cfg.targets.
-func runOnce(cfg config, run int64) (runResult, error) {
+// Cancelling ctx stops the workers early (signal-initiated shutdown).
+func runOnce(ctx context.Context, cfg config, run int64) (runResult, error) {
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	var (
@@ -276,6 +364,7 @@ func runOnce(cfg config, run int64) (runResult, error) {
 		mu       sync.Mutex
 		qAll     = make([][]time.Duration, len(cfg.targets))
 		pAll     = make([][]time.Duration, len(cfg.targets))
+		mAll     = make([][]time.Duration, len(cfg.targets))
 		tickets  int64 // request budget ticket counter (budget mode only)
 		nErrs    int64
 		budget   = cfg.requests
@@ -300,7 +389,15 @@ func runOnce(cfg config, run int64) (runResult, error) {
 	}
 	if budget == 0 {
 		go func() {
-			time.Sleep(cfg.duration + warmup)
+			select {
+			case <-time.After(cfg.duration + warmup):
+			case <-ctx.Done():
+			}
+			close(stop)
+		}()
+	} else {
+		go func() {
+			<-ctx.Done()
 			close(stop)
 		}()
 	}
@@ -313,11 +410,16 @@ func runOnce(cfg config, run int64) (runResult, error) {
 			rng := rand.New(rand.NewSource(cfg.seed + run*1000003 + int64(worker)))
 			qLocal := make([][]time.Duration, len(cfg.targets))
 			pLocal := make([][]time.Duration, len(cfg.targets))
+			mLocal := make([][]time.Duration, len(cfg.targets))
+			// addedEdges tracks the edges this worker added per target, so
+			// mutation removals target edges known to exist.
+			addedEdges := make([][][2]int, len(cfg.targets))
 			flush := func() {
 				mu.Lock()
 				for t := range cfg.targets {
 					qAll[t] = append(qAll[t], qLocal[t]...)
 					pAll[t] = append(pAll[t], pLocal[t]...)
+					mAll[t] = append(mAll[t], mLocal[t]...)
 				}
 				mu.Unlock()
 			}
@@ -337,12 +439,20 @@ func runOnce(cfg config, run int64) (runResult, error) {
 					ti = rng.Intn(len(cfg.targets))
 				}
 				tgt := cfg.targets[ti]
-				isPatch := cfg.patchFrac > 0 && rng.Float64() < cfg.patchFrac
 				var lat time.Duration
 				var err error
-				if isPatch {
+				kind := 0 // 0 = classify, 1 = patch, 2 = mutate
+				if roll := rng.Float64(); cfg.patchFrac > 0 && roll < cfg.patchFrac {
+					kind = 1
+				} else if cfg.mutateFrac > 0 && roll < cfg.patchFrac+cfg.mutateFrac {
+					kind = 2
+				}
+				switch kind {
+				case 1:
 					lat, err = onePatch(client, tgt.patchURL, rng, tgt.n, tgt.k, cfg.patchBatch)
-				} else {
+				case 2:
+					lat, err = oneMutate(client, tgt.edgesURL, rng, tgt.n, cfg.mutateBatch, &addedEdges[ti])
+				default:
 					lat, err = oneRequest(client, tgt.classifyURL, rng, tgt.n, cfg.batch, cfg.topK, cfg.stream, cfg.gz)
 				}
 				if err != nil {
@@ -350,9 +460,12 @@ func runOnce(cfg config, run int64) (runResult, error) {
 					continue
 				}
 				if measured.Load() {
-					if isPatch {
+					switch kind {
+					case 1:
 						pLocal[ti] = append(pLocal[ti], lat)
-					} else {
+					case 2:
+						mLocal[ti] = append(mLocal[ti], lat)
+					default:
 						qLocal[ti] = append(qLocal[ti], lat)
 					}
 				}
@@ -364,14 +477,19 @@ func runOnce(cfg config, run int64) (runResult, error) {
 	if elapsed <= 0 {
 		elapsed = time.Since(started)
 	}
-	return runResult{queries: qAll, patches: pAll, errs: atomic.LoadInt64(&nErrs), elapsed: elapsed}, nil
+	return runResult{queries: qAll, patches: pAll, mutates: mAll, errs: atomic.LoadInt64(&nErrs), elapsed: elapsed}, nil
 }
 
 // registerGraphs admits count synthetic graphs (warm, so the benchmark
-// excludes build cost) and returns their names.
-func registerGraphs(base string, count, nodes, edges int, incremental bool, seed uint64) ([]string, error) {
+// excludes build cost) and returns the names admitted so far — on error or
+// cancellation the partial list is returned alongside, so the caller's
+// deferred cleanup can release them.
+func registerGraphs(ctx context.Context, base string, count, nodes, edges int, incremental bool, seed uint64) ([]string, error) {
 	names := make([]string, 0, count)
 	for i := 0; i < count; i++ {
+		if err := ctx.Err(); err != nil {
+			return names, err
+		}
 		name := fmt.Sprintf("lg-%d", i)
 		body, err := json.Marshal(map[string]any{
 			"name":        name,
@@ -382,11 +500,16 @@ func registerGraphs(base string, count, nodes, edges int, incremental bool, seed
 			},
 		})
 		if err != nil {
-			return nil, err
+			return names, err
 		}
-		resp, err := http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/graphs", bytes.NewReader(body))
 		if err != nil {
-			return nil, fmt.Errorf("registering %s: %w", name, err)
+			return names, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return names, fmt.Errorf("registering %s: %w", name, err)
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -397,15 +520,16 @@ func registerGraphs(base string, count, nodes, edges int, incremental bool, seed
 			// Left over from a -keep-graphs run: reuse it.
 			names = append(names, name)
 		default:
-			deleteGraphs(base, names)
-			return nil, fmt.Errorf("registering %s: status %d", name, resp.StatusCode)
+			return names, fmt.Errorf("registering %s: status %d", name, resp.StatusCode)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: registered %d synthetic graphs (%d nodes, %d edges each)\n", len(names), nodes, edges)
 	return names, nil
 }
 
-// deleteGraphs best-effort unregisters the graphs a mixed-tenant run admitted.
+// deleteGraphs best-effort unregisters the graphs a mixed-tenant run
+// admitted. Deliberately context-free: it runs AFTER the run context was
+// canceled (that is the point — cleanup on abort).
 func deleteGraphs(base string, names []string) {
 	client := &http.Client{Timeout: 10 * time.Second}
 	for _, name := range names {
@@ -432,6 +556,7 @@ func resolveTarget(base, graph string) (target, error) {
 		name: graph, n: n, m: m, k: k,
 		classifyURL: fmt.Sprintf("%s/v1/graphs/%s/classify", base, graph),
 		patchURL:    fmt.Sprintf("%s/v1/graphs/%s/labels", base, graph),
+		edgesURL:    fmt.Sprintf("%s/v1/graphs/%s/edges", base, graph),
 	}, nil
 }
 
@@ -495,6 +620,40 @@ func onePatch(client *http.Client, url string, rng *rand.Rand, n, k, patchBatch 
 		set[strconv.Itoa(rng.Intn(n))] = rng.Intn(k)
 	}
 	body, err := json.Marshal(map[string]any{"set": set})
+	if err != nil {
+		return 0, err
+	}
+	return timedDo(client, "PATCH", url, body, false)
+}
+
+// oneMutate issues a single PATCH /edges topology mutation: each op either
+// adds a random edge (recorded in added) or removes a previously added one,
+// so the graph churns without drifting unboundedly and removals always
+// target existing edges.
+func oneMutate(client *http.Client, url string, rng *rand.Rand, n, mutateBatch int, added *[][2]int) (time.Duration, error) {
+	var set, remove [][2]int
+	for i := 0; i < mutateBatch; i++ {
+		if len(*added) > 0 && rng.Intn(2) == 0 {
+			last := len(*added) - 1
+			pick := rng.Intn(len(*added))
+			e := (*added)[pick]
+			(*added)[pick] = (*added)[last]
+			*added = (*added)[:last]
+			remove = append(remove, e)
+			continue
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		set = append(set, [2]int{u, v})
+		*added = append(*added, [2]int{u, v})
+	}
+	req := struct {
+		Set    [][2]int `json:"set,omitempty"`
+		Remove [][2]int `json:"remove,omitempty"`
+	}{Set: set, Remove: remove}
+	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}

@@ -63,6 +63,7 @@ func run() error {
 	flushEvery := flag.Int("flush-every", 256, "NDJSON records between flushes on streaming classify responses")
 	incremental := flag.Bool("incremental", true, "default graph: enable push-based residual propagation (o(Δ) label patches, copy-on-write what-if overlays)")
 	residualTol := flag.Float64("residual-tol", 0, "default graph: per-node residual tolerance for -incremental (0 = engine default 1e-8)")
+	compactFrac := flag.Float64("compact-frac", 0, "default graph: delta-overlay share triggering topology compaction on PATCH /edges (0 = engine default 0.25; requires -incremental)")
 	flag.Parse()
 
 	// The registry treats zero synthetic parameters as "use the default",
@@ -85,7 +86,7 @@ func run() error {
 	reg := registry.New(registry.Options{MemoryBudget: *budgetMB << 20})
 	srvHandler := serve.NewMulti(reg, serve.Options{FlushEvery: *flushEvery})
 
-	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator, *incremental, *residualTol); err != nil {
+	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator, *incremental, *residualTol, *compactFrac); err != nil {
 		return err
 	} else if ok {
 		if _, err := reg.Register(serve.DefaultGraph, spec); err != nil {
@@ -143,12 +144,15 @@ func run() error {
 
 // defaultSpec translates the single-graph flags into a registry spec for
 // the "default" graph; ok is false when no default graph was requested.
-func defaultSpec(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64, estimator string, incremental bool, residualTol float64) (registry.Spec, bool, error) {
+func defaultSpec(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64, estimator string, incremental bool, residualTol, compactFrac float64) (registry.Spec, bool, error) {
 	opts := factorgraph.EngineOptions{Estimator: estimator, Incremental: incremental}
 	if incremental {
 		opts.ResidualTol = residualTol
+		opts.CompactFraction = compactFrac
 	} else if residualTol != 0 {
 		return registry.Spec{}, false, fmt.Errorf("-residual-tol requires -incremental")
+	} else if compactFrac != 0 {
+		return registry.Spec{}, false, fmt.Errorf("-compact-frac requires -incremental")
 	}
 	if synthetic {
 		if k != 0 && k < 2 {

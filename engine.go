@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"factorgraph/internal/core"
+	"factorgraph/internal/delta"
 	"factorgraph/internal/dense"
 	"factorgraph/internal/labels"
 	"factorgraph/internal/propagation"
@@ -65,10 +66,23 @@ type Engine struct {
 	est      *Estimate     // current compatibility estimate
 
 	snap   *snapshot  // cached propagation result; nil ⇒ stale
-	gen    int64      // bumped under mu on every seed/H change
+	gen    int64      // bumped under mu on every seed/H/topology change
 	pool   *sync.Pool // *propagation.State bound to the current H
 	eopts  EngineOptions
 	closed bool // set by Close; all expensive operations refuse afterwards
+	shed   bool // transient state dropped by ReleaseTransient; cleared on rebuild
+
+	// topo is the mutable topology (Incremental engines only): the frozen
+	// base CSR plus the copy-on-write delta overlay that MutateTopology
+	// publishes new epochs of. nil on non-incremental engines — their
+	// topology is immutable. rhoW is the canonical ρ(W) of the current
+	// epoch's base CSR; ε is pinned to it between compactions.
+	topo *delta.Graph
+	rhoW float64
+
+	// nNodes is the live node count (grown by node additions); lock-free
+	// so validation on the hot query paths never takes the engine lock.
+	nNodes atomic.Int64
 
 	// res is the live residual-propagation state (Incremental engines
 	// only): beliefs converged to the current (seeds, H) pair, updated in
@@ -104,6 +118,9 @@ type Engine struct {
 	nResidualPushes    atomic.Int64
 	nResidualFallbacks atomic.Int64
 	nOverlayCacheHits  atomic.Int64
+	nEdgeMutations     atomic.Int64
+	nCompactions       atomic.Int64
+	nRescales          atomic.Int64
 }
 
 // snapshot is an immutable (beliefs, labels) pair; readers that hold a
@@ -151,6 +168,12 @@ type EngineOptions struct {
 	// small or dense graphs where frontiers saturate quickly. Setting it
 	// without Incremental is an error.
 	ResidualEdgeBudget float64
+	// CompactFraction is the share of stored adjacency entries allowed to
+	// live in the streaming-mutation delta overlay before a mutation batch
+	// triggers compaction (merge into a fresh canonical CSR + ε
+	// re-derivation); 0 means the default 0.25. Requires Incremental —
+	// only incremental engines accept topology mutations.
+	CompactFraction float64
 }
 
 // EngineStats counts the expensive operations an Engine has performed;
@@ -182,6 +205,14 @@ type EngineStats struct {
 	// OverlayCacheHits counts what-if queries answered from the memoized
 	// overlay-frontier cache without any pushing.
 	OverlayCacheHits int64
+	// EdgeMutations counts applied streaming edge mutations
+	// (MutateTopology upserts + removals).
+	EdgeMutations int64
+	// TopoCompactions counts delta-overlay compactions (merge + canonical
+	// ε re-derivation); TopoRescales counts the subset whose ρ(W) moved
+	// and whose residual state was rescaled and re-converged.
+	TopoCompactions int64
+	TopoRescales    int64
 }
 
 // Query describes one classification request against an Engine.
@@ -261,6 +292,14 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 	if o.ResidualEdgeBudget > 0 && !o.Incremental {
 		return nil, fmt.Errorf("factorgraph: ResidualEdgeBudget set without Incremental")
 	}
+	if o.CompactFraction < 0 || o.CompactFraction >= 1 {
+		if o.CompactFraction != 0 {
+			return nil, fmt.Errorf("factorgraph: compact fraction %v outside (0,1)", o.CompactFraction)
+		}
+	}
+	if o.CompactFraction > 0 && !o.Incremental {
+		return nil, fmt.Errorf("factorgraph: CompactFraction set without Incremental (topology mutations require the residual subsystem)")
+	}
 	if h != nil && (h.Rows != k || h.Cols != k) {
 		return nil, fmt.Errorf("factorgraph: H is %d×%d, engine has k=%d", h.Rows, h.Cols, k)
 	}
@@ -274,8 +313,13 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 		return nil, err
 	}
 	e.x = x
-	// Warm the spectral-radius cache before any query arrives.
-	g.Adj.SpectralRadiusCached(e.linbpOptions().SpectralIters)
+	e.nNodes.Store(int64(g.N))
+	// Warm the spectral-radius cache before any query arrives; incremental
+	// engines pin this canonical ρ(W) until their next topology compaction.
+	e.rhoW = g.Adj.SpectralRadiusCached(e.linbpOptions().SpectralIters)
+	if o.Incremental {
+		e.topo = delta.New(g.Adj)
+	}
 	est := &Estimate{H: nil, Method: method}
 	if h != nil {
 		est.H = h.Clone()
@@ -285,7 +329,7 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 		}
 	}
 	e.est = est
-	if e.pool, err = e.newStatePool(est.H); err != nil {
+	if e.pool, err = e.newStatePool(est.H, e.topo, e.rhoW); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -410,13 +454,14 @@ func (e *Engine) summariesFor(lmax int) (*core.Summaries, error) {
 		return e.sums, nil
 	}
 	seeds := append([]int(nil), e.seeds...)
+	adj := e.g.Adj // compaction swaps e.g; sketch the epoch the seeds belong to
 	e.mu.RUnlock()
 	// Summarize at the requested depth only: an MCE-configured engine
 	// (ℓmax=1) must not pay the 5-level sketch cost on every build and
 	// rebuild. A later deeper request replaces the cache, after which
 	// shallower ones are served by prefix truncation.
 	e.nSummarizations.Add(1)
-	s, err := core.Summarize(e.g.Adj, seeds, e.k, core.SummaryOptions{
+	s, err := core.Summarize(adj, seeds, e.k, core.SummaryOptions{
 		LMax: lmax, NonBacktracking: true, Variant: core.Variant1,
 	})
 	if err != nil {
@@ -439,6 +484,11 @@ func truncateSummaries(s *core.Summaries, lmax int) *core.Summaries {
 // invalid options all fall back to EstimateBy so error behavior stays
 // identical across entry points.
 func (e *Engine) estimateCached(method string, opts EstimateOptions) (*Estimate, error) {
+	// Estimators sketch a CSR: merge any pending delta overlay first so the
+	// estimate reflects the mutated topology, not the construction one.
+	if err := e.compactForEstimate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	switch m := strings.ToLower(method); m {
 	case "", "dcer", "dce":
@@ -471,23 +521,32 @@ func (e *Engine) estimateCached(method string, opts EstimateOptions) (*Estimate,
 		return nil, ErrEngineClosed
 	}
 	seeds := append([]int(nil), e.seeds...)
+	g := e.g // compaction swaps e.g under mu
 	e.mu.RUnlock()
-	return EstimateBy(method, e.g, seeds, e.k, opts)
+	return EstimateBy(method, g, seeds, e.k, opts)
 }
 
-// newStatePool builds a pool of propagation states bound to h. The pool is
-// replaced wholesale whenever H changes, so pooled states never serve a
-// stale compatibility matrix. One state is constructed eagerly so an
-// invalid configuration fails here with its real cause, not on every
-// query with a generic one.
-func (e *Engine) newStatePool(h *Matrix) (*sync.Pool, error) {
-	w, opts := e.g.Adj, e.linbpOptions()
-	first, err := propagation.NewState(w, h, opts)
+// newStatePool builds a pool of propagation states bound to h and to the
+// given topology epoch (nil topo = the frozen construction CSR). The pool
+// is replaced wholesale whenever H changes — and, on mutable-topology
+// engines, whenever an epoch is published — so pooled states never serve a
+// stale compatibility matrix or a stale graph. One state is constructed
+// eagerly so an invalid configuration fails here with its real cause, not
+// on every query with a generic one.
+func (e *Engine) newStatePool(h *Matrix, topo *delta.Graph, rhoW float64) (*sync.Pool, error) {
+	opts := e.linbpOptions()
+	build := func() (*propagation.State, error) {
+		if topo != nil {
+			return propagation.NewStateOn(topo, h, opts, rhoW)
+		}
+		return propagation.NewState(e.g.Adj, h, opts)
+	}
+	first, err := build()
 	if err != nil {
 		return nil, err
 	}
 	pool := &sync.Pool{New: func() any {
-		st, err := propagation.NewState(w, h, opts)
+		st, err := build()
 		if err != nil {
 			return nil
 		}
@@ -505,6 +564,10 @@ func (e *Engine) newStatePool(h *Matrix) (*sync.Pool, error) {
 
 // K returns the class count.
 func (e *Engine) K() int { return e.k }
+
+// liveN is the current node count (construction nodes + streamed
+// additions); lock-free so hot-path validation never contends.
+func (e *Engine) liveN() int { return int(e.nNodes.Load()) }
 
 // Graph returns the underlying graph (shared, read-only).
 func (e *Engine) Graph() *Graph { return e.g }
@@ -543,6 +606,9 @@ func (e *Engine) Stats() EngineStats {
 		ResidualPushes:    e.nResidualPushes.Load(),
 		ResidualFallbacks: e.nResidualFallbacks.Load(),
 		OverlayCacheHits:  e.nOverlayCacheHits.Load(),
+		EdgeMutations:     e.nEdgeMutations.Load(),
+		TopoCompactions:   e.nCompactions.Load(),
+		TopoRescales:      e.nRescales.Load(),
 	}
 }
 
@@ -584,13 +650,23 @@ func csrBytes(n, m int, weighted bool) int64 {
 // scratch. The registry re-reads this per access, so /v1/admin/registry
 // tracks tier changes live.
 func (e *Engine) MemoryFootprint() int64 {
-	if !e.eopts.Incremental {
-		return EstimateEngineBytes(e.g.N, e.g.M, e.k, e.g.Adj.Data != nil)
-	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	nn, kk := int64(e.g.N), int64(e.k)
+	if !e.eopts.Incremental {
+		if !e.shed {
+			return EstimateEngineBytes(e.g.N, e.g.M, e.k, e.g.Adj.Data != nil)
+		}
+		// Partially released (ReleaseTransient): the snapshot and pooled
+		// states are gone until the next query rebuilds them; what remains
+		// resident is the CSR, the vectors and the explicit beliefs.
+		nn, kk := int64(e.g.N), int64(e.k)
+		return csrBytes(e.g.N, e.g.M, e.g.Adj.Data != nil) + 2*8*nn + 8*nn*kk
+	}
+	nn, kk := int64(e.liveN()), int64(e.k)
 	b := csrBytes(e.g.N, e.g.M, e.g.Adj.Data != nil)
+	if e.topo != nil {
+		b += e.topo.MemoryBytes() // delta-overlay patch rows
+	}
 	b += 2 * 8 * nn // seeds + snapshot labels
 	if e.x != nil {
 		b += 8 * nn * kk // explicit beliefs
@@ -627,6 +703,7 @@ func (e *Engine) Close() {
 	e.pool = nil
 	e.x = nil
 	e.res = nil
+	e.topo = nil
 	e.mu.Unlock()
 	e.sumMu.Lock()
 	e.sums = nil
@@ -673,6 +750,7 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 			e.mu.Lock()
 			if e.gen == gen && !e.closed {
 				e.snap = snap
+				e.shed = false
 				e.mu.Unlock()
 				return snap, nil
 			}
@@ -683,12 +761,17 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 		pool := e.pool
 		h := e.est.H
 		gen := e.gen
+		topo := e.topo
+		rhoW := e.rhoW
 		e.mu.RUnlock()
 
 		if e.eopts.Incremental {
 			// Cold (or invalidated by an H change): one full solve seeds
-			// the residual state, after which patches are o(Δ).
-			rs, err := residual.NewState(e.g.Adj, h, e.residualOptions())
+			// the residual state, after which patches are o(Δ). The state
+			// is built over the live topology epoch with the pinned ρ(W),
+			// so a mutated-then-evicted working set re-solves against the
+			// mutated graph, not the construction one.
+			rs, err := residual.NewStateOn(topo, h, e.residualOptions(), rhoW)
 			if err != nil {
 				return nil, fmt.Errorf("factorgraph: %w: %v", ErrEngineInternal, err)
 			}
@@ -699,6 +782,7 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 			e.mu.Lock()
 			if e.gen == gen && !e.closed {
 				e.res = rs
+				e.shed = false
 			}
 			e.mu.Unlock()
 			continue // the res branch above builds (or retries) the snapshot
@@ -713,6 +797,7 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 		e.mu.Lock()
 		if e.gen == gen {
 			e.snap = snap
+			e.shed = false
 			e.mu.Unlock()
 			return snap, nil
 		}
@@ -747,7 +832,7 @@ func (e *Engine) Classify(q Query) ([]NodeResult, error) {
 	if q.Nodes != nil {
 		out = make([]NodeResult, 0, len(q.Nodes))
 	} else {
-		out = make([]NodeResult, 0, e.g.N)
+		out = make([]NodeResult, 0, e.liveN())
 	}
 	err := e.ClassifyEach(q, func(r NodeResult) error {
 		out = append(out, r)
@@ -832,9 +917,10 @@ func (e *Engine) residualDirect(q Query, fn func(NodeResult) error) (QueryMeta, 
 	if q.Nodes == nil || len(q.Nodes) == 0 || len(q.Nodes) > residualDirectMax {
 		return QueryMeta{}, false, nil
 	}
+	n := e.liveN()
 	for _, node := range q.Nodes {
-		if node < 0 || node >= e.g.N {
-			return QueryMeta{}, true, fmt.Errorf("factorgraph: query node %d out of range n=%d", node, e.g.N)
+		if node < 0 || node >= n {
+			return QueryMeta{}, true, fmt.Errorf("factorgraph: query node %d out of range n=%d", node, n)
 		}
 	}
 	topk := q.TopK
@@ -883,17 +969,18 @@ func (e *Engine) residualDirect(q Query, fn func(NodeResult) error) (QueryMeta, 
 // ResidualEdgeBudget modest on latency-sensitive deployments.
 func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta, bool, error) {
 	// Validate before any work, exactly like the full overlay path.
+	liveN := e.liveN()
 	for node, c := range q.ExtraSeeds {
-		if node < 0 || node >= e.g.N {
-			return QueryMeta{}, true, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, e.g.N)
+		if node < 0 || node >= liveN {
+			return QueryMeta{}, true, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, liveN)
 		}
 		if c != Unlabeled && (c < 0 || c >= e.k) {
 			return QueryMeta{}, true, fmt.Errorf("factorgraph: extra seed class %d outside [0,%d)", c, e.k)
 		}
 	}
 	for _, node := range q.Nodes {
-		if node < 0 || node >= e.g.N {
-			return QueryMeta{}, true, fmt.Errorf("factorgraph: query node %d out of range n=%d", node, e.g.N)
+		if node < 0 || node >= liveN {
+			return QueryMeta{}, true, fmt.Errorf("factorgraph: query node %d out of range n=%d", node, liveN)
 		}
 	}
 	// Ensure the residual base exists (first query per (graph, H) pays the
@@ -960,7 +1047,7 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 	// base), then emit outside it.
 	n := len(q.Nodes)
 	if q.Nodes == nil {
-		n = e.g.N
+		n = liveN
 	}
 	rows := make([][]float64, n)
 	labs := make([]int, n)
@@ -1027,8 +1114,8 @@ func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, error) {
 	pool := e.pool
 	e.mu.RUnlock()
 	for node, c := range q.ExtraSeeds {
-		if node < 0 || node >= e.g.N {
-			return nil, nil, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, e.g.N)
+		if node < 0 || node >= x.Rows {
+			return nil, nil, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, x.Rows)
 		}
 		row := x.Row(node)
 		for j := range row {
@@ -1053,14 +1140,16 @@ func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, error) {
 // nodes are range-checked before the first fn call so callers streaming
 // over a network never emit a partial response for an invalid request.
 func (e *Engine) formatEach(q Query, beliefs *dense.Matrix, lab []int, fn func(NodeResult) error) error {
+	// Bound by the belief matrix actually answering the query: a node
+	// added after the snapshot was cut is out of range for THIS response.
 	for _, node := range q.Nodes {
-		if node < 0 || node >= e.g.N {
-			return fmt.Errorf("factorgraph: query node %d out of range n=%d", node, e.g.N)
+		if node < 0 || node >= beliefs.Rows {
+			return fmt.Errorf("factorgraph: query node %d out of range n=%d", node, beliefs.Rows)
 		}
 	}
 	n := len(q.Nodes)
 	if q.Nodes == nil {
-		n = e.g.N
+		n = beliefs.Rows
 	}
 	topk := q.TopK
 	if topk > e.k {
@@ -1179,10 +1268,11 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 		return PatchMeta{}, ErrEngineClosed
 	}
 	// Validate fully before mutating so a bad request leaves state intact.
+	n := len(e.seeds)
 	for node, c := range set {
-		if node < 0 || node >= e.g.N {
+		if node < 0 || node >= n {
 			e.mu.Unlock()
-			return PatchMeta{}, fmt.Errorf("factorgraph: label update node %d out of range n=%d", node, e.g.N)
+			return PatchMeta{}, fmt.Errorf("factorgraph: label update node %d out of range n=%d", node, n)
 		}
 		if c < 0 || c >= e.k {
 			e.mu.Unlock()
@@ -1190,9 +1280,9 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 		}
 	}
 	for _, node := range remove {
-		if node < 0 || node >= e.g.N {
+		if node < 0 || node >= n {
 			e.mu.Unlock()
-			return PatchMeta{}, fmt.Errorf("factorgraph: label removal node %d out of range n=%d", node, e.g.N)
+			return PatchMeta{}, fmt.Errorf("factorgraph: label removal node %d out of range n=%d", node, n)
 		}
 	}
 	res := e.res
@@ -1279,7 +1369,10 @@ func (e *Engine) Reestimate() (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := e.newStatePool(est.H)
+	e.mu.RLock()
+	topo, rhoW := e.topo, e.rhoW
+	e.mu.RUnlock()
+	pool, err := e.newStatePool(est.H, topo, rhoW)
 	if err != nil {
 		return nil, err
 	}
@@ -1309,7 +1402,7 @@ func (e *Engine) SetH(h *Matrix, method string) error {
 		return ErrEngineClosed
 	}
 	est := &Estimate{H: h.Clone(), Method: method}
-	pool, err := e.newStatePool(est.H)
+	pool, err := e.newStatePool(est.H, e.topo, e.rhoW)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,494 @@
+package factorgraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"factorgraph/internal/delta"
+	"factorgraph/internal/dense"
+	"factorgraph/internal/graph"
+	"factorgraph/internal/propagation"
+	"factorgraph/internal/residual"
+)
+
+// ErrTopologyImmutable is returned by topology mutations on an engine that
+// was not built with EngineOptions.Incremental: only the residual subsystem
+// can repropagate an edge change in o(Δ), so the non-incremental engine
+// keeps its construction-time guarantee that the graph is frozen. The HTTP
+// layer maps this to 409.
+var ErrTopologyImmutable = errors.New("graph topology is immutable (engine not incremental)")
+
+// EdgeMutation is one streaming topology change: an undirected edge upsert
+// (W == 0 means weight 1; negative weights are rejected) or, with Remove
+// set, an edge deletion.
+type EdgeMutation struct {
+	U, V   int
+	W      float64
+	Remove bool
+}
+
+// MutateMeta describes how a topology mutation batch was applied.
+type MutateMeta struct {
+	// AddedNodes / SetEdges / RemovedEdges count the applied changes;
+	// MissingRemoves counts removals of absent edges (no-ops, not errors —
+	// streams may replay).
+	AddedNodes     int
+	SetEdges       int
+	RemovedEdges   int
+	MissingRemoves int
+	// Residual is true when the perturbation was repropagated in place by
+	// o(Δ) residual pushes seeded at the mutated endpoints; false means the
+	// engine was cold (or the contraction guard forced a re-solve) and the
+	// next query pays the full propagation.
+	Residual bool
+	// PushedNodes / TouchedEdges is the push work of the residual flush.
+	PushedNodes  int
+	TouchedEdges int
+	// FellBack reports the flush spread past the edge budget and finished
+	// as dense sweeps on the patch session's private clone.
+	FellBack bool
+	// Compacted reports that this batch ended in a compaction: the delta
+	// overlay was merged into a fresh canonical CSR, swapped in under the
+	// snapshot lock, and ρ(W)/ε were re-derived from it.
+	Compacted bool
+	// Rescaled reports that the compaction moved ε (ρ(W) changed) and the
+	// residual state was rescaled and re-converged to the new fixed point.
+	Rescaled bool
+	// OverlayFraction is the post-batch share of stored entries living in
+	// the delta overlay (0 right after a compaction).
+	OverlayFraction float64
+	// Nodes / Edges are the post-batch live dimensions.
+	Nodes, Edges int
+}
+
+// defaultCompactFraction is the overlay share of stored entries past which
+// a mutation batch triggers compaction.
+const defaultCompactFraction = 0.25
+
+// contractionGuard bounds the effective convergence parameter the pinned
+// ε may reach between compactions: mutations keep ε·ρ(W')·ρ(H̃) ≤
+// contractionGuard via the Gershgorin drift bound, forcing an early
+// compaction (which re-derives ε) instead of ever iterating a
+// non-contracting update.
+const contractionGuard = 0.95
+
+// MutateTopology applies a batch of streaming topology mutations — node
+// additions followed by edge upserts/removals — against the live engine,
+// without rebuilding anything: the CSR stays frozen and the changes land in
+// a copy-on-write delta overlay (internal/delta) that every execution
+// kernel iterates transparently. On a warm engine the batch seeds the
+// residual frontier at the mutated endpoints (ΔR = ε·ΔW·F·H̃) and a
+// residual.Patch session flushes it OUTSIDE the engine locks, so
+// convergence costs o(Δ) like label patches and concurrent readers keep
+// serving the pre-mutation beliefs until the row swap.
+//
+// Consistency: beliefs between compactions are the exact fixed point of
+// the LIVE topology under the ε-scaling pinned at the last compaction
+// epoch. Once the overlay fraction passes CompactFraction (or the
+// contraction guard trips) the batch ends in a compaction: the overlay
+// merges into a fresh canonical CSR — bit-identical to a cold build of the
+// same edge set — ρ(W) and ε are re-derived from it exactly as a cold
+// build would, and the residual state is rescaled and re-converged, so a
+// compacted mutated engine is indistinguishable from a cold engine on the
+// final edge set (the parity tests pin this to 1e-6).
+func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, error) {
+	if !e.eopts.Incremental {
+		return MutateMeta{}, ErrTopologyImmutable
+	}
+	if addNodes < 0 {
+		return MutateMeta{}, fmt.Errorf("factorgraph: negative node addition %d", addNodes)
+	}
+	e.patchMu.Lock()
+	defer e.patchMu.Unlock()
+
+	var meta MutateMeta
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return MutateMeta{}, ErrEngineClosed
+	}
+	n := e.topo.Dim() + addNodes
+	for _, m := range muts {
+		if m.U < 0 || m.U >= n || m.V < 0 || m.V >= n {
+			e.mu.Unlock()
+			return MutateMeta{}, fmt.Errorf("factorgraph: edge (%d,%d) out of range n=%d", m.U, m.V, n)
+		}
+		if !m.Remove {
+			w := m.W
+			if w == 0 {
+				w = 1
+			}
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				e.mu.Unlock()
+				return MutateMeta{}, fmt.Errorf("factorgraph: invalid edge weight %v on (%d,%d)", m.W, m.U, m.V)
+			}
+		}
+	}
+	next := e.topo.Clone()
+	if addNodes > 0 {
+		next.AddNodes(addNodes)
+		e.growLocked(n)
+		meta.AddedNodes = addNodes
+	}
+	res := e.res
+	var patch *residual.Patch
+	if res != nil {
+		// Publish the mutated epoch to the solver first: the patch flush
+		// must converge against the NEW topology (the residual invariant is
+		// R = X̃ + εW'FH̃ − F once the seeds below land).
+		res.Grow(n)
+		res.SetAdj(next)
+		patch = res.BeginPatch()
+	}
+	for _, m := range muts {
+		var dw float64
+		if m.Remove {
+			old, ok := next.RemoveEdge(m.U, m.V)
+			if !ok {
+				meta.MissingRemoves++
+				continue
+			}
+			dw = -old
+			meta.RemovedEdges++
+		} else {
+			w := m.W
+			if w == 0 {
+				w = 1
+			}
+			old := next.SetEdge(m.U, m.V, w)
+			dw = w - old
+			meta.SetEdges++
+		}
+		if patch != nil && dw != 0 {
+			patch.AddEdgeDelta(m.U, m.V, dw)
+		}
+	}
+	e.topo = next
+	// Rebind the overlay-flood fallback pool to the new epoch (lazily — no
+	// eager n×k allocation on the o(Δ) path); stale pooled states drain
+	// with their old pool object.
+	e.pool = e.lazyIncrementalPool(next, e.rhoW, e.est.H)
+	e.snap = nil
+	e.gen++
+	e.labelGen++ // the summaries sketch the topology; it changed
+	e.nNodes.Store(int64(next.Dim()))
+	e.nEdgeMutations.Add(int64(meta.SetEdges + meta.RemovedEdges))
+	force := e.contractionGuardTrippedLocked(next)
+	if force && patch != nil {
+		// The pinned ε can no longer guarantee contraction: do not flush
+		// (pushes might not converge). Drop the residual state; the forced
+		// compaction below re-derives ε and the next query re-solves.
+		e.res = nil
+		res, patch = nil, nil
+		e.nResidualFallbacks.Add(1)
+	}
+	e.mu.Unlock()
+
+	if patch != nil {
+		// Flush OUTSIDE the engine locks — same narrow-locking contract as
+		// label patches: readers serve pre-mutation beliefs meanwhile.
+		st := patch.Flush()
+		meta.Residual = true
+		meta.PushedNodes, meta.TouchedEdges, meta.FellBack = st.Pushed, st.Edges, st.FellBack
+		e.nResidualPushes.Add(int64(st.Pushed))
+		if st.FellBack {
+			e.nResidualFallbacks.Add(1)
+		}
+		e.mu.Lock()
+		if e.res == res && !e.closed {
+			patch.Apply()
+			e.snap = nil
+			e.gen++
+		}
+		e.mu.Unlock()
+	}
+
+	if force || next.PatchedFraction() > e.compactFraction() {
+		compacted, rescaled, err := e.compactNow()
+		if err != nil {
+			return meta, err
+		}
+		meta.Compacted, meta.Rescaled = compacted, rescaled
+	}
+	e.fillTopoDims(&meta)
+	return meta, nil
+}
+
+// compactFraction returns the configured overlay-share compaction trigger.
+func (e *Engine) compactFraction() float64 {
+	if e.eopts.CompactFraction > 0 {
+		return e.eopts.CompactFraction
+	}
+	return defaultCompactFraction
+}
+
+// contractionGuardTrippedLocked bounds the spectral drift of the pinned ε:
+// ρ(W') ≤ ρ(W_base) + ρ(ΔW) with the overlay's Gershgorin bound on ρ(ΔW),
+// so the effective convergence parameter is at most s·(1 + bound/ρ_base).
+// Callers hold e.mu.
+func (e *Engine) contractionGuardTrippedLocked(t *delta.Graph) bool {
+	bound := t.RhoDeltaBound()
+	if bound == 0 {
+		return false
+	}
+	if e.rhoW == 0 {
+		return true // base had no edges; ε was degenerate — re-derive
+	}
+	s := e.linbpOptions().S
+	return s*(1+bound/e.rhoW) > contractionGuard
+}
+
+// growLocked extends the engine's per-node state to n nodes (appended ids,
+// Unlabeled, zero explicit beliefs). Callers hold e.mu; the residual state
+// grows separately (the caller orders it against SetAdj).
+func (e *Engine) growLocked(n int) {
+	for len(e.seeds) < n {
+		e.seeds = append(e.seeds, Unlabeled)
+	}
+	grown := dense.New(n, e.k)
+	copy(grown.Data, e.x.Data)
+	e.x = grown
+}
+
+// fillTopoDims stamps the live dimensions and overlay fraction on meta.
+func (e *Engine) fillTopoDims(meta *MutateMeta) {
+	e.mu.RLock()
+	if e.topo != nil {
+		meta.Nodes = e.topo.Dim()
+		meta.Edges = e.topo.UndirectedEdges()
+		meta.OverlayFraction = e.topo.PatchedFraction()
+	} else {
+		meta.Nodes, meta.Edges = e.g.N, e.g.M
+	}
+	e.mu.RUnlock()
+}
+
+// compactForEstimate merges any pending overlay before an estimator runs:
+// the sketches (core.Summarize) read a CSR, and estimating on the frozen
+// base while serving a mutated topology would silently fit H to a stale
+// graph. No-op on frozen engines and clean overlays.
+func (e *Engine) compactForEstimate() error {
+	if !e.eopts.Incremental {
+		return nil
+	}
+	e.mu.RLock()
+	dirty := e.topo != nil && e.topo.Dirty()
+	e.mu.RUnlock()
+	if !dirty {
+		return nil
+	}
+	_, err := e.CompactTopology()
+	return err
+}
+
+// CompactTopology forces a compaction of the delta overlay regardless of
+// the overlay-fraction trigger: the merged CSR is swapped in under the
+// snapshot lock, ρ(W)/ε are re-derived canonically, and the residual state
+// is rescaled and re-converged. A no-op (Compacted=false) when the overlay
+// is clean.
+func (e *Engine) CompactTopology() (MutateMeta, error) {
+	if !e.eopts.Incremental {
+		return MutateMeta{}, ErrTopologyImmutable
+	}
+	e.patchMu.Lock()
+	defer e.patchMu.Unlock()
+	var meta MutateMeta
+	compacted, rescaled, err := e.compactNow()
+	if err != nil {
+		return meta, err
+	}
+	meta.Compacted, meta.Rescaled = compacted, rescaled
+	e.fillTopoDims(&meta)
+	return meta, nil
+}
+
+// maxRescale bounds the ε ratio the residual rescale path will converge
+// incrementally; a larger jump (pathological topologies, a degenerate old
+// ρ) drops the residual state instead, and the next query re-solves.
+const maxRescale = 0.5
+
+// compactNow merges the overlay into a fresh canonical CSR and installs it
+// as the new epoch. The merge and the ρ(W) power iteration run outside the
+// engine locks (the overlay epoch is immutable and patchMu — held by the
+// caller — excludes other mutators); only the swap and the O(n·k) residual
+// rescale run under the write lock, and the rescale's re-convergence
+// drains on a patch session outside the locks like any other flush.
+func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return false, false, ErrEngineClosed
+	}
+	topo := e.topo
+	e.mu.RUnlock()
+	if topo == nil || !topo.Dirty() {
+		return false, false, nil
+	}
+	csr := topo.Compact()
+	rhoNew := csr.SpectralRadiusCached(e.linbpOptions().SpectralIters)
+	newTopo := topo.Compacted(csr)
+	newGraph := graph.FromCSR(csr)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false, false, ErrEngineClosed
+	}
+	if e.topo != topo {
+		// patchMu excludes other mutators; this is a defensive bail.
+		e.mu.Unlock()
+		return false, false, nil
+	}
+	rhoOld := e.rhoW
+	e.topo = newTopo
+	e.g = newGraph
+	e.rhoW = rhoNew
+	e.snap = nil
+	e.gen++
+	e.nCompactions.Add(1)
+	e.pool = e.lazyIncrementalPool(newTopo, rhoNew, e.est.H)
+	res := e.res
+	var c float64
+	if res != nil {
+		switch {
+		case rhoNew == rhoOld:
+			// Bit-equal ρ (e.g. a balanced add/remove churn): ε unchanged.
+		case rhoOld == 0 || rhoNew == 0 ||
+			math.Abs(rhoOld/rhoNew-1) > maxRescale ||
+			math.IsNaN(rhoOld/rhoNew) || math.IsInf(rhoOld/rhoNew, 0):
+			// ε jump too large to reconcile incrementally: re-solve lazily.
+			e.res = nil
+			res = nil
+			e.nResidualFallbacks.Add(1)
+		default:
+			c = rhoOld / rhoNew // ε_new/ε_old
+			res.SetAdj(newTopo)
+			res.Rescale(c)
+			rescaled = true
+			e.nRescales.Add(1)
+		}
+		if res != nil && !rescaled {
+			res.SetAdj(newTopo)
+		}
+	}
+	e.mu.Unlock()
+
+	if rescaled {
+		// Re-converge to the rescaled fixed point outside the locks.
+		patch := res.BeginPatch()
+		st := patch.Flush()
+		e.nResidualPushes.Add(int64(st.Pushed))
+		if st.FellBack {
+			e.nResidualFallbacks.Add(1)
+		}
+		e.mu.Lock()
+		if e.res == res && !e.closed {
+			patch.Apply()
+			e.snap = nil
+			e.gen++
+		}
+		e.mu.Unlock()
+	}
+	return true, rescaled, nil
+}
+
+// lazyIncrementalPool returns a propagation-state pool bound to the given
+// topology epoch and pinned ρ(W) WITHOUT building a state eagerly: the
+// pool exists for the rare overlay-flood fallback, and topology mutations
+// swap pools per batch — an eager n×k×4 allocation per mutated edge would
+// dwarf the o(Δ) push work. The engine's configuration was validated by
+// the eager build at construction.
+func (e *Engine) lazyIncrementalPool(t *delta.Graph, rhoW float64, h *Matrix) *sync.Pool {
+	opts := e.linbpOptions()
+	hc := h.Clone()
+	return &sync.Pool{New: func() any {
+		st, err := propagation.NewStateOn(t, hc, opts, rhoW)
+		if err != nil {
+			return nil
+		}
+		return st
+	}}
+}
+
+// TopoStats is the live view of a mutable topology for admin surfaces.
+type TopoStats struct {
+	// Nodes / Edges are the live dimensions (they track node additions and
+	// edge mutations; for frozen engines they equal the build-time graph).
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// OverlayFraction is the share of stored adjacency entries living in
+	// the copy-on-write delta overlay — the distance to the next
+	// compaction.
+	OverlayFraction float64 `json:"overlay_fraction,omitempty"`
+	// EdgeMutations / Compactions count applied edge mutations and overlay
+	// compactions over the engine's lifetime.
+	EdgeMutations int64 `json:"edge_mutations,omitempty"`
+	Compactions   int64 `json:"compactions,omitempty"`
+}
+
+// TopoStats reports the engine's live topology dimensions and mutation
+// counters; the registry refreshes GraphInfo from it at request release.
+func (e *Engine) TopoStats() TopoStats {
+	ts := TopoStats{
+		EdgeMutations: e.nEdgeMutations.Load(),
+		Compactions:   e.nCompactions.Load(),
+	}
+	e.mu.RLock()
+	if e.topo != nil {
+		ts.Nodes = e.topo.Dim()
+		ts.Edges = e.topo.UndirectedEdges()
+		ts.OverlayFraction = e.topo.PatchedFraction()
+	} else {
+		ts.Nodes, ts.Edges = e.g.N, e.g.M
+	}
+	e.mu.RUnlock()
+	return ts
+}
+
+// Dims returns the live (nodes, edges) dimensions.
+func (e *Engine) Dims() (n, m int) {
+	ts := e.TopoStats()
+	return ts.Nodes, ts.Edges
+}
+
+// ReleaseTransient drops the engine's rebuildable working state — the
+// belief snapshot, the residual solver state, the pooled propagation
+// states, the cached summaries and the what-if cache — while keeping
+// everything whose loss would force a cold rebuild: the graph (CSR plus
+// delta overlay), the seed labels, the explicit beliefs and the H
+// estimate. The next query re-solves with ONE propagation — o(build), not
+// o(parse+estimate+build) — and no acknowledged mutation (labels, H,
+// topology) is lost, so the registry may partially release ANY engine,
+// mutated or not. Returns the post-release footprint.
+func (e *Engine) ReleaseTransient() int64 {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0
+	}
+	e.snap = nil
+	e.res = nil
+	e.shed = true
+	if e.eopts.Incremental && e.topo != nil {
+		e.pool = e.lazyIncrementalPool(e.topo, e.rhoW, e.est.H)
+	} else {
+		// Rebuild lazily on the frozen CSR: same states the eager pool
+		// would hold, just not resident while shed.
+		w, h, opts := e.g.Adj, e.est.H.Clone(), e.linbpOptions()
+		e.pool = &sync.Pool{New: func() any {
+			st, err := propagation.NewState(w, h, opts)
+			if err != nil {
+				return nil
+			}
+			return st
+		}}
+	}
+	e.mu.Unlock()
+	e.sumMu.Lock()
+	e.sums = nil
+	e.sumMu.Unlock()
+	e.ovCache.purge()
+	return e.MemoryFootprint()
+}

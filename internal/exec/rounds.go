@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 
 	"factorgraph/internal/dense"
-	"factorgraph/internal/sparse"
 )
 
 // minPullWorkers is the parallelism below which the level-synchronous
@@ -25,6 +24,8 @@ const deltaDivisor = 8
 
 // PullPass drains a saturated frontier with level-synchronous rounds over
 // dense residual storage, picking its schedule by available parallelism.
+// The adjacency is accessed through the RowIterator abstraction, so the
+// same pass drains a frozen CSR matrix and a mutable delta overlay alike.
 //
 // With ≥minPullWorkers workers each round is a race-free parallel pull
 // pass. For moderate frontiers it is three phases:
@@ -54,7 +55,8 @@ const deltaDivisor = 8
 // round and drain to the same tolerance; final beliefs differ only inside
 // it.
 type PullPass struct {
-	w   *sparse.CSR
+	w   RowIterator
+	n   int
 	hs  []float64 // k×k, row-major, ε-scaled
 	k   int
 	f   *dense.Matrix
@@ -71,16 +73,21 @@ type PullPass struct {
 	candBuf   []int32
 
 	fh, wfh *dense.Matrix // delta-sweep scratch, allocated on first use
+
+	// trackedRounds / deltaRounds / scatterRounds count which schedule each
+	// round of this pass actually ran; the scheduling-boundary tests pin the
+	// n/deltaDivisor and minPullWorkers heuristics on them.
+	trackedRounds, deltaRounds, scatterRounds int
 }
 
 // NewPullPass builds a pass over dense (f, r, norms) storage. The two
 // n-length scratch arrays (slot map and mark words) are allocated here and
 // freed with the pass — callers demoting their dense tier drop the whole
 // pass. norms must reflect r (∞-norm per row); the pass maintains it.
-func NewPullPass(w *sparse.CSR, hScaled, f, r *dense.Matrix, norms []float64, tol float64, run Runner) *PullPass {
-	n := w.N
+func NewPullPass(w RowIterator, hScaled, f, r *dense.Matrix, norms []float64, tol float64, run Runner) *PullPass {
+	n := w.Dim()
 	p := &PullPass{
-		w: w, hs: hScaled.Data, k: hScaled.Rows,
+		w: w, n: n, hs: hScaled.Data, k: hScaled.Rows,
 		f: f, r: r, nrm: norms, tol: tol, run: run,
 		activeIdx: make([]int32, n),
 		mark:      make([]uint32, n),
@@ -110,9 +117,11 @@ func (p *PullPass) drainPull(active []int32, edgeBudget int) (pushed, edges, rou
 	for len(active) > 0 {
 		rounds++
 		pushed += len(active)
-		if len(active) > p.w.N/deltaDivisor {
+		if len(active) > p.n/deltaDivisor {
+			p.deltaRounds++
 			active, edges = p.deltaRound(active, edges)
 		} else {
+			p.trackedRounds++
 			active, edges = p.pullRound(active, edges)
 		}
 		if edgeBudget > 0 && edges > edgeBudget {
@@ -158,10 +167,9 @@ func (p *PullPass) pullRound(active []int32, edges int) ([]int32, int) {
 			}
 			p.nrm[u] = 0
 			p.activeIdx[u] = int32(idx)
-			clo, chi := p.w.IndPtr[u], p.w.IndPtr[u+1]
-			edgeN += chi - clo
-			for q := clo; q < chi; q++ {
-				v := p.w.Indices[q]
+			cols, _ := p.w.Row(u)
+			edgeN += len(cols)
+			for _, v := range cols {
 				if atomic.CompareAndSwapUint32(&p.mark[v], 0, 1) {
 					cand = append(cand, v)
 				}
@@ -185,15 +193,15 @@ func (p *PullPass) pullRound(active []int32, edges int) ([]int32, int) {
 			v := int(p.candBuf[i])
 			p.mark[v] = 0
 			rRow := p.r.Data[v*k : (v+1)*k]
-			glo, ghi := p.w.IndPtr[v], p.w.IndPtr[v+1]
-			for q := glo; q < ghi; q++ {
-				idx := p.activeIdx[p.w.Indices[q]]
+			cols, wts := p.w.Row(v)
+			for q, u := range cols {
+				idx := p.activeIdx[u]
 				if idx < 0 {
 					continue
 				}
 				wv := 1.0
-				if p.w.Data != nil {
-					wv = p.w.Data[q]
+				if wts != nil {
+					wv = wts[q]
 				}
 				msg := rh[int(idx)*k : (int(idx)+1)*k]
 				for j := 0; j < k; j++ {
@@ -237,13 +245,14 @@ func (p *PullPass) pullRound(active []int32, edges int) ([]int32, int) {
 // kernel, with no per-edge bookkeeping; edge accounting still charges the
 // active degrees so the budget semantics match the tracked rounds.
 func (p *PullPass) deltaRound(active []int32, edges int) ([]int32, int) {
-	n, k := p.w.N, p.k
+	n, k := p.n, p.k
 	if p.fh == nil {
 		p.fh = dense.New(n, k)
 		p.wfh = dense.New(n, k)
 	}
 	for _, u := range active {
-		edges += p.w.IndPtr[u+1] - p.w.IndPtr[u]
+		cols, _ := p.w.Row(int(u))
+		edges += len(cols)
 	}
 	// Phase 1: fh ← R·H̃ and F ← F + R, row-parallel.
 	p.run.Rows(n, func(lo, hi int) {
@@ -311,6 +320,7 @@ func (p *PullPass) drainScatter(active []int32, edgeBudget int) (pushed, edges, 
 	next := make([]int32, 0, len(active))
 	for len(active) > 0 {
 		rounds++
+		p.scatterRounds++
 		next = next[:0]
 		for _, u32 := range active {
 			u := int(u32)
@@ -333,13 +343,13 @@ func (p *PullPass) drainScatter(active []int32, edgeBudget int) (pushed, edges, 
 			}
 			p.nrm[u] = 0
 			pushed++
-			lo, hi := p.w.IndPtr[u], p.w.IndPtr[u+1]
-			edges += hi - lo
-			for q := lo; q < hi; q++ {
-				v := int(p.w.Indices[q])
+			cols, wts := p.w.Row(u)
+			edges += len(cols)
+			for q, v32 := range cols {
+				v := int(v32)
 				wv := 1.0
-				if p.w.Data != nil {
-					wv = p.w.Data[q]
+				if wts != nil {
+					wv = wts[q]
 				}
 				nRow := p.r.Data[v*k : (v+1)*k]
 				norm := 0.0
@@ -384,7 +394,7 @@ func (p *PullPass) drainScatter(active []int32, edgeBudget int) (pushed, edges, 
 // exactly three parallel passes over the data. The sparse multiply always
 // runs on the full shared pool; the Runner's worker cap applies to the
 // dense passes.
-func (r Runner) DenseRound(w *sparse.CSR, f, hScaled, fh, wfh *dense.Matrix, finish func(chunk, lo, hi int)) {
+func (r Runner) DenseRound(w RowIterator, f, hScaled, fh, wfh *dense.Matrix, finish func(chunk, lo, hi int)) {
 	k := hScaled.Cols
 	r.Rows(f.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -400,5 +410,5 @@ func (r Runner) DenseRound(w *sparse.CSR, f, hScaled, fh, wfh *dense.Matrix, fin
 		}
 	})
 	w.MulDenseInto(wfh, fh)
-	r.RowsIndexed(w.N, finish)
+	r.RowsIndexed(w.Dim(), finish)
 }

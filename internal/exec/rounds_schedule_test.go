@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"factorgraph/internal/dense"
+	"factorgraph/internal/sparse"
+)
+
+// ringCSR builds an n-node ring (each node adjacent to its two neighbors).
+func ringCSR(t *testing.T, n int) *sparse.CSR {
+	t.Helper()
+	edges := make([][2]int32, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int32{int32(i), int32((i + 1) % n)}
+	}
+	c, err := sparse.NewSymmetricFromEdges(n, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// schedulePass builds a PullPass over an n-node ring with `active` dirty
+// rows of unit residual and a near-zero H̃, so every drain finishes in
+// exactly ONE round — the pass's round counters then pin precisely which
+// schedule the first (and only) round chose.
+func schedulePass(t *testing.T, n, active, workers int) (*PullPass, []int32) {
+	t.Helper()
+	w := ringCSR(t, n)
+	const k = 2
+	h := dense.New(k, k)
+	for i := range h.Data {
+		h.Data[i] = 1e-12 // forwarded mass lands far below tol
+	}
+	f := dense.New(n, k)
+	r := dense.New(n, k)
+	norms := make([]float64, n)
+	list := make([]int32, active)
+	for i := 0; i < active; i++ {
+		r.Data[i*k] = 1
+		norms[i] = 1
+		list[i] = int32(i)
+	}
+	return NewPullPass(w, h, f, r, norms, 1e-8, Runner{Workers: workers}), list
+}
+
+// TestPullPassScheduleByWorkers pins the minPullWorkers boundary: with
+// fewer than minPullWorkers chunks the drain runs the sequential
+// Gauss–Seidel scatter, at or above it the parallel pull schedule. The
+// expectation is derived from the runner's actual chunk count, so the test
+// holds on small CI machines too (where a large Workers cap still yields
+// few chunks); the boundary cases 3/4 are additionally pinned exactly when
+// the machine can express them.
+func TestPullPassScheduleByWorkers(t *testing.T) {
+	for workers := 1; workers <= 8; workers++ {
+		p, active := schedulePass(t, 80, 4, workers)
+		pushed, _, rounds, remaining := p.Drain(active, 0)
+		if remaining != nil || pushed != 4 || rounds != 1 {
+			t.Fatalf("workers=%d: drain = pushed %d rounds %d remaining %v", workers, pushed, rounds, remaining)
+		}
+		wantPull := (Runner{Workers: workers}).MaxChunks() >= minPullWorkers
+		gotPull := p.trackedRounds+p.deltaRounds > 0
+		if gotPull != wantPull {
+			t.Errorf("workers=%d (chunks=%d): pull schedule = %v, want %v (scatter=%d tracked=%d delta=%d)",
+				workers, (Runner{Workers: workers}).MaxChunks(), gotPull, wantPull,
+				p.scatterRounds, p.trackedRounds, p.deltaRounds)
+		}
+	}
+	// The exact promotion edge, when this machine can express it: 3 chunks
+	// must scatter, 4 must pull.
+	if runtime.GOMAXPROCS(0) < minPullWorkers {
+		t.Skipf("GOMAXPROCS %d < %d: pull side of the boundary not expressible", runtime.GOMAXPROCS(0), minPullWorkers)
+	}
+	p3, a3 := schedulePass(t, 80, 4, minPullWorkers-1)
+	p3.Drain(a3, 0)
+	if p3.scatterRounds != 1 || p3.trackedRounds+p3.deltaRounds != 0 {
+		t.Errorf("workers=%d: want exactly one scatter round, got scatter=%d tracked=%d delta=%d",
+			minPullWorkers-1, p3.scatterRounds, p3.trackedRounds, p3.deltaRounds)
+	}
+	p4, a4 := schedulePass(t, 80, 4, minPullWorkers)
+	p4.Drain(a4, 0)
+	if p4.scatterRounds != 0 || p4.trackedRounds != 1 {
+		t.Errorf("workers=%d: want exactly one tracked pull round, got scatter=%d tracked=%d delta=%d",
+			minPullWorkers, p4.scatterRounds, p4.trackedRounds, p4.deltaRounds)
+	}
+}
+
+// TestPullPassFullScanThreshold pins the n/deltaDivisor promotion edge of
+// the parallel schedule: an active set of exactly n/8 runs the
+// candidate-tracked gather, one more node degenerates to the whole-matrix
+// delta sweep.
+func TestPullPassFullScanThreshold(t *testing.T) {
+	if (Runner{}).MaxChunks() < minPullWorkers {
+		t.Skipf("machine parallelism %d < %d: parallel schedule unavailable", (Runner{}).MaxChunks(), minPullWorkers)
+	}
+	const n = 80 // n/deltaDivisor = 10
+	cases := []struct {
+		active      int
+		wantTracked int
+		wantDelta   int
+	}{
+		{n/deltaDivisor - 1, 1, 0}, // below: tracked gather
+		{n / deltaDivisor, 1, 0},   // exactly at the threshold: still tracked (strict >)
+		{n/deltaDivisor + 1, 0, 1}, // one past: whole-matrix delta sweep
+	}
+	for _, c := range cases {
+		p, active := schedulePass(t, n, c.active, 0)
+		pushed, _, rounds, remaining := p.Drain(active, 0)
+		if remaining != nil || pushed != c.active || rounds != 1 {
+			t.Fatalf("active=%d: drain = pushed %d rounds %d remaining %v", c.active, pushed, rounds, remaining)
+		}
+		if p.trackedRounds != c.wantTracked || p.deltaRounds != c.wantDelta {
+			t.Errorf("active=%d (threshold %d): tracked=%d delta=%d, want tracked=%d delta=%d",
+				c.active, n/deltaDivisor, p.trackedRounds, p.deltaRounds, c.wantTracked, c.wantDelta)
+		}
+	}
+}
+
+// TestPullPassSchedulesAgree: both schedules (and the delta sweep) drain
+// to the same beliefs on the same input — the boundary is a performance
+// decision, never a correctness one. Uses a real H̃ so multiple rounds run.
+func TestPullPassSchedulesAgree(t *testing.T) {
+	const n, k = 64, 2
+	w := ringCSR(t, n)
+	h := dense.New(k, k)
+	h.Data[0], h.Data[1], h.Data[2], h.Data[3] = 0.2, -0.1, -0.1, 0.2
+	build := func(workers, active int) (*PullPass, *dense.Matrix, []int32) {
+		f := dense.New(n, k)
+		r := dense.New(n, k)
+		norms := make([]float64, n)
+		list := make([]int32, active)
+		for i := 0; i < active; i++ {
+			r.Data[i*k] = 1
+			norms[i] = 1
+			list[i] = int32(i)
+		}
+		return NewPullPass(w, h, f, r, norms, 1e-10, Runner{Workers: workers}), f, list
+	}
+	// Sequential scatter reference vs parallel pull (small frontier →
+	// tracked) vs forced delta sweeps (frontier > n/8).
+	pSeq, fSeq, aSeq := build(1, 12)
+	pSeq.Drain(aSeq, 0)
+	if pSeq.scatterRounds == 0 {
+		t.Fatal("sequential reference did not run the scatter schedule")
+	}
+	if (Runner{}).MaxChunks() < minPullWorkers {
+		t.Skipf("machine parallelism %d < %d: parallel schedules unavailable", (Runner{}).MaxChunks(), minPullWorkers)
+	}
+	pPar, fPar, aPar := build(0, 12)
+	pPar.Drain(aPar, 0)
+	if pPar.trackedRounds == 0 {
+		t.Fatal("parallel drain did not run tracked rounds")
+	}
+	for i := range fSeq.Data {
+		if d := math.Abs(fSeq.Data[i] - fPar.Data[i]); d > 1e-9 {
+			t.Fatalf("scatter and pull disagree at %d by %g", i, d)
+		}
+	}
+}

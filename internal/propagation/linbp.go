@@ -98,13 +98,20 @@ func LinBPLabels(w *sparse.CSR, x *dense.Matrix, h *dense.Matrix, opts LinBPOpti
 // convergence of LinBP for s < 1 (Eq. 2). H is the (centered) compatibility
 // matrix actually used in the update.
 func ScalingFactor(w *sparse.CSR, h *dense.Matrix, s float64, spectralIters int) (float64, error) {
-	if s <= 0 {
-		return 0, fmt.Errorf("propagation: convergence parameter s=%v must be positive", s)
-	}
 	if spectralIters <= 0 {
 		spectralIters = 50
 	}
-	rhoW := w.SpectralRadiusCached(spectralIters)
+	return ScalingFactorWithRho(w.SpectralRadiusCached(spectralIters), h, s)
+}
+
+// ScalingFactorWithRho is ScalingFactor with ρ(W) supplied by the caller.
+// The mutable-topology engine pins ρ(W) per compaction epoch (re-deriving
+// it canonically from the compacted CSR), so the scaling of a mutated
+// graph is computed from the pinned value, not a fresh power iteration.
+func ScalingFactorWithRho(rhoW float64, h *dense.Matrix, s float64) (float64, error) {
+	if s <= 0 {
+		return 0, fmt.Errorf("propagation: convergence parameter s=%v must be positive", s)
+	}
 	rhoH := dense.SpectralRadiusSym(dense.Symmetrize(h), 200)
 	if rhoW == 0 || rhoH == 0 {
 		// Degenerate: empty graph or uniform H. Any ε works; use 1.

@@ -19,7 +19,9 @@ import (
 // queries keep a pool of States (the Engine in the facade does exactly
 // that). The graph and H must not be mutated while the State is live.
 type State struct {
-	w    *sparse.CSR
+	w    exec.RowIterator
+	n    int
+	rhoW float64 // ρ(W) the ε-scaling was derived from
 	opts LinBPOptions
 	k    int
 
@@ -39,10 +41,27 @@ type State struct {
 // NewState validates shapes, computes ε = s/(ρ(W)·ρ(H̃)) once, and
 // allocates the iteration buffers for an n×k propagation.
 func NewState(w *sparse.CSR, h *dense.Matrix, opts LinBPOptions) (*State, error) {
+	iters := opts.SpectralIters
+	if iters <= 0 {
+		iters = 50
+	}
+	if w.N == 0 {
+		return nil, fmt.Errorf("propagation: empty graph")
+	}
+	return NewStateOn(w, h, opts, w.SpectralRadiusCached(iters))
+}
+
+// NewStateOn is NewState over an arbitrary RowIterator adjacency with a
+// caller-supplied ρ(W): the mutable-topology engine builds states over its
+// delta overlay with the ρ pinned at the last compaction, so the scaling
+// matches the engine's residual solver instead of re-running a power
+// iteration over a moving graph.
+func NewStateOn(w exec.RowIterator, h *dense.Matrix, opts LinBPOptions, rhoW float64) (*State, error) {
 	if h.Rows != h.Cols {
 		return nil, fmt.Errorf("propagation: H is %d×%d, want square", h.Rows, h.Cols)
 	}
-	if w.N == 0 {
+	n := w.Dim()
+	if n == 0 {
 		return nil, fmt.Errorf("propagation: empty graph")
 	}
 	if opts.S < 0 {
@@ -54,16 +73,18 @@ func NewState(w *sparse.CSR, h *dense.Matrix, opts LinBPOptions) (*State, error)
 	opts.defaults()
 	s := &State{
 		w:    w,
+		n:    n,
+		rhoW: rhoW,
 		opts: opts,
 		k:    h.Rows,
-		x:    dense.New(w.N, h.Rows),
-		f:    dense.New(w.N, h.Rows),
-		fh:   dense.New(w.N, h.Rows),
-		wfh:  dense.New(w.N, h.Rows),
+		x:    dense.New(n, h.Rows),
+		f:    dense.New(n, h.Rows),
+		fh:   dense.New(n, h.Rows),
+		wfh:  dense.New(n, h.Rows),
 	}
 	if opts.EchoCancellation {
-		s.echo = dense.New(w.N, h.Rows)
-		s.deg = w.Degrees()
+		s.echo = dense.New(n, h.Rows)
+		s.deg = rowDegrees(w)
 	}
 	if err := s.setH(h); err != nil {
 		return nil, err
@@ -71,15 +92,34 @@ func NewState(w *sparse.CSR, h *dense.Matrix, opts LinBPOptions) (*State, error)
 	return s, nil
 }
 
-// setH (re)computes the centered, ε-scaled compatibility matrix. ρ(W) comes
-// from the CSR-level cache (via ScalingFactor), so swapping H on a live
-// engine never re-runs the power iteration over the graph.
+// rowDegrees computes weighted degrees through the row iterator.
+func rowDegrees(w exec.RowIterator) []float64 {
+	d := make([]float64, w.Dim())
+	for i := range d {
+		cols, wts := w.Row(i)
+		if wts == nil {
+			d[i] = float64(len(cols))
+			continue
+		}
+		var s float64
+		for _, v := range wts {
+			s += v
+		}
+		d[i] = s
+	}
+	return d
+}
+
+// setH (re)computes the centered, ε-scaled compatibility matrix. ρ(W) is
+// the state's pinned value (cached on the CSR for frozen graphs), so
+// swapping H on a live engine never re-runs the power iteration over the
+// graph.
 func (s *State) setH(h *dense.Matrix) error {
 	hUse := h.Clone()
 	if s.opts.Center {
 		hUse = dense.AddScalar(hUse, -1.0/float64(s.k))
 	}
-	eps, err := ScalingFactor(s.w, hUse, s.opts.S, s.opts.SpectralIters)
+	eps, err := ScalingFactorWithRho(s.rhoW, hUse, s.opts.S)
 	if err != nil {
 		return err
 	}
@@ -112,8 +152,8 @@ func (s *State) K() int { return s.k }
 // products and the fused per-row belief update are row-parallel on the same
 // worker pool the residual solver's saturated drains use.
 func (s *State) Run(x *dense.Matrix) (*dense.Matrix, error) {
-	if x.Rows != s.w.N || x.Cols != s.k {
-		return nil, fmt.Errorf("propagation: X is %d×%d, state wants %d×%d", x.Rows, x.Cols, s.w.N, s.k)
+	if x.Rows != s.n || x.Cols != s.k {
+		return nil, fmt.Errorf("propagation: X is %d×%d, state wants %d×%d", x.Rows, x.Cols, s.n, s.k)
 	}
 	xUse := x
 	if s.opts.Center {
@@ -131,7 +171,7 @@ func (s *State) Run(x *dense.Matrix) (*dense.Matrix, error) {
 		if s.opts.EchoCancellation {
 			// −DF̃H̃²: each node subtracts the degree-weighted reflection of
 			// its own belief.
-			s.run.Rows(s.w.N, func(lo, hi int) {
+			s.run.Rows(s.n, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					fRow := s.f.Data[i*k : (i+1)*k]
 					eRow := s.echo.Data[i*k : (i+1)*k]

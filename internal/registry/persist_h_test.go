@@ -10,8 +10,10 @@ import (
 // captured at eviction — the rebuilt engine runs zero estimations and
 // serves the identical compatibility matrix.
 func TestEvictionPersistsH(t *testing.T) {
-	// Budget fits one engine: admitting the second evicts the first.
-	r := New(Options{MemoryBudget: testEngineBytes() + testEngineBytes()/2})
+	// Budget below even a partially-released engine's footprint: the tier-1
+	// shed cannot satisfy it, so admitting the second graph fully evicts
+	// the first.
+	r := New(Options{MemoryBudget: testEngineBytes() / 2})
 	if _, err := r.Register("a", testSpec(1)); err != nil {
 		t.Fatal(err)
 	}

@@ -85,6 +85,16 @@ type entry struct {
 	lastH       *factorgraph.Matrix
 	lastHMethod string
 
+	// shed marks an engine partially released under memory pressure
+	// (snapshot + solver + pooled state dropped, CSR and delta overlay
+	// kept); cleared on the next acquisition. partials counts them.
+	shed     bool
+	partials int64
+
+	// topo is the engine's live topology view (dimensions, mutation
+	// counters, overlay fraction), refreshed at request release like mem.
+	topo factorgraph.TopoStats
+
 	hits, builds, evictions int64
 	lastTick                uint64 // registry tick of the last acquisition
 	lastAccess              time.Time
@@ -284,19 +294,27 @@ func (r *Registry) releaseFunc(e *entry, eng *factorgraph.Engine) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			// The request may have grown (patch promoted a residual tier)
-			// or shrunk (tier demoted) the engine; measure BEFORE taking
+			// The request may have grown (patch promoted a residual tier,
+			// edge mutations grew the delta overlay) or shrunk (tier
+			// demoted, compaction) the engine; measure BEFORE taking
 			// r.mu — MemoryFootprint takes the engine's own read lock, and
 			// holding the registry-global mutex while waiting on one
 			// tenant's engine lock would stall every other tenant. The
 			// engine is still pinned by our ref, so it cannot be closed
 			// under us; applyMemLocked re-checks it is still installed.
 			m := eng.MemoryFootprint()
+			ts := eng.TopoStats()
 			r.mu.Lock()
 			e.refs--
 			if e.deleted && e.refs == 0 && e.engine != nil {
 				e.engine.Close()
 				e.engine = nil
+			}
+			if e.engine == eng && !e.deleted {
+				e.topo = ts
+				if ts.Nodes > 0 {
+					e.nodes, e.edges = ts.Nodes, ts.Edges
+				}
 			}
 			r.applyMemLocked(e, eng, m)
 			r.evictLocked()
@@ -309,6 +327,7 @@ func (r *Registry) touchLocked(e *entry) {
 	r.tick++
 	e.lastTick = r.tick
 	e.lastAccess = time.Now()
+	e.shed = false // re-acquired: transient state rebuilds on use
 }
 
 // applyMemLocked folds a footprint measurement (taken OUTSIDE r.mu — see
@@ -327,15 +346,47 @@ func (r *Registry) applyMemLocked(e *entry, eng *factorgraph.Engine, m int64) {
 	}
 }
 
-// evictLocked closes least-recently-used cold engines until the resident
-// estimate fits the budget. Pinned (refs > 0), non-rebuildable and mutated
-// engines are skipped: evicting the first would close an engine
-// mid-request, evicting the second would lose the graph for good, and
-// evicting the third would silently roll back acknowledged label patches
-// or an installed H (the spec rebuild restores construction state only).
+// evictLocked reclaims memory in two tiers until the resident estimate
+// fits the budget.
+//
+// Tier 1 — partial release: the LRU engine's transient working state
+// (belief snapshot, residual solver, pooled propagation states, caches)
+// is dropped while the CSR (plus delta overlay), seeds and H stay
+// resident. No acknowledged state is lost, so EVERY cold engine
+// qualifies — mutated and non-rebuildable ones included — and the next
+// access re-solves with one propagation: o(build), not o(parse+build).
+//
+// Tier 2 — full eviction: least-recently-used cold engines are closed
+// outright. Pinned (refs > 0), non-rebuildable and mutated engines are
+// skipped: evicting the first would close an engine mid-request, evicting
+// the second would lose the graph for good, and evicting the third would
+// silently roll back acknowledged label patches, an installed H, or
+// streamed topology mutations (the spec rebuild restores construction
+// state only).
 func (r *Registry) evictLocked() {
 	if r.budget <= 0 {
 		return
+	}
+	for r.resident > r.budget {
+		var victim *entry
+		for _, e := range r.entries {
+			if e.engine == nil || e.refs > 0 || e.shed {
+				continue
+			}
+			if victim == nil || e.lastTick < victim.lastTick {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break // everything resident is pinned or already shed
+		}
+		// ReleaseTransient takes the engine's own lock briefly (row swaps
+		// only, never propagation) — same trade Close makes below.
+		m := victim.engine.ReleaseTransient()
+		victim.shed = true
+		victim.partials++
+		r.resident += m - victim.mem
+		victim.mem = m
 	}
 	for r.resident > r.budget {
 		var victim *entry
@@ -381,13 +432,26 @@ type GraphInfo struct {
 	Mutated bool `json:"mutated,omitempty"`
 	// HRetained marks a graph whose last compatibility estimate survived
 	// an eviction: the next (re)build skips estimation.
-	HRetained bool  `json:"h_retained,omitempty"`
-	Refs      int   `json:"refs"`
-	MemBytes  int64 `json:"mem_bytes"`
-	SpecBytes int64 `json:"spec_bytes,omitempty"`
-	Hits      int64 `json:"hits"`
-	Builds    int64 `json:"builds"`
-	Evictions int64 `json:"evictions"`
+	HRetained bool `json:"h_retained,omitempty"`
+	// Shed marks a resident engine whose transient working state was
+	// partially released under memory pressure (tier-1 eviction): the CSR
+	// and delta overlay are still resident, the next query re-solves.
+	// PartialReleases counts how often that happened.
+	Shed            bool  `json:"shed,omitempty"`
+	PartialReleases int64 `json:"partial_releases,omitempty"`
+	// EdgeMutations / TopoCompactions / OverlayFraction describe the
+	// streaming-mutation state of the engine (PATCH /edges): applied edge
+	// mutations, delta-overlay compactions, and the live share of
+	// adjacency entries in the overlay. Refreshed at request release.
+	EdgeMutations   int64   `json:"edge_mutations,omitempty"`
+	TopoCompactions int64   `json:"topo_compactions,omitempty"`
+	OverlayFraction float64 `json:"overlay_fraction,omitempty"`
+	Refs            int     `json:"refs"`
+	MemBytes        int64   `json:"mem_bytes"`
+	SpecBytes       int64   `json:"spec_bytes,omitempty"`
+	Hits            int64   `json:"hits"`
+	Builds          int64   `json:"builds"`
+	Evictions       int64   `json:"evictions"`
 	// LastAccessUnixMS is 0 until the graph is first acquired.
 	LastAccessUnixMS int64 `json:"last_access_unix_ms,omitempty"`
 	RegisteredUnixMS int64 `json:"registered_unix_ms"`
@@ -414,6 +478,11 @@ func (r *Registry) infoLocked(e *entry) GraphInfo {
 		RegisteredUnixMS: e.registered.UnixMilli(),
 	}
 	info.HRetained = e.lastH != nil
+	info.Shed = e.shed && e.engine != nil
+	info.PartialReleases = e.partials
+	info.EdgeMutations = e.topo.EdgeMutations
+	info.TopoCompactions = e.topo.Compactions
+	info.OverlayFraction = e.topo.OverlayFraction
 	if e.engine != nil {
 		info.Mutated = e.engine.Mutated()
 	}
@@ -455,6 +524,11 @@ type Stats struct {
 	Hits          int64 `json:"hits"`
 	Builds        int64 `json:"builds"`
 	Evictions     int64 `json:"evictions"`
+	// PartialReleases counts tier-1 evictions: transient state shed with
+	// the CSR kept resident (rebuild is o(build), not o(parse+build)).
+	PartialReleases int64 `json:"partial_releases"`
+	// EdgeMutations aggregates streamed topology mutations across graphs.
+	EdgeMutations int64 `json:"edge_mutations"`
 }
 
 // Stats aggregates the per-graph counters.
@@ -469,6 +543,8 @@ func (r *Registry) Stats() Stats {
 		s.Hits += e.hits
 		s.Builds += e.builds
 		s.Evictions += e.evictions
+		s.PartialReleases += e.partials
+		s.EdgeMutations += e.topo.EdgeMutations
 	}
 	return s
 }

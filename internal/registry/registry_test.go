@@ -121,8 +121,9 @@ func TestAcquireSingleflight(t *testing.T) {
 // are evicted, and an evicted graph is transparently rebuilt on the next
 // acquisition.
 func TestEvictionPinnedSurvives(t *testing.T) {
-	// Budget fits one test engine (×1.5) but not two.
-	r := New(Options{MemoryBudget: testEngineBytes() * 3 / 2})
+	// Budget below a shed engine's footprint, so the tier-1 partial
+	// release never satisfies it and the full-eviction ladder runs.
+	r := New(Options{MemoryBudget: testEngineBytes() / 2})
 	builds := countBuilds(r)
 	for _, name := range []string{"a", "b"} {
 		if _, err := r.Register(name, testSpec(1)); err != nil {
@@ -332,7 +333,9 @@ func TestRegisterEngineNotEvictable(t *testing.T) {
 // a spec rebuild would silently roll the mutations back, so the registry
 // must pin mutated engines against eviction.
 func TestMutatedEngineNotEvicted(t *testing.T) {
-	r := New(Options{MemoryBudget: testEngineBytes() * 3 / 2})
+	// Budget below a shed footprint: pressure escalates past the partial
+	// release to full eviction, which must still skip the mutated engine.
+	r := New(Options{MemoryBudget: testEngineBytes() / 2})
 	for _, name := range []string{"patched", "other"} {
 		if _, err := r.Register(name, testSpec(1)); err != nil {
 			t.Fatal(err)
@@ -356,6 +359,11 @@ func TestMutatedEngineNotEvicted(t *testing.T) {
 	info, _ := r.Info("patched")
 	if info.State != "built" || !info.Mutated || info.Evictions != 0 {
 		t.Errorf("mutated graph: %+v, want built/mutated/0 evictions", info)
+	}
+	// The mutated engine WAS partially released (tier 1 loses nothing) but
+	// never fully evicted.
+	if !info.Shed || info.PartialReleases == 0 {
+		t.Errorf("mutated graph not partially released under pressure: %+v", info)
 	}
 	// "other" (unmutated, refs 0) is the one evicted to chase the budget.
 	if info, _ := r.Info("other"); info.State != "cold" {

@@ -103,8 +103,13 @@ func (s *Spec) validate() error {
 	if s.Options.ResidualTol < 0 || s.Options.ResidualEdgeBudget < 0 {
 		return fmt.Errorf("registry: negative residual tolerance/edge budget")
 	}
-	if (s.Options.ResidualTol > 0 || s.Options.ResidualEdgeBudget > 0) && !s.Options.Incremental {
-		return fmt.Errorf("registry: residual_tol/residual_edge_budget require incremental")
+	if s.Options.CompactFraction < 0 || s.Options.CompactFraction >= 1 {
+		if s.Options.CompactFraction != 0 {
+			return fmt.Errorf("registry: compact_fraction %v outside (0,1)", s.Options.CompactFraction)
+		}
+	}
+	if (s.Options.ResidualTol > 0 || s.Options.ResidualEdgeBudget > 0 || s.Options.CompactFraction > 0) && !s.Options.Incremental {
+		return fmt.Errorf("registry: residual_tol/residual_edge_budget/compact_fraction require incremental")
 	}
 	switch {
 	case s.Synthetic != nil:

@@ -138,12 +138,11 @@ func (k overlayKernel) Push(node int32, dirtied func(int32, float64)) int {
 	copy(o.rowBuf, rRow)
 	delete(o.res, node)
 	mulRowH(o.rhBuf, o.rowBuf, base.hScaled.Data, kk)
-	lo, hi := base.w.IndPtr[node], base.w.IndPtr[node+1]
-	for p := lo; p < hi; p++ {
-		v := base.w.Indices[p]
+	cols, wts := base.w.Row(int(node))
+	for p, v := range cols {
 		wv := 1.0
-		if base.w.Data != nil {
-			wv = base.w.Data[p]
+		if wts != nil {
+			wv = wts[p]
 		}
 		nRow := o.resRow(v)
 		norm := 0.0
@@ -159,7 +158,7 @@ func (k overlayKernel) Push(node int32, dirtied func(int32, float64)) int {
 		}
 		dirtied(v, norm)
 	}
-	return hi - lo
+	return len(cols)
 }
 
 // Row returns node's belief row through the overlay: the cloned row when

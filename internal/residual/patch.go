@@ -120,6 +120,51 @@ func (p *Patch) AddDelta(node int, delta []float64) {
 	p.front.Add(int32(node), infNorm(row))
 }
 
+// AddResidual queues a raw residual delta for node — no explicit-belief
+// change. The topology-mutation path lands edge perturbations here: an
+// edge-weight change modifies A·F, not X̃, so only R moves.
+func (p *Patch) AddResidual(node int, delta []float64) {
+	if p.df != nil {
+		rRow := p.dr.Row(node)
+		for j, v := range delta {
+			rRow[j] += v
+		}
+		p.norms[node] = infNorm(rRow)
+		return
+	}
+	row := p.resRow(int32(node))
+	for j, v := range delta {
+		row[j] += v
+	}
+	p.front.Add(int32(node), infNorm(row))
+}
+
+// AddEdgeDelta seeds the residual perturbation of an edge-weight change on
+// the undirected edge (u, v): with ΔW carrying dw at (u,v) and (v,u), the
+// residual invariant R = X̃ + εW F H̃ − F shifts by ΔR = ε·ΔW·F·H̃ — i.e.
+// dw·(F_v·H̃ε) lands on row u and dw·(F_u·H̃ε) on row v (a single diagonal
+// term when u == v). F here is the base's pre-flush beliefs, exactly the F
+// the invariant holds for. The caller must have already swapped the
+// mutated adjacency into the base (State.SetAdj) so the flush drains
+// against the new topology.
+func (p *Patch) AddEdgeDelta(u, v int, dw float64) {
+	s := p.base
+	buf := make([]float64, s.k)
+	mulRowH(buf, s.f.Row(v), s.hScaled.Data, s.k)
+	for j := range buf {
+		buf[j] *= dw
+	}
+	p.AddResidual(u, buf)
+	if u == v {
+		return
+	}
+	mulRowH(buf, s.f.Row(u), s.hScaled.Data, s.k)
+	for j := range buf {
+		buf[j] *= dw
+	}
+	p.AddResidual(v, buf)
+}
+
 // promote switches the session to its private dense view: base beliefs are
 // cloned wholesale, base and patch residual rows fold into a dense array,
 // and the sparse session storage is dropped.
@@ -143,8 +188,8 @@ func (p *Patch) promoteForSweep() {
 	}
 	s := p.base
 	p.df = s.f.Clone()
-	p.dr = dense.New(s.w.N, s.k)
-	p.norms = make([]float64, s.w.N)
+	p.dr = dense.New(s.n, s.k)
+	p.norms = make([]float64, s.n)
 	for node, row := range s.sRows {
 		copy(p.dr.Row(int(node)), row)
 		p.norms[node] = infNorm(row)
@@ -286,12 +331,11 @@ func (k patchKernel) Push(node int32, dirtied func(int32, float64)) int {
 		rRow[j] = 0
 	}
 	mulRowH(p.rhBuf, p.rowBuf, base.hScaled.Data, kk)
-	lo, hi := base.w.IndPtr[node], base.w.IndPtr[node+1]
-	for q := lo; q < hi; q++ {
-		v := base.w.Indices[q]
+	cols, wts := base.w.Row(int(node))
+	for q, v := range cols {
 		wv := 1.0
-		if base.w.Data != nil {
-			wv = base.w.Data[q]
+		if wts != nil {
+			wv = wts[q]
 		}
 		nRow := p.resRow(v)
 		norm := 0.0
@@ -307,5 +351,5 @@ func (k patchKernel) Push(node int32, dirtied func(int32, float64)) int {
 		}
 		dirtied(v, norm)
 	}
-	return hi - lo
+	return len(cols)
 }

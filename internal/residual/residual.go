@@ -156,8 +156,13 @@ type Stats struct {
 }
 
 // State is a resident incremental propagation context for one (W, H) pair.
+// On mutable-topology engines W is a delta overlay (internal/delta): edge
+// mutations swap in a new adjacency epoch with SetAdj and land their
+// residual perturbation through Patch.AddEdgeDelta, so the same push
+// machinery converges label patches and topology patches alike.
 type State struct {
-	w    *sparse.CSR
+	w    exec.RowIterator
+	n    int
 	opts Options
 	k    int
 
@@ -191,10 +196,27 @@ type State struct {
 // allocates the belief/explicit-belief working set (the residual tier
 // starts empty). Call Init before anything else.
 func NewState(w *sparse.CSR, h *dense.Matrix, opts Options) (*State, error) {
+	if w.N == 0 {
+		return nil, fmt.Errorf("residual: empty graph")
+	}
+	iters := opts.SpectralIters
+	if iters <= 0 {
+		iters = 50
+	}
+	return NewStateOn(w, h, opts, w.SpectralRadiusCached(iters))
+}
+
+// NewStateOn is NewState over an arbitrary RowIterator adjacency with a
+// caller-supplied ρ(W). The mutable-topology engine builds its state over
+// the delta overlay with ρ pinned at the last compaction epoch, so the
+// fixed point between compactions is exactly defined (the pinned scaling
+// over the live topology) instead of drifting with every edge.
+func NewStateOn(w exec.RowIterator, h *dense.Matrix, opts Options, rhoW float64) (*State, error) {
 	if h.Rows != h.Cols {
 		return nil, fmt.Errorf("residual: H is %d×%d, want square", h.Rows, h.Cols)
 	}
-	if w.N == 0 {
+	n := w.Dim()
+	if n == 0 {
 		return nil, fmt.Errorf("residual: empty graph")
 	}
 	if opts.S < 0 || opts.S >= 1 {
@@ -209,29 +231,139 @@ func NewState(w *sparse.CSR, h *dense.Matrix, opts Options) (*State, error) {
 	if !opts.CenterOff {
 		hUse = dense.AddScalar(hUse, -1.0/float64(k))
 	}
-	eps, err := propagation.ScalingFactor(w, hUse, opts.S, opts.SpectralIters)
+	eps, err := propagation.ScalingFactorWithRho(rhoW, hUse, opts.S)
 	if err != nil {
 		return nil, err
 	}
 	s := &State{
 		w:         w,
+		n:         n,
 		opts:      opts,
 		k:         k,
 		hScaled:   dense.Scale(hUse, eps),
-		x:         dense.New(w.N, k),
-		f:         dense.New(w.N, k),
+		x:         dense.New(n, k),
+		f:         dense.New(n, k),
 		run:       exec.Runner{Workers: opts.Workers},
-		promoteAt: promoteThreshold(w.N),
+		promoteAt: promoteThreshold(n),
 		sRows:     make(map[int32][]float64),
 		rowBuf:    make([]float64, k),
 		rhBuf:     make([]float64, k),
 	}
 	s.front = exec.NewFrontier(opts.Tol, s.promoteAt)
-	s.edgeBudget = int(opts.EdgeBudgetFactor * float64(w.NNZ()))
-	if s.edgeBudget < w.NNZ() {
-		s.edgeBudget = w.NNZ()
-	}
+	s.resetEdgeBudget()
 	return s, nil
+}
+
+// resetEdgeBudget re-derives the flush edge budget from the CURRENT
+// stored-entry count; SetAdj calls it so the budget tracks a mutating
+// topology.
+func (s *State) resetEdgeBudget() {
+	nnz := s.w.NNZ()
+	s.edgeBudget = int(s.opts.EdgeBudgetFactor * float64(nnz))
+	if s.edgeBudget < nnz {
+		s.edgeBudget = nnz
+	}
+}
+
+// SetAdj swaps the adjacency the state pushes over — the topology-mutation
+// path publishes each new delta-overlay epoch here BEFORE flushing the
+// edge perturbation, so the drain converges against the mutated graph.
+// The caller must hold the lock that excludes every reader and serialize
+// against flushes; the new adjacency must have Dim() == N() (grow first
+// via Grow for node additions).
+func (s *State) SetAdj(w exec.RowIterator) {
+	s.w = w
+	s.resetEdgeBudget()
+	if s.r != nil {
+		// A resident dense tier drains through a PullPass that caches the
+		// adjacency (and sizes its scratch from it): rebuild it over the
+		// new epoch. A preceding Grow discarded the old pass, so this is
+		// also where a grown state gets its correctly-sized scratch.
+		s.pull = exec.NewPullPass(s.w, s.hScaled, s.f, s.r, s.norms, s.opts.Tol, s.run)
+	}
+}
+
+// Grow extends the state to n nodes (appended ids, no edges yet — the
+// caller wires them afterwards through its delta overlay + AddEdgeDelta).
+// New rows start at the fixed point of an isolated node: X̃ row (centered
+// zero) with zero residual. The caller must hold its write lock.
+func (s *State) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	fill := 0.0
+	if !s.opts.CenterOff {
+		fill = -1.0 / float64(s.k)
+	}
+	s.x = growMatrix(s.x, n, fill)
+	s.f = growMatrix(s.f, n, fill)
+	if s.r != nil {
+		s.r = growMatrix(s.r, n, 0)
+		norms := make([]float64, n)
+		copy(norms, s.norms)
+		s.norms = norms
+		// The old PullPass scratch is sized to the old n; drop it. The
+		// caller's SetAdj (mandatory before the next flush — the adjacency
+		// must match the grown dimension) builds the replacement.
+		s.pull = nil
+	}
+	s.n = n
+	s.promoteAt = promoteThreshold(n)
+	if s.front.Len() == 0 {
+		s.front = exec.NewFrontier(s.opts.Tol, s.promoteAt)
+	}
+}
+
+// growMatrix returns a copy of m extended to n rows, new rows filled with
+// fill.
+func growMatrix(m *dense.Matrix, n int, fill float64) *dense.Matrix {
+	out := dense.New(n, m.Cols)
+	copy(out.Data, m.Data)
+	if fill != 0 {
+		for i := m.Rows * m.Cols; i < len(out.Data); i++ {
+			out.Data[i] = fill
+		}
+	}
+	return out
+}
+
+// Rescale moves the state to a new ε-scaling: H̃ε ← c·H̃ε with
+// c = ε_new/ε_old. The fixed point changes globally, but the residual
+// catches the whole difference in closed form — from R = X̃ + εWFH̃ − F,
+// the new residual is R' = R + (c−1)·(R − X̃ + F), a pure elementwise
+// O(n·k) transform with no matrix multiply. The state is left on the dense
+// tier with every norm exact and typically most rows dirty; the caller
+// drains it (the engine runs a Patch session outside its locks) to
+// converge the beliefs to the rescaled fixed point. The compaction path
+// uses this when the canonically re-derived ρ(W) moved ε.
+func (s *State) Rescale(c float64) {
+	if c == 1 {
+		return
+	}
+	s.promote()
+	k := s.k
+	s.run.Rows(s.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rRow := s.r.Data[i*k : (i+1)*k]
+			xRow := s.x.Data[i*k : (i+1)*k]
+			fRow := s.f.Data[i*k : (i+1)*k]
+			norm := 0.0
+			for j := 0; j < k; j++ {
+				v := rRow[j] + (c-1)*(rRow[j]-xRow[j]+fRow[j])
+				rRow[j] = v
+				if v < 0 {
+					v = -v
+				}
+				if v > norm {
+					norm = v
+				}
+			}
+			s.norms[i] = norm
+		}
+	})
+	for i := range s.hScaled.Data {
+		s.hScaled.Data[i] *= c
+	}
 }
 
 // promoteThreshold is the frontier size at which a drain abandons the
@@ -253,7 +385,7 @@ func promoteThreshold(n int) int {
 func (s *State) K() int { return s.k }
 
 // N returns the node count.
-func (s *State) N() int { return s.w.N }
+func (s *State) N() int { return s.n }
 
 // Tol returns the configured per-node residual tolerance.
 func (s *State) Tol() float64 { return s.opts.Tol }
@@ -264,8 +396,8 @@ func (s *State) Tol() float64 { return s.opts.Tol }
 // This is the one full-graph propagation the incremental engine pays per
 // (graph, H) pair; everything after is o(Δ).
 func (s *State) Init(x *dense.Matrix) (Stats, error) {
-	if x.Rows != s.w.N || x.Cols != s.k {
-		return Stats{}, fmt.Errorf("residual: X is %d×%d, state wants %d×%d", x.Rows, x.Cols, s.w.N, s.k)
+	if x.Rows != s.n || x.Cols != s.k {
+		return Stats{}, fmt.Errorf("residual: X is %d×%d, state wants %d×%d", x.Rows, x.Cols, s.n, s.k)
 	}
 	s.x.CopyFrom(x)
 	if !s.opts.CenterOff {
@@ -303,8 +435,8 @@ func (s *State) promoteForSweep() {
 	if s.r != nil {
 		return
 	}
-	s.r = dense.New(s.w.N, s.k)
-	s.norms = make([]float64, s.w.N)
+	s.r = dense.New(s.n, s.k)
+	s.norms = make([]float64, s.n)
 	for node, row := range s.sRows {
 		copy(s.r.Row(int(node)), row)
 		s.norms[node] = infNorm(row)
@@ -344,10 +476,11 @@ func (s *State) sweepToTol() Stats {
 // loop exit. State fallbacks and Patch fallbacks share it (a Patch passes
 // its private clones); the scratch matrices are transient, so a quiescent
 // state retains nothing from its last sweep.
-func sweepToTol(run exec.Runner, w *sparse.CSR, hScaled, x, f, r *dense.Matrix, norms []float64, target float64, maxSweeps int) Stats {
+func sweepToTol(run exec.Runner, w exec.RowIterator, hScaled, x, f, r *dense.Matrix, norms []float64, target float64, maxSweeps int) Stats {
 	k := hScaled.Rows
-	fh := dense.New(w.N, k)
-	wfh := dense.New(w.N, k)
+	n := w.Dim()
+	fh := dense.New(n, k)
+	wfh := dense.New(n, k)
 	var st Stats
 	chunkMax := make([]float64, run.MaxChunks())
 	for {
@@ -392,7 +525,7 @@ func sweepToTol(run exec.Runner, w *sparse.CSR, hScaled, x, f, r *dense.Matrix, 
 			return st
 		}
 		// f ← f + r (absorb the whole residual at once: a dense push).
-		run.Rows(w.N, func(lo, hi int) {
+		run.Rows(n, func(lo, hi int) {
 			for i := lo * k; i < hi*k; i++ {
 				f.Data[i] += r.Data[i]
 			}
@@ -561,12 +694,11 @@ func (k stateKernel) Push(node int32, dirtied func(int32, float64)) int {
 	copy(s.rowBuf, rRow)
 	delete(s.sRows, node)
 	mulRowH(s.rhBuf, s.rowBuf, s.hScaled.Data, s.k)
-	lo, hi := s.w.IndPtr[node], s.w.IndPtr[node+1]
-	for p := lo; p < hi; p++ {
-		v := s.w.Indices[p]
+	cols, wts := s.w.Row(int(node))
+	for p, v := range cols {
 		wv := 1.0
-		if s.w.Data != nil {
-			wv = s.w.Data[p]
+		if wts != nil {
+			wv = wts[p]
 		}
 		nRow := s.sRow(v)
 		norm := 0.0
@@ -582,7 +714,7 @@ func (k stateKernel) Push(node int32, dirtied func(int32, float64)) int {
 		}
 		dirtied(v, norm)
 	}
-	return hi - lo
+	return len(cols)
 }
 
 // mulRowH computes dst = row · H̃ for a k×k row-major H̃.
@@ -667,7 +799,7 @@ func (s *State) mapRowBytes() int64 { return int64(8*s.k) + 64 }
 // its norm/scheduling scratch. The serving engine's MemoryFootprint sums
 // this into what /v1/admin/registry reports.
 func (s *State) MemoryBytes() int64 {
-	n, k := int64(s.w.N), int64(s.k)
+	n, k := int64(s.n), int64(s.k)
 	b := 2 * 8 * n * k // X̃ + F
 	b += int64(len(s.sRows)) * s.mapRowBytes()
 	if s.r != nil {

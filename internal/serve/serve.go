@@ -19,6 +19,9 @@
 //	                                  gzip (Accept-Encoding) for large results
 //	GET   /v1/graphs/{name}/labels    current seed labels
 //	PATCH /v1/graphs/{name}/labels    incremental seed updates
+//	PATCH /v1/graphs/{name}/edges     streaming topology mutations (edge
+//	                                  add/remove, node additions; JSON
+//	                                  batch or NDJSON stream)
 //
 // The single-graph endpoints of PR 1 (POST /v1/estimate, POST /v1/classify,
 // GET|PATCH /v1/labels, GET /healthz) remain as aliases for the graph named
@@ -60,10 +63,43 @@ const defaultFlushEvery = 256
 
 // Options tunes the HTTP layer.
 type Options struct {
-	// FlushEvery is the NDJSON record interval between explicit flushes on
-	// streaming classify responses (default 256; lower = lower latency to
-	// first byte for slow consumers, higher = fewer syscalls).
+	// FlushEvery is the initial (and minimum) NDJSON record interval
+	// between explicit flushes on streaming classify responses (default
+	// 256; lower = lower latency to first byte for slow consumers, higher
+	// = fewer syscalls). The interval is backpressure-aware: when a flush
+	// stalls on a slow client the interval doubles (up to 16× this value)
+	// so the handler amortizes the stalls, and it halves back once writes
+	// are fast again.
 	FlushEvery int
+}
+
+// Adaptive flush bounds: a flush slower than slowFlushLatency doubles the
+// interval (the client, not the engine, is the bottleneck — flush less);
+// one faster than fastFlushLatency halves it back toward the configured
+// floor. maxFlushScale caps the growth so a stalled client still receives
+// records in bounded batches.
+const (
+	maxFlushScale    = 16
+	slowFlushLatency = 3 * time.Millisecond
+	fastFlushLatency = 300 * time.Microsecond
+)
+
+// nextFlushInterval is the backpressure controller: pure so the boundary
+// behavior is unit-testable.
+func nextFlushInterval(cur, base int, flushDur time.Duration) int {
+	switch {
+	case flushDur > slowFlushLatency && cur < base*maxFlushScale:
+		cur *= 2
+		if cur > base*maxFlushScale {
+			cur = base * maxFlushScale
+		}
+	case flushDur < fastFlushLatency && cur > base:
+		cur /= 2
+		if cur < base {
+			cur = base
+		}
+	}
+	return cur
 }
 
 // Server routes HTTP requests to engines resolved through a graph registry.
@@ -106,6 +142,7 @@ func NewMulti(reg *registry.Registry, o Options) *Server {
 	s.mux.HandleFunc("POST /v1/graphs/{name}/classify", s.withEngine(s.handleClassify))
 	s.mux.HandleFunc("GET /v1/graphs/{name}/labels", s.withEngine(s.handleLabelsGet))
 	s.mux.HandleFunc("PATCH /v1/graphs/{name}/labels", s.withEngine(s.handleLabelsPatch))
+	s.mux.HandleFunc("PATCH /v1/graphs/{name}/edges", s.withEngine(s.handleEdgesPatch))
 
 	// Legacy single-graph aliases resolving to the default graph.
 	s.mux.HandleFunc("POST /v1/estimate", s.withEngine(s.handleEstimate))
@@ -215,9 +252,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// triggers a build: a liveness probe must stay O(1).
 	if eng, release, ok := s.reg.AcquireIfBuilt(DefaultGraph); ok {
 		defer release()
-		g := eng.Graph()
 		st := eng.Stats()
-		h.Nodes, h.Edges, h.Classes = g.N, g.M, eng.K()
+		// Live dimensions: streaming mutations move them between builds.
+		h.Nodes, h.Edges = eng.Dims()
+		h.Classes = eng.K()
 		h.Labeled = eng.LabeledCount()
 		h.Estimations, h.Propagations, h.Queries = st.Estimations, st.Propagations, st.Queries
 	}
@@ -399,7 +437,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 		headerSent = true
 	}
 	flusher, _ := w.(http.Flusher)
-	i := 0
+	interval := s.flushEvery
+	sinceFlush := 0
 	err = eng.ClassifyEach(q, func(res factorgraph.NodeResult) error {
 		if !headerSent {
 			sendHeader()
@@ -407,14 +446,20 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 		if err := enc.Encode(&res); err != nil {
 			return err // client went away
 		}
-		i++
-		if i%s.flushEvery == 0 {
+		sinceFlush++
+		if sinceFlush >= interval {
+			sinceFlush = 0
+			start := time.Now()
 			if gz != nil {
 				_ = gz.Flush()
 			}
 			if flusher != nil {
 				flusher.Flush()
 			}
+			// Backpressure-aware chunk sizing: scale the interval by the
+			// observed write latency instead of flushing a slow client on
+			// the static cadence.
+			interval = nextFlushInterval(interval, s.flushEvery, time.Since(start))
 		}
 		return nil
 	})
@@ -437,6 +482,133 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 // the server's, everything else is request validation.
 func classifyStatus(err error) int {
 	if errors.Is(err, factorgraph.ErrEngineInternal) || errors.Is(err, factorgraph.ErrEngineClosed) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// handleEdgesPatch applies a streaming topology mutation batch. Two body
+// formats: a JSON EdgesPatch, or (Content-Type: application/x-ndjson) one
+// EdgeOp per line, so mutation feeds can stream without buffering
+// client-side. Mutations require an incremental engine (409 otherwise).
+func (s *Server) handleEdgesPatch(w http.ResponseWriter, r *http.Request, eng *factorgraph.Engine) {
+	var (
+		addNodes int
+		muts     []factorgraph.EdgeMutation
+		compact  bool
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson") {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		for {
+			var op EdgeOp
+			if err := dec.Decode(&op); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				writeError(w, http.StatusBadRequest, "invalid NDJSON edge op: %v", err)
+				return
+			}
+			switch op.Op {
+			case "set":
+				muts = append(muts, factorgraph.EdgeMutation{U: op.U, V: op.V, W: op.W})
+			case "remove":
+				muts = append(muts, factorgraph.EdgeMutation{U: op.U, V: op.V, Remove: true})
+			case "add_nodes":
+				if op.Count < 0 {
+					writeError(w, http.StatusBadRequest, "add_nodes count %d is negative", op.Count)
+					return
+				}
+				addNodes += op.Count
+			case "compact":
+				compact = true
+			default:
+				writeError(w, http.StatusBadRequest, "unknown edge op %q (want set, remove, add_nodes or compact)", op.Op)
+				return
+			}
+		}
+	} else {
+		var req EdgesPatch
+		if !decodeBody(w, r, &req, maxUploadBytes) {
+			return
+		}
+		if req.AddNodes < 0 {
+			writeError(w, http.StatusBadRequest, "add_nodes %d is negative", req.AddNodes)
+			return
+		}
+		addNodes = req.AddNodes
+		compact = req.Compact
+		for _, e := range req.Set {
+			if len(e) != 2 && len(e) != 3 {
+				writeError(w, http.StatusBadRequest, "set entry %v: want [u, v] or [u, v, w]", e)
+				return
+			}
+			m := factorgraph.EdgeMutation{U: int(e[0]), V: int(e[1])}
+			if float64(m.U) != e[0] || float64(m.V) != e[1] {
+				writeError(w, http.StatusBadRequest, "set entry %v: node ids must be integers", e)
+				return
+			}
+			if len(e) == 3 {
+				m.W = e[2]
+			}
+			muts = append(muts, m)
+		}
+		for _, e := range req.Remove {
+			if len(e) != 2 {
+				writeError(w, http.StatusBadRequest, "remove entry %v: want [u, v]", e)
+				return
+			}
+			muts = append(muts, factorgraph.EdgeMutation{U: e[0], V: e[1], Remove: true})
+		}
+	}
+	if addNodes == 0 && len(muts) == 0 && !compact {
+		writeError(w, http.StatusBadRequest, "edge patch has no add_nodes, set, remove or compact")
+		return
+	}
+	var meta factorgraph.MutateMeta
+	var err error
+	if addNodes > 0 || len(muts) > 0 {
+		meta, err = eng.MutateTopology(addNodes, muts)
+	} else {
+		meta, err = eng.CompactTopology()
+		compact = false // already done
+	}
+	if err != nil {
+		writeError(w, edgesPatchStatus(err), "%v", err)
+		return
+	}
+	if compact && !meta.Compacted {
+		cm, err := eng.CompactTopology()
+		if err != nil {
+			writeError(w, edgesPatchStatus(err), "%v", err)
+			return
+		}
+		meta.Compacted = cm.Compacted
+		meta.Rescaled = meta.Rescaled || cm.Rescaled
+		meta.Nodes, meta.Edges, meta.OverlayFraction = cm.Nodes, cm.Edges, cm.OverlayFraction
+	}
+	mode := "full"
+	if meta.Residual {
+		mode = "residual"
+	}
+	writeJSON(w, http.StatusOK, EdgesPatchResponse{
+		Nodes: meta.Nodes, Edges: meta.Edges,
+		AddedNodes: meta.AddedNodes, SetEdges: meta.SetEdges,
+		RemovedEdges: meta.RemovedEdges, MissingRemoves: meta.MissingRemoves,
+		Mode: mode, PushedNodes: meta.PushedNodes, TouchedEdges: meta.TouchedEdges,
+		FellBack: meta.FellBack, Compacted: meta.Compacted, Rescaled: meta.Rescaled,
+		OverlayFraction: meta.OverlayFraction,
+	})
+}
+
+// edgesPatchStatus maps a MutateTopology error: an immutable topology is
+// the caller addressing the wrong kind of graph (409 — re-register with
+// "incremental": true), engine faults are 5xx, anything else is request
+// validation.
+func edgesPatchStatus(err error) int {
+	switch {
+	case errors.Is(err, factorgraph.ErrTopologyImmutable):
+		return http.StatusConflict
+	case errors.Is(err, factorgraph.ErrEngineClosed), errors.Is(err, factorgraph.ErrEngineInternal):
 		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// incSynthBody registers an incremental synthetic graph.
+func incSynthBody(name string, n, m int) string {
+	return fmt.Sprintf(`{"name":%q,"incremental":true,"warm":true,"synthetic":{"n":%d,"m":%d,"f":0.1,"seed":7}}`, name, n, m)
+}
+
+func patchEdges(t *testing.T, srv *Server, graph, body string) (*httptest.ResponseRecorder, EdgesPatchResponse) {
+	t.Helper()
+	rec, _ := doJSON(t, srv, "PATCH", "/v1/graphs/"+graph+"/edges", body)
+	var resp EdgesPatchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad edges response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, resp
+}
+
+// TestEdgesPatchLifecycle drives the full streaming-mutation surface over
+// HTTP: batched adds/removes, node additions, forced compaction, admin
+// counters, and the consistency of subsequent queries.
+func TestEdgesPatchLifecycle(t *testing.T) {
+	srv := newMultiServer(0, Options{})
+	rec, _ := doJSON(t, srv, "POST", "/v1/graphs", incSynthBody("live", 400, 2000))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d: %s", rec.Code, rec.Body.String())
+	}
+	// Warm query so mutations ride the residual subsystem.
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs/live/classify", `{"nodes":[0]}`); rec.Code != http.StatusOK {
+		t.Fatalf("warm classify: %d", rec.Code)
+	}
+
+	// Batched JSON mutation: add a node wired to two existing nodes and
+	// remove nothing yet.
+	rec, resp := patchEdges(t, srv, "live", `{"add_nodes":1,"set":[[400,1],[400,2],[5,9]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("edges patch: %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Nodes != 401 || resp.AddedNodes != 1 || resp.SetEdges != 3 {
+		t.Errorf("patch response: %+v", resp)
+	}
+	if resp.Mode != "residual" || resp.PushedNodes == 0 {
+		t.Errorf("warm mutation not residual: %+v", resp)
+	}
+	if resp.OverlayFraction <= 0 {
+		t.Errorf("overlay fraction %v after mutation, want > 0", resp.OverlayFraction)
+	}
+
+	// The added node is queryable immediately.
+	rec, _ = doJSON(t, srv, "POST", "/v1/graphs/live/classify", `{"nodes":[400],"top_k":2}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("classify new node: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Remove one of the edges again, forcing a compaction with it.
+	rec, resp = patchEdges(t, srv, "live", `{"remove":[[5,9],[7,333]],"compact":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remove patch: %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.RemovedEdges != 1 || resp.MissingRemoves != 1 {
+		t.Errorf("remove accounting: %+v", resp)
+	}
+	if !resp.Compacted || resp.OverlayFraction != 0 {
+		t.Errorf("forced compaction not applied: %+v", resp)
+	}
+
+	// Admin surfaces the mutation counters and overlay fraction.
+	rec, _ = doJSON(t, srv, "GET", "/v1/admin/registry", "")
+	var admin AdminResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &admin); err != nil {
+		t.Fatal(err)
+	}
+	if admin.Stats.EdgeMutations != 4 {
+		t.Errorf("admin edge mutations = %d, want 4", admin.Stats.EdgeMutations)
+	}
+	found := false
+	for _, g := range admin.Graphs {
+		if g.Name == "live" {
+			found = true
+			if g.EdgeMutations != 4 || g.TopoCompactions == 0 {
+				t.Errorf("graph info counters: %+v", g)
+			}
+			if g.Nodes != 401 {
+				t.Errorf("admin nodes = %d, want 401 (refreshed live dims)", g.Nodes)
+			}
+			if !g.Mutated {
+				t.Error("mutated flag not set after topology mutations")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("graph missing from admin listing")
+	}
+}
+
+// TestEdgesPatchNDJSON streams the mutation feed line by line.
+func TestEdgesPatchNDJSON(t *testing.T) {
+	srv := newMultiServer(0, Options{})
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs", incSynthBody("live", 300, 1500)); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs/live/classify", `{"nodes":[0]}`); rec.Code != http.StatusOK {
+		t.Fatal("warm classify failed")
+	}
+	body := strings.Join([]string{
+		`{"op":"add_nodes","count":2}`,
+		`{"op":"set","u":300,"v":301}`,
+		`{"op":"set","u":300,"v":4,"w":2}`,
+		`{"op":"remove","u":300,"v":301}`,
+	}, "\n")
+	req := httptest.NewRequest("PATCH", "/v1/graphs/live/edges", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("NDJSON patch: %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp EdgesPatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Nodes != 302 || resp.AddedNodes != 2 || resp.SetEdges != 2 || resp.RemovedEdges != 1 {
+		t.Errorf("NDJSON patch response: %+v", resp)
+	}
+
+	// Unknown op → 400.
+	req = httptest.NewRequest("PATCH", "/v1/graphs/live/edges", strings.NewReader(`{"op":"frobnicate"}`))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown op: %d, want 400", rec.Code)
+	}
+}
+
+// TestEdgesPatchErrors covers the rejection paths: frozen engines (409),
+// malformed bodies and out-of-range endpoints (400).
+func TestEdgesPatchErrors(t *testing.T) {
+	srv := newMultiServer(0, Options{})
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs", synthBody("frozen", 200, 1000)); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d", rec.Code)
+	}
+	if rec, _ := patchEdges(t, srv, "frozen", `{"set":[[0,1]]}`); rec.Code != http.StatusConflict {
+		t.Errorf("frozen graph mutation: %d, want 409", rec.Code)
+	}
+
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs", incSynthBody("live", 200, 1000)); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d", rec.Code)
+	}
+	for body, why := range map[string]string{
+		`{}`:                   "empty patch",
+		`{"set":[[1]]}`:        "short set tuple",
+		`{"set":[[1.5,2]]}`:    "fractional node id",
+		`{"set":[[0,200]]}`:    "out-of-range endpoint",
+		`{"set":[[0,1,-3]]}`:   "negative weight",
+		`{"remove":[[1,2,3]]}`: "long remove tuple",
+		`{"add_nodes":-1}`:     "negative add_nodes",
+		`{"bogus":true}`:       "unknown field",
+	} {
+		if rec, _ := patchEdges(t, srv, "live", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s (%s): %d, want 400", why, body, rec.Code)
+		}
+	}
+	if rec, _ := patchEdges(t, srv, "missing", `{"set":[[0,1]]}`); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown graph: %d, want 404", rec.Code)
+	}
+}
+
+// TestNextFlushInterval pins the backpressure controller's boundaries:
+// slow flushes double the interval up to the cap, fast ones halve it back
+// to the floor, mid-range latencies leave it alone.
+func TestNextFlushInterval(t *testing.T) {
+	const base = 256
+	cases := []struct {
+		cur  int
+		dur  time.Duration
+		want int
+	}{
+		{base, slowFlushLatency + time.Millisecond, 2 * base},           // slow → double
+		{2 * base, slowFlushLatency + time.Millisecond, 4 * base},       // keeps doubling
+		{base * maxFlushScale, time.Second, base * maxFlushScale},       // capped
+		{base * maxFlushScale / 2, time.Second, base * maxFlushScale},   // doubles to exactly the cap
+		{base, slowFlushLatency, base},                                  // boundary: not strictly slower
+		{4 * base, fastFlushLatency / 2, 2 * base},                      // fast → halve
+		{2 * base, fastFlushLatency / 2, base},                          // halves to the floor
+		{base, fastFlushLatency / 2, base},                              // never below the floor
+		{base, fastFlushLatency, base},                                  // boundary: not strictly faster
+		{2 * base, (slowFlushLatency + fastFlushLatency) / 2, 2 * base}, // mid-range: hold
+	}
+	for _, c := range cases {
+		if got := nextFlushInterval(c.cur, base, c.dur); got != c.want {
+			t.Errorf("nextFlushInterval(%d, %d, %v) = %d, want %d", c.cur, base, c.dur, got, c.want)
+		}
+	}
+}
+
+// TestStreamingAdaptiveFlush: a streaming classify against a slow writer
+// must still deliver every record (the adaptive interval changes flush
+// cadence, never correctness).
+func TestStreamingAdaptiveFlush(t *testing.T) {
+	srv, _ := newTestServer(t, 500, 3000)
+	req := httptest.NewRequest("POST", "/v1/classify", strings.NewReader(`{"stream":true}`))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream: %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 500 {
+		t.Fatalf("streamed %d records, want 500", len(lines))
+	}
+}

@@ -36,6 +36,11 @@ type CreateGraphRequest struct {
 	// graph's stored edges before falling back to dense propagation
 	// (0 = the engine default, 4). Requires incremental.
 	ResidualEdgeBudget float64 `json:"residual_edge_budget"`
+	// CompactFraction is the share of adjacency entries allowed in the
+	// streaming-mutation delta overlay before a PATCH /edges batch
+	// triggers compaction (0 = the engine default, 0.25). Requires
+	// incremental.
+	CompactFraction float64 `json:"compact_fraction"`
 	// Synthetic plants a partition graph with the paper's generator.
 	Synthetic *SyntheticGraphSpec `json:"synthetic"`
 	// Files loads TSV files from the server's filesystem.
@@ -83,6 +88,7 @@ func (r *CreateGraphRequest) Spec() registry.Spec {
 			Incremental:        r.Incremental,
 			ResidualTol:        r.ResidualTol,
 			ResidualEdgeBudget: r.ResidualEdgeBudget,
+			CompactFraction:    r.CompactFraction,
 		},
 	}
 	if r.Synthetic != nil {
@@ -206,6 +212,60 @@ type EstimateResponse struct {
 type LabelsResponse struct {
 	Count  int            `json:"count"`
 	Labels map[string]int `json:"labels"`
+}
+
+// EdgesPatch is the JSON body of PATCH /v1/graphs/{name}/edges: a batched
+// streaming topology mutation. Set entries are [u, v] or [u, v, w]
+// (weight defaults to 1); Remove entries are [u, v]. AddNodes appends
+// isolated nodes first (ids n..n+add_nodes-1), so Set may wire them in the
+// same batch. Compact forces a delta-overlay compaction after the batch.
+// The same endpoint also accepts Content-Type application/x-ndjson with
+// one EdgeOp per line for streamed mutation feeds.
+type EdgesPatch struct {
+	AddNodes int         `json:"add_nodes"`
+	Set      [][]float64 `json:"set"`
+	Remove   [][]int     `json:"remove"`
+	Compact  bool        `json:"compact"`
+}
+
+// EdgeOp is one NDJSON line of a streamed edges PATCH:
+//
+//	{"op":"set","u":1,"v":2}         upsert edge (weight 1)
+//	{"op":"set","u":1,"v":2,"w":0.5} upsert weighted edge
+//	{"op":"remove","u":1,"v":2}      delete edge
+//	{"op":"add_nodes","count":3}     append isolated nodes
+//	{"op":"compact"}                 force compaction after the batch
+type EdgeOp struct {
+	Op    string  `json:"op"`
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	W     float64 `json:"w"`
+	Count int     `json:"count"`
+}
+
+// EdgesPatchResponse reports how a topology mutation batch was applied:
+// mode "residual" means the perturbation was repropagated in place by o(Δ)
+// residual pushes seeded at the mutated endpoints; "full" means the engine
+// was cold and the next query pays the (re-targeted) full solve.
+// Compacted/rescaled report that the batch ended in a delta-overlay
+// compaction and that the compaction moved ε (the beliefs were
+// re-converged to the re-derived scaling). In-flight classify streams keep
+// the beliefs of the epoch they started on; requests arriving after the
+// response see the mutated topology.
+type EdgesPatchResponse struct {
+	Nodes           int     `json:"nodes"`
+	Edges           int     `json:"edges"`
+	AddedNodes      int     `json:"added_nodes,omitempty"`
+	SetEdges        int     `json:"set_edges,omitempty"`
+	RemovedEdges    int     `json:"removed_edges,omitempty"`
+	MissingRemoves  int     `json:"missing_removes,omitempty"`
+	Mode            string  `json:"mode"`
+	PushedNodes     int     `json:"pushed_nodes,omitempty"`
+	TouchedEdges    int     `json:"touched_edges,omitempty"`
+	FellBack        bool    `json:"fell_back,omitempty"`
+	Compacted       bool    `json:"compacted,omitempty"`
+	Rescaled        bool    `json:"rescaled,omitempty"`
+	OverlayFraction float64 `json:"overlay_fraction"`
 }
 
 // LabelsPatch is the body of PATCH /v1/labels: an incremental seed update.

@@ -30,6 +30,20 @@ type CSR struct {
 // NNZ returns the number of stored entries.
 func (c *CSR) NNZ() int { return len(c.Indices) }
 
+// Dim returns the node count n. Together with Row and MulDenseInto it makes
+// *CSR the canonical implementation of the execution layer's RowIterator.
+func (c *CSR) Dim() int { return c.N }
+
+// Row returns row u's column indices and weights (nil weights ⇒ implicit
+// all-ones). The slices alias CSR storage; callers must not mutate them.
+func (c *CSR) Row(u int) ([]int32, []float64) {
+	lo, hi := c.IndPtr[u], c.IndPtr[u+1]
+	if c.Data == nil {
+		return c.Indices[lo:hi], nil
+	}
+	return c.Indices[lo:hi], c.Data[lo:hi]
+}
+
 // Coord is a single (row, col, weight) triple used during construction.
 type Coord struct {
 	Row, Col int32
