@@ -21,6 +21,13 @@
 //     regression in the streaming-mutation hot path (delta overlay,
 //     residual repropagation, compaction) breaks the build.
 //
+//   - re-estimation reports (BENCH_reestimate.json, emitted by
+//     TestReestimateSpeedArtifact under BENCH_REESTIMATE_OUT): the gate is
+//     STRUCTURAL -- a Reestimate on a dirty delta overlay must have forced
+//     zero compactions and zero summary rebuilds (the o(Δ) sketch-update
+//     claim), which is deterministic. The wall-clock speedup over a cold
+//     estimate is reported for context only.
+//
 //     benchdiff -old baseline/BENCH_serve.json -new BENCH_serve.json
 //     benchdiff -old prev.json -new cur.json -max-regress 0.25 \
 //     -old-residual baseline/BENCH_residual.json -new-residual BENCH_residual.json \
@@ -54,6 +61,19 @@ type residualReport struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// reestimateReport is the o(Δ) re-estimation artifact: structural counters
+// proving the sketch path ran (no compaction, no summary rebuild), plus
+// context-only timings.
+type reestimateReport struct {
+	Mutations            int     `json:"mutations"`
+	SketchUpdates        int64   `json:"sketch_updates"`
+	CompactionsDuring    int64   `json:"compactions_during"`
+	SummarizationsDuring int64   `json:"summarizations_during"`
+	ReestimateMS         float64 `json:"reestimate_ms"`
+	ColdEstimateMS       float64 `json:"cold_estimate_ms"`
+	Speedup              float64 `json:"speedup"`
+}
+
 // mutateReport is the subset of the mutation-workload artifact the diff
 // reads: the loadgen report's mutation latency percentiles.
 type mutateReport struct {
@@ -78,6 +98,8 @@ func run() error {
 	newResidual := flag.String("new-residual", "", "fresh residual-path report")
 	oldMutate := flag.String("old-mutate", "", "baseline mutation-workload report (BENCH_mutate.json)")
 	newMutate := flag.String("new-mutate", "", "fresh mutation-workload report")
+	oldReest := flag.String("old-reestimate", "", "baseline re-estimation report (BENCH_reestimate.json); context only")
+	newReest := flag.String("new-reestimate", "", "fresh re-estimation report")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated p95/work-ratio growth (0.25 = +25%)")
 	allowMissing := flag.Bool("allow-missing-old", false, "exit 0 for comparisons whose baseline file does not exist (first run)")
 	flag.Parse()
@@ -141,9 +163,59 @@ func run() error {
 			return err
 		}
 	}
+	if *newReest != "" {
+		newRep, err := load[reestimateReport](*newReest)
+		if err != nil {
+			return err
+		}
+		var oldRep *reestimateReport
+		if *oldReest != "" {
+			oldRep, err = load[reestimateReport](*oldReest)
+			switch {
+			case err == nil:
+			case *allowMissing && errors.Is(err, os.ErrNotExist):
+				fmt.Printf("benchdiff: no re-estimation baseline at %s; gating structure only\n", *oldReest)
+				oldRep = nil
+			default:
+				return err
+			}
+		}
+		if err := compareReestimate(oldRep, newRep, os.Stdout); err != nil {
+			failures = append(failures, err)
+		}
+	}
 	if len(failures) > 0 {
 		return errors.Join(failures...)
 	}
+	return nil
+}
+
+// compareReestimate gates the o(Δ) re-estimation claim structurally: a
+// Reestimate over a dirty overlay must not have compacted the topology or
+// rebuilt the neighborhood summaries -- both counters are deterministic, so
+// the gate cannot flake. Timings are printed for context only (they measure
+// the runner); the baseline, when present, is shown for trend reading.
+func compareReestimate(oldRep, newRep *reestimateReport, w *os.File) error {
+	if oldRep != nil {
+		fmt.Fprintf(w, "reestimate: %.3fms → %.3fms over %d→%d mutations (context only, speedup %.1fx → %.1fx)\n",
+			oldRep.ReestimateMS, newRep.ReestimateMS, oldRep.Mutations, newRep.Mutations,
+			oldRep.Speedup, newRep.Speedup)
+	} else {
+		fmt.Fprintf(w, "reestimate: %.3fms over %d mutations (cold estimate %.3fms, speedup %.1fx; context only)\n",
+			newRep.ReestimateMS, newRep.Mutations, newRep.ColdEstimateMS, newRep.Speedup)
+	}
+	fmt.Fprintf(w, "reestimate structure: %d sketch updates, %d compactions, %d summary rebuilds during mutation+reestimate\n",
+		newRep.SketchUpdates, newRep.CompactionsDuring, newRep.SummarizationsDuring)
+	if newRep.CompactionsDuring != 0 {
+		return fmt.Errorf("reestimate forced %d compaction(s): the o(Δ) path fell back to merging the overlay", newRep.CompactionsDuring)
+	}
+	if newRep.SummarizationsDuring != 0 {
+		return fmt.Errorf("reestimate rebuilt summaries %d time(s): the incremental sketch cache was dropped", newRep.SummarizationsDuring)
+	}
+	if newRep.Mutations > 0 && newRep.SketchUpdates == 0 {
+		return errors.New("reestimate applied no sketch updates despite mutations: the incremental path never ran")
+	}
+	fmt.Fprintln(w, "benchdiff: o(Δ) re-estimation structure intact")
 	return nil
 }
 

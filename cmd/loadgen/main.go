@@ -122,6 +122,7 @@ type params struct {
 	graphs, graphsNodes           int
 	graphsEdges                   int
 	graphsIncremental, keepGraphs bool
+	graphsAsyncCompact            bool
 	conc, batch, topK             int
 	duration, warmup              time.Duration
 	requests                      int64
@@ -155,6 +156,7 @@ func run() error {
 	flag.IntVar(&p.graphsNodes, "graphs-nodes", 2000, "mixed-tenant: nodes per registered graph")
 	flag.IntVar(&p.graphsEdges, "graphs-edges", 0, "mixed-tenant: edges per registered graph (0 = 5× nodes)")
 	flag.BoolVar(&p.graphsIncremental, "graphs-incremental", true, "mixed-tenant: register graphs with the incremental residual subsystem")
+	flag.BoolVar(&p.graphsAsyncCompact, "async-compact", false, "mixed-tenant: register graphs with background topology compaction (epoch swap off the mutation path; implies -graphs-incremental)")
 	flag.BoolVar(&p.keepGraphs, "keep-graphs", false, "mixed-tenant: leave the registered graphs in place after the run")
 	flag.IntVar(&p.conc, "c", 8, "concurrent closed-loop workers")
 	flag.DurationVar(&p.duration, "duration", 10*time.Second, "run length (ignored when -requests > 0)")
@@ -212,7 +214,7 @@ func execute(ctx context.Context, p params) error {
 		if edges == 0 {
 			edges = 5 * p.graphsNodes
 		}
-		names, err := registerGraphs(ctx, base, p.graphs, p.graphsNodes, edges, p.graphsIncremental, uint64(p.seed))
+		names, err := registerGraphs(ctx, base, p.graphs, p.graphsNodes, edges, p.graphsIncremental || p.graphsAsyncCompact, p.graphsAsyncCompact, uint64(p.seed))
 		// The cleanup is registered BEFORE the error check: a partial
 		// registration (or a signal mid-burst) must still delete whatever
 		// was admitted. deleteGraphs is idempotent and detached from ctx —
@@ -484,7 +486,7 @@ func runOnce(ctx context.Context, cfg config, run int64) (runResult, error) {
 // excludes build cost) and returns the names admitted so far — on error or
 // cancellation the partial list is returned alongside, so the caller's
 // deferred cleanup can release them.
-func registerGraphs(ctx context.Context, base string, count, nodes, edges int, incremental bool, seed uint64) ([]string, error) {
+func registerGraphs(ctx context.Context, base string, count, nodes, edges int, incremental, asyncCompact bool, seed uint64) ([]string, error) {
 	names := make([]string, 0, count)
 	for i := 0; i < count; i++ {
 		if err := ctx.Err(); err != nil {
@@ -492,9 +494,10 @@ func registerGraphs(ctx context.Context, base string, count, nodes, edges int, i
 		}
 		name := fmt.Sprintf("lg-%d", i)
 		body, err := json.Marshal(map[string]any{
-			"name":        name,
-			"incremental": incremental,
-			"warm":        true,
+			"name":          name,
+			"incremental":   incremental,
+			"async_compact": asyncCompact,
+			"warm":          true,
 			"synthetic": map[string]any{
 				"n": nodes, "m": edges, "f": 0.1, "seed": seed + uint64(i),
 			},

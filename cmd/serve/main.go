@@ -64,6 +64,7 @@ func run() error {
 	incremental := flag.Bool("incremental", true, "default graph: enable push-based residual propagation (o(Δ) label patches, copy-on-write what-if overlays)")
 	residualTol := flag.Float64("residual-tol", 0, "default graph: per-node residual tolerance for -incremental (0 = engine default 1e-8)")
 	compactFrac := flag.Float64("compact-frac", 0, "default graph: delta-overlay share triggering topology compaction on PATCH /edges (0 = engine default 0.25; requires -incremental)")
+	asyncCompact := flag.Bool("async-compact", false, "default graph: build fraction-triggered compactions in the background and swap epochs off the mutation path (requires -incremental)")
 	flag.Parse()
 
 	// The registry treats zero synthetic parameters as "use the default",
@@ -86,7 +87,7 @@ func run() error {
 	reg := registry.New(registry.Options{MemoryBudget: *budgetMB << 20})
 	srvHandler := serve.NewMulti(reg, serve.Options{FlushEvery: *flushEvery})
 
-	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator, *incremental, *residualTol, *compactFrac); err != nil {
+	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator, *incremental, *residualTol, *compactFrac, *asyncCompact); err != nil {
 		return err
 	} else if ok {
 		if _, err := reg.Register(serve.DefaultGraph, spec); err != nil {
@@ -144,15 +145,18 @@ func run() error {
 
 // defaultSpec translates the single-graph flags into a registry spec for
 // the "default" graph; ok is false when no default graph was requested.
-func defaultSpec(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64, estimator string, incremental bool, residualTol, compactFrac float64) (registry.Spec, bool, error) {
+func defaultSpec(synthetic bool, edgesPath, labelsPath string, k, n, m int, skew, f float64, seed uint64, estimator string, incremental bool, residualTol, compactFrac float64, asyncCompact bool) (registry.Spec, bool, error) {
 	opts := factorgraph.EngineOptions{Estimator: estimator, Incremental: incremental}
 	if incremental {
 		opts.ResidualTol = residualTol
 		opts.CompactFraction = compactFrac
+		opts.AsyncCompact = asyncCompact
 	} else if residualTol != 0 {
 		return registry.Spec{}, false, fmt.Errorf("-residual-tol requires -incremental")
 	} else if compactFrac != 0 {
 		return registry.Spec{}, false, fmt.Errorf("-compact-frac requires -incremental")
+	} else if asyncCompact {
+		return registry.Spec{}, false, fmt.Errorf("-async-compact requires -incremental")
 	}
 	if synthetic {
 		if k != 0 && k < 2 {

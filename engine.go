@@ -80,6 +80,13 @@ type Engine struct {
 	topo *delta.Graph
 	rhoW float64
 
+	// compacting marks a background compactor building the next epoch
+	// (AsyncCompact engines only); mutations keep landing in fresh
+	// overlays stacked on the frozen epoch meanwhile. Guarded by mu;
+	// compactCond broadcasts when it clears (WaitCompaction).
+	compacting  bool
+	compactCond *sync.Cond
+
 	// nNodes is the live node count (grown by node additions); lock-free
 	// so validation on the hot query paths never takes the engine lock.
 	nNodes atomic.Int64
@@ -108,6 +115,11 @@ type Engine struct {
 	sumMu    sync.Mutex
 	sums     *core.Summaries
 	sumGen   int64 // labelGen the cached summaries were computed at
+	// sumDrift is the cumulative |Δw| folded into the cached sketches by
+	// incremental edge-delta updates since their last full summarization;
+	// past sketchDriftFraction of the live edge count the cache is dropped
+	// (the first-order updates accumulate O(Δw²) error). Guarded by sumMu.
+	sumDrift float64
 
 	nEstimations       atomic.Int64
 	nPropagations      atomic.Int64
@@ -121,6 +133,8 @@ type Engine struct {
 	nEdgeMutations     atomic.Int64
 	nCompactions       atomic.Int64
 	nRescales          atomic.Int64
+	nAsyncCompactions  atomic.Int64
+	nSketchUpdates     atomic.Int64
 }
 
 // snapshot is an immutable (beliefs, labels) pair; readers that hold a
@@ -174,6 +188,15 @@ type EngineOptions struct {
 	// re-derivation); 0 means the default 0.25. Requires Incremental —
 	// only incremental engines accept topology mutations.
 	CompactFraction float64
+	// AsyncCompact moves overlay-fraction compactions off the mutation
+	// path: the triggering MutateTopology batch returns immediately
+	// (MutateMeta.CompactPending) while a background compactor merges the
+	// frozen epoch and runs the ρ(W) power iteration; mutations keep
+	// landing in a fresh overlay stacked on top, and only the swap + the
+	// closed-form residual rescale run under the write lock once the
+	// build is ready. The contraction guard still compacts synchronously —
+	// convergence is never left to a pending build. Requires Incremental.
+	AsyncCompact bool
 }
 
 // EngineStats counts the expensive operations an Engine has performed;
@@ -211,8 +234,15 @@ type EngineStats struct {
 	// TopoCompactions counts delta-overlay compactions (merge + canonical
 	// ε re-derivation); TopoRescales counts the subset whose ρ(W) moved
 	// and whose residual state was rescaled and re-converged.
-	TopoCompactions int64
-	TopoRescales    int64
+	// TopoAsyncCompactions counts the compactions built by the background
+	// compactor and installed by epoch swap (a subset of TopoCompactions).
+	TopoCompactions      int64
+	TopoRescales         int64
+	TopoAsyncCompactions int64
+	// SketchUpdates counts edge mutations folded into the cached DCEr
+	// sketches incrementally (o(1) per summary entry) instead of
+	// invalidating them.
+	SketchUpdates int64
 }
 
 // Query describes one classification request against an Engine.
@@ -300,6 +330,9 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 	if o.CompactFraction > 0 && !o.Incremental {
 		return nil, fmt.Errorf("factorgraph: CompactFraction set without Incremental (topology mutations require the residual subsystem)")
 	}
+	if o.AsyncCompact && !o.Incremental {
+		return nil, fmt.Errorf("factorgraph: AsyncCompact set without Incremental (only incremental engines accept topology mutations)")
+	}
 	if h != nil && (h.Rows != k || h.Cols != k) {
 		return nil, fmt.Errorf("factorgraph: H is %d×%d, engine has k=%d", h.Rows, h.Cols, k)
 	}
@@ -307,6 +340,7 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 		return nil, fmt.Errorf("factorgraph: %d seed labels for %d nodes", len(seeds), g.N)
 	}
 	e := &Engine{g: g, k: k, seeds: append([]int(nil), seeds...), eopts: o}
+	e.compactCond = sync.NewCond(&e.mu)
 	e.nLabeled = labels.NumLabeled(e.seeds)
 	x, err := labels.Matrix(e.seeds, k)
 	if err != nil {
@@ -454,20 +488,31 @@ func (e *Engine) summariesFor(lmax int) (*core.Summaries, error) {
 		return e.sums, nil
 	}
 	seeds := append([]int(nil), e.seeds...)
-	adj := e.g.Adj // compaction swaps e.g; sketch the epoch the seeds belong to
+	// Sketch the LIVE topology: on incremental engines that is the current
+	// delta epoch — a published, immutable overlay that satisfies
+	// core.Topology directly, so a dirty overlay never forces a compaction
+	// just to be summarized. Frozen engines sketch their CSR as before.
+	var w core.Topology = e.g.Adj
+	if e.topo != nil {
+		w = e.topo
+	}
 	e.mu.RUnlock()
 	// Summarize at the requested depth only: an MCE-configured engine
 	// (ℓmax=1) must not pay the 5-level sketch cost on every build and
 	// rebuild. A later deeper request replaces the cache, after which
-	// shallower ones are served by prefix truncation.
+	// shallower ones are served by prefix truncation. Incremental engines
+	// retain the N⁽ℓ⁾ matrices so streaming edge mutations can update the
+	// sketches in place (applySketchDeltas) instead of invalidating them.
 	e.nSummarizations.Add(1)
-	s, err := core.Summarize(adj, seeds, e.k, core.SummaryOptions{
+	s, err := core.SummarizeOn(w, seeds, e.k, core.SummaryOptions{
 		LMax: lmax, NonBacktracking: true, Variant: core.Variant1,
+		KeepN: e.eopts.Incremental,
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.sums, e.sumGen = s, gen
+	e.sumDrift = 0
 	return s, nil
 }
 
@@ -484,11 +529,6 @@ func truncateSummaries(s *core.Summaries, lmax int) *core.Summaries {
 // invalid options all fall back to EstimateBy so error behavior stays
 // identical across entry points.
 func (e *Engine) estimateCached(method string, opts EstimateOptions) (*Estimate, error) {
-	// Estimators sketch a CSR: merge any pending delta overlay first so the
-	// estimate reflects the mutated topology, not the construction one.
-	if err := e.compactForEstimate(); err != nil {
-		return nil, err
-	}
 	start := time.Now()
 	switch m := strings.ToLower(method); m {
 	case "", "dcer", "dce":
@@ -514,6 +554,13 @@ func (e *Engine) estimateCached(method string, opts EstimateOptions) (*Estimate,
 			return nil, err
 		}
 		return finishMCE(truncateSummaries(s, 1), start)
+	}
+	// Non-sketch estimators (LCE, holdout) and unknown names fall through
+	// to EstimateBy, which runs on the canonical *Graph: merge any pending
+	// delta overlay first so they see the mutated topology. The sketch
+	// estimators above never need this — summaries read the live overlay.
+	if err := e.compactForEstimate(); err != nil {
+		return nil, err
 	}
 	e.mu.RLock()
 	if e.closed {
@@ -609,6 +656,9 @@ func (e *Engine) Stats() EngineStats {
 		EdgeMutations:     e.nEdgeMutations.Load(),
 		TopoCompactions:   e.nCompactions.Load(),
 		TopoRescales:      e.nRescales.Load(),
+
+		TopoAsyncCompactions: e.nAsyncCompactions.Load(),
+		SketchUpdates:        e.nSketchUpdates.Load(),
 	}
 }
 
@@ -1315,16 +1365,22 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 		e.nResidualFallbacks.Add(1)
 	}
 	e.mu.Lock()
-	if e.res == res && !e.closed {
+	applied := e.res == res && !e.closed
+	if applied {
 		// The swap: row copies for a narrow patch, pointer swaps for a
-		// promoted one. If an H change replaced (or dropped) the residual
-		// state mid-flush, the new state was initialized from the already
-		// patched seeds and the session result is simply discarded.
+		// promoted one.
 		patch.Apply()
 		e.snap = nil
 		e.gen++
 	}
 	e.mu.Unlock()
+	if !applied {
+		// An H change, ReleaseTransient or Close replaced (or dropped) the
+		// residual state mid-flush: any successor state initializes from the
+		// already patched seeds, so the session result is discarded — Abort
+		// releases a promoted session's O(n·k) clones eagerly.
+		patch.Abort()
+	}
 	return PatchMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, FellBack: st.FellBack}, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"factorgraph/internal/graph"
 	"factorgraph/internal/propagation"
 	"factorgraph/internal/residual"
+	"factorgraph/internal/sparse"
 )
 
 // ErrTopologyImmutable is returned by topology mutations on an engine that
@@ -53,6 +54,11 @@ type MutateMeta struct {
 	// overlay was merged into a fresh canonical CSR, swapped in under the
 	// snapshot lock, and ρ(W)/ε were re-derived from it.
 	Compacted bool
+	// CompactPending reports that this batch tripped the overlay-fraction
+	// threshold on an AsyncCompact engine: a background compactor is
+	// building the merged CSR against the frozen epoch and will swap it in
+	// off the mutation path — this batch did NOT pay the merge.
+	CompactPending bool
 	// Rescaled reports that the compaction moved ε (ρ(W) changed) and the
 	// residual state was rescaled and re-converged to the new fixed point.
 	Rescaled bool
@@ -93,7 +99,12 @@ const contractionGuard = 0.95
 // build would, and the residual state is rescaled and re-converged, so a
 // compacted mutated engine is indistinguishable from a cold engine on the
 // final edge set (the parity tests pin this to 1e-6).
-func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, error) {
+func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateMeta, err error) {
+	// Stamp the live dimensions on EVERY return path — error metas
+	// included, so a compaction failure surfaced over HTTP still reports
+	// the real node/edge counts instead of zeros. Every return below runs
+	// with e.mu released, so the deferred read-lock cannot deadlock.
+	defer e.fillTopoDims(&meta)
 	if !e.eopts.Incremental {
 		return MutateMeta{}, ErrTopologyImmutable
 	}
@@ -103,7 +114,6 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, 
 	e.patchMu.Lock()
 	defer e.patchMu.Unlock()
 
-	var meta MutateMeta
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -114,6 +124,17 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, 
 		if m.U < 0 || m.U >= n || m.V < 0 || m.V >= n {
 			e.mu.Unlock()
 			return MutateMeta{}, fmt.Errorf("factorgraph: edge (%d,%d) out of range n=%d", m.U, m.V, n)
+		}
+		if m.U == m.V {
+			// The reproduction serves simple undirected graphs end-to-end
+			// (cold builds never produce self-loops, loadgen avoids them,
+			// and the paper's W is hollow); the delta storage layer can
+			// represent u == v, but accepting it here would create graphs a
+			// cold rebuild of the same edge stream cannot reproduce.
+			// Rejected for upserts and removals alike, before any mutation
+			// lands — the batch is all-or-nothing.
+			e.mu.Unlock()
+			return MutateMeta{}, fmt.Errorf("factorgraph: self-loop (%d,%d) rejected (the engine serves simple graphs)", m.U, m.V)
 		}
 		if !m.Remove {
 			w := m.W
@@ -142,6 +163,7 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, 
 		res.SetAdj(next)
 		patch = res.BeginPatch()
 	}
+	var skDeltas []sketchDelta
 	for _, m := range muts {
 		var dw float64
 		if m.Remove {
@@ -161,8 +183,11 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, 
 			dw = w - old
 			meta.SetEdges++
 		}
-		if patch != nil && dw != 0 {
-			patch.AddEdgeDelta(m.U, m.V, dw)
+		if dw != 0 {
+			if patch != nil {
+				patch.AddEdgeDelta(m.U, m.V, dw)
+			}
+			skDeltas = append(skDeltas, sketchDelta{u: m.U, v: m.V, dw: dw})
 		}
 	}
 	e.topo = next
@@ -172,19 +197,32 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, 
 	e.pool = e.lazyIncrementalPool(next, e.rhoW, e.est.H)
 	e.snap = nil
 	e.gen++
+	oldLabelGen := e.labelGen
 	e.labelGen++ // the summaries sketch the topology; it changed
+	newLabelGen := e.labelGen
+	// The seed slice header is safe to read after unlock: every seed
+	// writer holds patchMu, which we hold for the whole batch.
+	seeds := e.seeds
+	liveEdges := next.UndirectedEdges()
 	e.nNodes.Store(int64(next.Dim()))
 	e.nEdgeMutations.Add(int64(meta.SetEdges + meta.RemovedEdges))
 	force := e.contractionGuardTrippedLocked(next)
 	if force && patch != nil {
 		// The pinned ε can no longer guarantee contraction: do not flush
-		// (pushes might not converge). Drop the residual state; the forced
-		// compaction below re-derives ε and the next query re-solves.
+		// (pushes might not converge). Abort the seeded session so its
+		// clones release, drop the residual state; the forced compaction
+		// below re-derives ε and the next query re-solves.
+		patch.Abort()
 		e.res = nil
 		res, patch = nil, nil
 		e.nResidualFallbacks.Add(1)
 	}
 	e.mu.Unlock()
+
+	// Fold the batch into the cached DCEr sketches in o(1) per summary
+	// entry (or invalidate them past the drift bound) so Reestimate on the
+	// mutated engine stays o(Δ) — no compaction, no re-summarization.
+	e.applySketchDeltas(oldLabelGen, newLabelGen, seeds, liveEdges, skDeltas)
 
 	if patch != nil {
 		// Flush OUTSIDE the engine locks — same narrow-locking contract as
@@ -197,23 +235,89 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (MutateMeta, 
 			e.nResidualFallbacks.Add(1)
 		}
 		e.mu.Lock()
-		if e.res == res && !e.closed {
+		applied := e.res == res && !e.closed
+		if applied {
 			patch.Apply()
 			e.snap = nil
 			e.gen++
 		}
 		e.mu.Unlock()
+		if !applied {
+			patch.Abort() // base replaced mid-flush; discard the session
+		}
 	}
 
-	if force || next.PatchedFraction() > e.compactFraction() {
-		compacted, rescaled, err := e.compactNow()
-		if err != nil {
-			return meta, err
+	switch {
+	case force:
+		// Convergence is at stake: never defer to a background build.
+		compacted, rescaled, cerr := e.compactNow()
+		if cerr != nil {
+			return meta, cerr
 		}
 		meta.Compacted, meta.Rescaled = compacted, rescaled
+	case next.PatchedFraction() > e.compactFraction():
+		if e.eopts.AsyncCompact {
+			meta.CompactPending = e.startAsyncCompact()
+		} else {
+			compacted, rescaled, cerr := e.compactNow()
+			if cerr != nil {
+				return meta, cerr
+			}
+			meta.Compacted, meta.Rescaled = compacted, rescaled
+		}
 	}
-	e.fillTopoDims(&meta)
 	return meta, nil
+}
+
+// sketchDelta is one effective edge-weight change of a mutation batch,
+// queued for the incremental summary update.
+type sketchDelta struct {
+	u, v int
+	dw   float64
+}
+
+// sketchDriftFraction bounds the cumulative |Δw| the first-order
+// ApplyEdgeDelta updates may fold into the cached sketches, relative to
+// the live undirected edge count, before accuracy demands a fresh
+// summarization (the updates drop O(Δw²) terms and leave N⁽ℓ⁾ frozen).
+const sketchDriftFraction = 0.05
+
+// applySketchDeltas folds a mutation batch into the cached summaries in
+// place — O(ℓmax²·k²) per mutation, independent of n and m — and marks
+// them current for the post-batch label generation, so the next estimator
+// run reuses them without summarizing or compacting anything. If the
+// cache is cold, from another generation, lacks the retained N matrices,
+// or the accumulated drift passes the accuracy bound, the cache is
+// dropped instead and the next estimator summarizes the live overlay.
+// The caller holds patchMu (seed writers are excluded).
+func (e *Engine) applySketchDeltas(oldGen, newGen int64, seeds []int, liveEdges int, deltas []sketchDelta) {
+	if len(deltas) == 0 {
+		return
+	}
+	e.sumMu.Lock()
+	defer e.sumMu.Unlock()
+	if e.sums == nil || e.sums.N == nil || e.sumGen != oldGen {
+		return
+	}
+	var drift float64
+	for _, d := range deltas {
+		drift += math.Abs(d.dw)
+	}
+	if e.sumDrift+drift > sketchDriftFraction*float64(liveEdges) {
+		e.sums = nil
+		e.sumDrift = 0
+		return
+	}
+	for _, d := range deltas {
+		if err := e.sums.ApplyEdgeDelta(seeds, d.u, d.v, d.dw); err != nil {
+			e.sums = nil
+			e.sumDrift = 0
+			return
+		}
+	}
+	e.sumDrift += drift
+	e.sumGen = newGen
+	e.nSketchUpdates.Add(int64(len(deltas)))
 }
 
 // compactFraction returns the configured overlay-share compaction trigger.
@@ -265,10 +369,13 @@ func (e *Engine) fillTopoDims(meta *MutateMeta) {
 	e.mu.RUnlock()
 }
 
-// compactForEstimate merges any pending overlay before an estimator runs:
-// the sketches (core.Summarize) read a CSR, and estimating on the frozen
-// base while serving a mutated topology would silently fit H to a stale
-// graph. No-op on frozen engines and clean overlays.
+// compactForEstimate merges any pending overlay before a NON-sketch
+// estimator (LCE, holdout) runs: those read the canonical *Graph, and
+// estimating on the frozen base while serving a mutated topology would
+// silently fit H to a stale graph. The sketch estimators (DCEr, DCE, MCE)
+// never call this — their summaries read the live overlay directly and
+// are maintained under mutations by applySketchDeltas, so Reestimate on a
+// dirty engine is o(Δ). No-op on frozen engines and clean overlays.
 func (e *Engine) compactForEstimate() error {
 	if !e.eopts.Incremental {
 		return nil
@@ -310,11 +417,10 @@ func (e *Engine) CompactTopology() (MutateMeta, error) {
 const maxRescale = 0.5
 
 // compactNow merges the overlay into a fresh canonical CSR and installs it
-// as the new epoch. The merge and the ρ(W) power iteration run outside the
-// engine locks (the overlay epoch is immutable and patchMu — held by the
-// caller — excludes other mutators); only the swap and the O(n·k) residual
-// rescale run under the write lock, and the rescale's re-convergence
-// drains on a patch session outside the locks like any other flush.
+// as the new epoch, synchronously: the merge and the ρ(W) power iteration
+// run outside the engine locks (the overlay epoch is immutable and
+// patchMu — held by the caller — excludes other mutators), then
+// installEpoch swaps the result in.
 func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 	e.mu.RLock()
 	if e.closed {
@@ -328,19 +434,36 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 	}
 	csr := topo.Compact()
 	rhoNew := csr.SpectralRadiusCached(e.linbpOptions().SpectralIters)
-	newTopo := topo.Compacted(csr)
-	newGraph := graph.FromCSR(csr)
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	installed, rescaled := e.installEpoch(topo, csr, rhoNew)
+	if !installed {
+		// patchMu (held by the caller) excludes every other epoch producer,
+		// so a refused install means the engine closed mid-build.
 		return false, false, ErrEngineClosed
 	}
-	if e.topo != topo {
-		// patchMu excludes other mutators; this is a defensive bail.
+	return true, rescaled, nil
+}
+
+// installEpoch publishes the compacted successor of the frozen epoch: csr
+// is the canonical merge of frozen's edge set and rhoNew its spectral
+// radius, both built by the caller with no engine lock held. The LIVE
+// epoch — which on the async path kept accepting mutations stacked on
+// frozen while the build ran — is rebased onto the new CSR
+// (delta.Rebase: post-capture patch rows carry over, everything else
+// reads through), ρ(W)/ε move to the canonical values, and the residual
+// state is rescaled closed-form under the write lock with its
+// re-convergence flushing outside the locks like any other patch. On the
+// synchronous path the live epoch IS frozen and the rebase degenerates to
+// an empty overlay. Returns installed=false when the engine closed or a
+// competing compaction already replaced the base epoch (the caller's
+// build is stale and simply discarded). The caller must hold patchMu.
+func (e *Engine) installEpoch(frozen *delta.Graph, csr *sparse.CSR, rhoNew float64) (installed, rescaled bool) {
+	newGraph := graph.FromCSR(csr)
+	e.mu.Lock()
+	if e.closed || e.topo == nil || e.topo.Base() != frozen.Base() {
 		e.mu.Unlock()
-		return false, false, nil
+		return false, false
 	}
+	newTopo := e.topo.Rebase(frozen, csr)
 	rhoOld := e.rhoW
 	e.topo = newTopo
 	e.g = newGraph
@@ -350,7 +473,6 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 	e.nCompactions.Add(1)
 	e.pool = e.lazyIncrementalPool(newTopo, rhoNew, e.est.H)
 	res := e.res
-	var c float64
 	if res != nil {
 		switch {
 		case rhoNew == rhoOld:
@@ -363,9 +485,11 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 			res = nil
 			e.nResidualFallbacks.Add(1)
 		default:
-			c = rhoOld / rhoNew // ε_new/ε_old
+			// ε_new/ε_old = rhoOld/rhoNew; the live adjacency is unchanged
+			// by the rebase, so the closed-form rescale math is identical
+			// for sync and async installs.
 			res.SetAdj(newTopo)
-			res.Rescale(c)
+			res.Rescale(rhoOld / rhoNew)
 			rescaled = true
 			e.nRescales.Add(1)
 		}
@@ -384,14 +508,69 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 			e.nResidualFallbacks.Add(1)
 		}
 		e.mu.Lock()
-		if e.res == res && !e.closed {
+		applied := e.res == res && !e.closed
+		if applied {
 			patch.Apply()
 			e.snap = nil
 			e.gen++
 		}
 		e.mu.Unlock()
+		if !applied {
+			patch.Abort() // base replaced mid-flush; discard the session
+		}
 	}
-	return true, rescaled, nil
+	return true, rescaled
+}
+
+// startAsyncCompact launches the background compactor for the current
+// epoch unless one is already in flight, and reports whether a build is
+// pending afterwards. The caller holds patchMu.
+func (e *Engine) startAsyncCompact() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.topo == nil || !e.topo.Dirty() {
+		return false
+	}
+	if e.compacting {
+		return true // the running build will pick up a still-dirty overlay
+	}
+	e.compacting = true
+	go e.runAsyncCompact(e.topo)
+	return true
+}
+
+// runAsyncCompact is the background compactor: it merges the frozen epoch
+// and runs the ρ(W) power iteration entirely lock-free (the epoch is
+// immutable — mutations land in fresh overlays stacked on top meanwhile),
+// then takes patchMu like any mutator and swaps the build in. A stale
+// build (the engine closed, or the contraction guard forced a synchronous
+// compaction first) is discarded; Close never waits for this goroutine —
+// it aborts at the swap via the closed check.
+func (e *Engine) runAsyncCompact(frozen *delta.Graph) {
+	csr := frozen.Compact()
+	rhoNew := csr.SpectralRadiusCached(e.linbpOptions().SpectralIters)
+	e.patchMu.Lock()
+	installed, _ := e.installEpoch(frozen, csr, rhoNew)
+	e.patchMu.Unlock()
+	if installed {
+		e.nAsyncCompactions.Add(1)
+	}
+	e.mu.Lock()
+	e.compacting = false
+	e.mu.Unlock()
+	e.compactCond.Broadcast()
+}
+
+// WaitCompaction blocks until no background compaction is in flight; it
+// returns immediately on engines without AsyncCompact (or with nothing
+// pending). Deterministic tests and drain paths use it — serving never
+// needs to.
+func (e *Engine) WaitCompaction() {
+	e.mu.Lock()
+	for e.compacting {
+		e.compactCond.Wait()
+	}
+	e.mu.Unlock()
 }
 
 // lazyIncrementalPool returns a propagation-state pool bound to the given
@@ -423,19 +602,26 @@ type TopoStats struct {
 	// compaction.
 	OverlayFraction float64 `json:"overlay_fraction,omitempty"`
 	// EdgeMutations / Compactions count applied edge mutations and overlay
-	// compactions over the engine's lifetime.
-	EdgeMutations int64 `json:"edge_mutations,omitempty"`
-	Compactions   int64 `json:"compactions,omitempty"`
+	// compactions over the engine's lifetime; AsyncCompactions is the
+	// subset built off-thread and installed by epoch swap.
+	EdgeMutations    int64 `json:"edge_mutations,omitempty"`
+	Compactions      int64 `json:"compactions,omitempty"`
+	AsyncCompactions int64 `json:"async_compactions,omitempty"`
+	// Compacting reports a background compactor currently building the
+	// next epoch (AsyncCompact engines only).
+	Compacting bool `json:"compacting,omitempty"`
 }
 
 // TopoStats reports the engine's live topology dimensions and mutation
 // counters; the registry refreshes GraphInfo from it at request release.
 func (e *Engine) TopoStats() TopoStats {
 	ts := TopoStats{
-		EdgeMutations: e.nEdgeMutations.Load(),
-		Compactions:   e.nCompactions.Load(),
+		EdgeMutations:    e.nEdgeMutations.Load(),
+		Compactions:      e.nCompactions.Load(),
+		AsyncCompactions: e.nAsyncCompactions.Load(),
 	}
 	e.mu.RLock()
+	ts.Compacting = e.compacting
 	if e.topo != nil {
 		ts.Nodes = e.topo.Dim()
 		ts.Edges = e.topo.UndirectedEdges()

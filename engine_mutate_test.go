@@ -81,6 +81,9 @@ func TestEngineMutateParity(t *testing.T) {
 				totalRemoved++
 			} else {
 				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue // self-loops are rejected by validation
+				}
 				a, b := int32(u), int32(v)
 				if a > b {
 					a, b = b, a
@@ -269,8 +272,27 @@ func TestEngineMutateValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.MutateTopology(0, []EdgeMutation{{U: 0, V: g.N}}); err == nil {
+	if meta, err := inc.MutateTopology(0, []EdgeMutation{{U: 0, V: g.N}}); err == nil {
 		t.Error("out-of-range endpoint accepted")
+	} else if meta.Nodes != g.N || meta.Edges == 0 {
+		// Error metas still carry the live dimensions (the HTTP layer
+		// reports them); a zero Nodes means a return path skipped the
+		// deferred fillTopoDims stamp.
+		t.Errorf("error meta not stamped with live dims: %+v", meta)
+	}
+	if _, err := inc.MutateTopology(0, []EdgeMutation{{U: 7, V: 7}}); err == nil {
+		t.Error("self-loop upsert accepted")
+	}
+	if _, err := inc.MutateTopology(0, []EdgeMutation{{U: 7, V: 7, Remove: true}}); err == nil {
+		t.Error("self-loop removal accepted")
+	}
+	// A self-loop anywhere in the batch rejects the whole batch atomically.
+	before := inc.Stats().EdgeMutations
+	if _, err := inc.MutateTopology(0, []EdgeMutation{{U: 0, V: 2}, {U: 5, V: 5}}); err == nil {
+		t.Error("batch containing a self-loop accepted")
+	}
+	if after := inc.Stats().EdgeMutations; after != before {
+		t.Errorf("rejected batch still applied mutations (%d → %d)", before, after)
 	}
 	if _, err := inc.MutateTopology(-1, nil); err == nil {
 		t.Error("negative node addition accepted")
@@ -294,6 +316,9 @@ func TestEngineMutateValidation(t *testing.T) {
 	}
 	if _, err := NewEngine(g, seeds, 3, EngineOptions{Incremental: true, CompactFraction: 1.5}); err == nil {
 		t.Error("CompactFraction ≥ 1 accepted")
+	}
+	if _, err := NewEngine(g, seeds, 3, EngineOptions{AsyncCompact: true}); err == nil {
+		t.Error("AsyncCompact without Incremental accepted")
 	}
 	inc.Close()
 	if _, err := inc.MutateTopology(0, []EdgeMutation{{U: 0, V: 1}}); err != ErrEngineClosed {
@@ -340,6 +365,9 @@ func TestEngineMutateConcurrent(t *testing.T) {
 		rng := rand.New(rand.NewSource(3))
 		for i := 0; i < 40; i++ {
 			u, v := rng.Intn(g.N), rng.Intn(g.N)
+			if u == v {
+				v = (v + 1) % g.N
+			}
 			if _, err := eng.MutateTopology(0, []EdgeMutation{{U: u, V: v}}); err != nil {
 				errc <- err
 				return

@@ -47,6 +47,11 @@ type SummaryOptions struct {
 	NonBacktracking bool
 	// Variant selects the normalization (default Variant1).
 	Variant Normalization
+	// KeepN retains the n×k neighborhood matrices N⁽ℓ⁾ on the result so
+	// ApplyEdgeDelta can maintain the sketches under streaming edge
+	// mutations in o(1) per M⁽ℓ⁾ entry. Costs ℓmax extra n×k float64
+	// matrices of residency.
+	KeepN bool
 }
 
 func (o *SummaryOptions) defaults() {
@@ -66,15 +71,47 @@ func DefaultSummaryOptions() SummaryOptions {
 // Summaries holds the factorized graph representations: for each path
 // length ℓ ∈ [ℓmax], the raw k×k label-count matrix M⁽ℓ⁾ = XᵀW⁽ℓ⁾X and its
 // normalized statistics matrix P̂⁽ℓ⁾. Their size is independent of the
-// graph — this is the sketch all estimation runs on (Figure 2).
+// graph — this is the sketch all estimation runs on (Figure 2) — except
+// when built with KeepN, which retains the n×k N⁽ℓ⁾ matrices so the
+// sketches can track streaming edge mutations via ApplyEdgeDelta.
 type Summaries struct {
 	K    int
 	LMax int
 	M    []*dense.Matrix // M[ℓ−1] = M⁽ℓ⁾
 	P    []*dense.Matrix // P[ℓ−1] = P̂⁽ℓ⁾
+
+	// N (KeepN builds only) retains N[ℓ−1] = N⁽ℓ⁾, the n×k neighborhood
+	// matrices of the recurrence, frozen at summarization time. Variant is
+	// the normalization the P̂ matrices were produced with; ApplyEdgeDelta
+	// re-applies it after updating M.
+	N       []*dense.Matrix
+	Variant Normalization
 }
 
-// Summarize computes the graph summaries of Algorithm 4.4 in O(mkℓmax):
+// Topology is the adjacency view Summarize actually needs: dimensions, a
+// row-parallel dense multiply and weighted degrees. *sparse.CSR is the
+// canonical implementation; internal/delta's overlay Graph satisfies it
+// too, so a dirty streaming-mutation overlay can be sketched directly —
+// summarization never forces a compaction.
+type Topology interface {
+	Dim() int
+	MulDenseInto(out, x *dense.Matrix)
+	Degrees() []float64
+}
+
+func mulDense(w Topology, x *dense.Matrix) *dense.Matrix {
+	out := dense.New(w.Dim(), x.Cols)
+	w.MulDenseInto(out, x)
+	return out
+}
+
+// Summarize computes the graph summaries of Algorithm 4.4 over a CSR; see
+// SummarizeOn for the algorithm.
+func Summarize(w *sparse.CSR, seed []int, k int, opts SummaryOptions) (*Summaries, error) {
+	return SummarizeOn(w, seed, k, opts)
+}
+
+// SummarizeOn computes the graph summaries of Algorithm 4.4 in O(mkℓmax):
 //
 //	N⁽¹⁾ = WX,  N⁽²⁾ = WN⁽¹⁾ − DX,  N⁽ℓ⁾ = WN⁽ℓ⁻¹⁾ − (D−I)N⁽ℓ⁻²⁾
 //	M⁽ℓ⁾ = XᵀN⁽ℓ⁾,  P̂⁽ℓ⁾ = normalize(M⁽ℓ⁾)
@@ -85,9 +122,10 @@ type Summaries struct {
 // Figure 5a comparison.
 //
 // seed is the sparse label vector (labels.Unlabeled for unknown nodes).
-func Summarize(w *sparse.CSR, seed []int, k int, opts SummaryOptions) (*Summaries, error) {
-	if len(seed) != w.N {
-		return nil, fmt.Errorf("core: %d seed labels for %d nodes", len(seed), w.N)
+func SummarizeOn(w Topology, seed []int, k int, opts SummaryOptions) (*Summaries, error) {
+	n := w.Dim()
+	if len(seed) != n {
+		return nil, fmt.Errorf("core: %d seed labels for %d nodes", len(seed), n)
 	}
 	if k < 2 {
 		return nil, fmt.Errorf("core: k=%d, need at least 2 classes", k)
@@ -105,26 +143,29 @@ func Summarize(w *sparse.CSR, seed []int, k int, opts SummaryOptions) (*Summarie
 	}
 	deg := w.Degrees()
 
-	s := &Summaries{K: k, LMax: opts.LMax, M: make([]*dense.Matrix, opts.LMax), P: make([]*dense.Matrix, opts.LMax)}
+	s := &Summaries{K: k, LMax: opts.LMax, M: make([]*dense.Matrix, opts.LMax), P: make([]*dense.Matrix, opts.LMax), Variant: opts.Variant}
+	if opts.KeepN {
+		s.N = make([]*dense.Matrix, opts.LMax)
+	}
 	var prev, cur *dense.Matrix // N⁽ℓ⁻²⁾, N⁽ℓ⁻¹⁾
 	for l := 1; l <= opts.LMax; l++ {
 		var next *dense.Matrix
 		switch {
 		case l == 1:
-			next = w.MulDense(x)
+			next = mulDense(w, x)
 		case l == 2 && opts.NonBacktracking:
-			next = w.MulDense(cur)
+			next = mulDense(w, cur)
 			// Subtract DX: row i scaled by degree of i.
-			for i := 0; i < w.N; i++ {
+			for i := 0; i < n; i++ {
 				if seed[i] == labels.Unlabeled {
 					continue // X row is zero
 				}
 				next.Data[i*k+seed[i]] -= deg[i]
 			}
 		case opts.NonBacktracking:
-			next = w.MulDense(cur)
+			next = mulDense(w, cur)
 			// Subtract (D−I)·N⁽ℓ⁻²⁾.
-			for i := 0; i < w.N; i++ {
+			for i := 0; i < n; i++ {
 				c := deg[i] - 1
 				if c == 0 {
 					continue
@@ -136,9 +177,12 @@ func Summarize(w *sparse.CSR, seed []int, k int, opts SummaryOptions) (*Summarie
 				}
 			}
 		default:
-			next = w.MulDense(cur)
+			next = mulDense(w, cur)
 		}
 		prev, cur = cur, next
+		if opts.KeepN {
+			s.N[l-1] = next
+		}
 
 		// M⁽ℓ⁾ = XᵀN⁽ℓ⁾: only labeled rows of X contribute.
 		m := dense.New(k, k)
@@ -160,6 +204,87 @@ func Summarize(w *sparse.CSR, seed []int, k int, opts SummaryOptions) (*Summarie
 		s.P[l-1] = p
 	}
 	return s, nil
+}
+
+// walkRow returns the length-l walk-statistics row for node: the one-hot
+// X row for l = 0, the retained N⁽ˡ⁾ row otherwise. Nodes added after the
+// summarization (beyond the retained matrices) and unlabeled l = 0 rows
+// are zero; buf is scratch for those cases.
+func (s *Summaries) walkRow(l, node int, seed []int, buf []float64) []float64 {
+	if l == 0 {
+		for j := range buf {
+			buf[j] = 0
+		}
+		if c := seed[node]; c != labels.Unlabeled {
+			buf[c] = 1
+		}
+		return buf
+	}
+	if nm := s.N[l-1]; node < nm.Rows {
+		return nm.Row(node)
+	}
+	for j := range buf {
+		buf[j] = 0
+	}
+	return buf
+}
+
+// ApplyEdgeDelta folds one undirected edge-weight change Δw on (u, v)
+// into the retained sketches in O(ℓmax²·k²) — o(1) per M⁽ℓ⁾ entry,
+// independent of n and m. The ℓ = 1 update is exact:
+//
+//	ΔM⁽¹⁾ = Δw·(x_u ⊗ x_v + x_v ⊗ x_u)
+//
+// For ℓ ≥ 2 it applies the first-order walk expansion
+// Δ(W⁽ℓ⁾) ≈ Σ_{a+b=ℓ−1} W⁽a⁾·ΔW·W⁽b⁾ using the retained N⁽ℓ⁾ = W⁽ℓ⁾X:
+//
+//	ΔM⁽ℓ⁾ ≈ Δw·Σ_{a+b=ℓ−1} (N⁽a⁾_u ⊗ N⁽b⁾_v + N⁽a⁾_v ⊗ N⁽b⁾_u),  N⁽⁰⁾ = X
+//
+// which drops the O(Δw²) cross terms and the degree shift in the
+// non-backtracking correction; the owner bounds the accumulated |Δw|
+// drift and re-summarizes past a threshold. The N matrices themselves are
+// left frozen (their staleness is the same second order). P̂ matrices are
+// re-normalized from the updated M. seed must be the label vector the
+// summaries were computed at.
+func (s *Summaries) ApplyEdgeDelta(seed []int, u, v int, dw float64) error {
+	if s.N == nil {
+		return fmt.Errorf("core: summaries built without KeepN cannot apply edge deltas")
+	}
+	if dw == 0 {
+		return nil
+	}
+	bufA := make([]float64, s.K)
+	bufB := make([]float64, s.K)
+	for l := 1; l <= s.LMax; l++ {
+		m := s.M[l-1]
+		for a := 0; a <= l-1; a++ {
+			b := l - 1 - a
+			addOuter(m, s.walkRow(a, u, seed, bufA), s.walkRow(b, v, seed, bufB), dw)
+			if u != v {
+				addOuter(m, s.walkRow(a, v, seed, bufA), s.walkRow(b, u, seed, bufB), dw)
+			}
+		}
+		p, err := s.Variant.Normalize(m)
+		if err != nil {
+			return err
+		}
+		s.P[l-1] = p
+	}
+	return nil
+}
+
+// addOuter accumulates m += c·(a ⊗ b) for k-vectors a, b.
+func addOuter(m *dense.Matrix, a, b []float64, c float64) {
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := m.Row(i)
+		s := c * av
+		for j, bv := range b {
+			row[j] += s * bv
+		}
+	}
 }
 
 // GoldStandard measures the "true" compatibility matrix from a fully (or

@@ -401,6 +401,68 @@ func (g *Graph) Compacted(base *sparse.CSR) *Graph {
 	return &out
 }
 
+// Rebase returns the successor epoch of an asynchronous compaction: base
+// is the canonical CSR compacted from the frozen epoch, and the receiver
+// is the live epoch that kept accepting mutations while that build ran.
+// The copy-on-write protocol makes the separation exact — a row whose
+// pointer still equals the frozen epoch's was never written after the
+// capture and is fully covered by base, while a diverged or new row holds
+// the post-capture mutations merged over content base already includes, so
+// carrying it as a patch row over the new base reproduces the live
+// topology bit-for-bit. Kept rows mark shared (they are still aliased by
+// the receiver, which stays published until the owner swaps the result
+// in). nnz/diag carry over (the live edge set is unchanged); absDelta on
+// kept rows accumulates since the OLD base, so the carried drift bound
+// stays a conservative upper bound on ρ(ΔW) versus the new base. The
+// receiver is not modified beyond the shared marks; when the receiver IS
+// the frozen epoch the result degenerates to Compacted(base).
+func (g *Graph) Rebase(frozen *Graph, base *sparse.CSR) *Graph {
+	out := &Graph{
+		base: base,
+		n:    g.n,
+		rows: make(map[int32]*row),
+		nnz:  g.nnz,
+		diag: g.diag,
+
+		setEdges: g.setEdges, removedEdges: g.removedEdges,
+		addedNodes:  g.addedNodes,
+		compactions: g.compactions + 1,
+	}
+	for node, r := range g.rows {
+		if fr, ok := frozen.rows[node]; ok && fr == r {
+			continue // untouched since the capture: base covers it
+		}
+		r.shared = true
+		out.rows[node] = r
+		out.patched += len(r.cols)
+		if r.absDelta > out.maxAbsDelta {
+			out.maxAbsDelta = r.absDelta
+		}
+	}
+	return out
+}
+
+// Degrees returns the weighted degree (row sum) of every live row — the
+// diagonal of the degree matrix D over base + overlay. Together with Dim
+// and MulDenseInto it lets the summaries layer sketch a dirty overlay
+// directly, without compacting first.
+func (g *Graph) Degrees() []float64 {
+	d := make([]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		cols, wts := g.Row(i)
+		if wts == nil {
+			d[i] = float64(len(cols))
+			continue
+		}
+		var s float64
+		for _, w := range wts {
+			s += w
+		}
+		d[i] = s
+	}
+	return d
+}
+
 // ResetBase starts a fresh epoch over base (normally the CSR Compact just
 // produced): the overlay empties, the spectral drift bound resets, and the
 // cumulative mutation counters carry over.

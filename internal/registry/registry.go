@@ -446,12 +446,17 @@ type GraphInfo struct {
 	EdgeMutations   int64   `json:"edge_mutations,omitempty"`
 	TopoCompactions int64   `json:"topo_compactions,omitempty"`
 	OverlayFraction float64 `json:"overlay_fraction,omitempty"`
-	Refs            int     `json:"refs"`
-	MemBytes        int64   `json:"mem_bytes"`
-	SpecBytes       int64   `json:"spec_bytes,omitempty"`
-	Hits            int64   `json:"hits"`
-	Builds          int64   `json:"builds"`
-	Evictions       int64   `json:"evictions"`
+	// AsyncCompactions counts compactions built by the engine's background
+	// compactor; Compacting reports one currently in flight (async_compact
+	// graphs only). Refreshed at request release like the fields above.
+	AsyncCompactions int64 `json:"async_compactions,omitempty"`
+	Compacting       bool  `json:"compacting,omitempty"`
+	Refs             int   `json:"refs"`
+	MemBytes         int64 `json:"mem_bytes"`
+	SpecBytes        int64 `json:"spec_bytes,omitempty"`
+	Hits             int64 `json:"hits"`
+	Builds           int64 `json:"builds"`
+	Evictions        int64 `json:"evictions"`
 	// LastAccessUnixMS is 0 until the graph is first acquired.
 	LastAccessUnixMS int64 `json:"last_access_unix_ms,omitempty"`
 	RegisteredUnixMS int64 `json:"registered_unix_ms"`
@@ -483,6 +488,8 @@ func (r *Registry) infoLocked(e *entry) GraphInfo {
 	info.EdgeMutations = e.topo.EdgeMutations
 	info.TopoCompactions = e.topo.Compactions
 	info.OverlayFraction = e.topo.OverlayFraction
+	info.AsyncCompactions = e.topo.AsyncCompactions
+	info.Compacting = e.topo.Compacting
 	if e.engine != nil {
 		info.Mutated = e.engine.Mutated()
 	}

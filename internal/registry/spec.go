@@ -108,8 +108,8 @@ func (s *Spec) validate() error {
 			return fmt.Errorf("registry: compact_fraction %v outside (0,1)", s.Options.CompactFraction)
 		}
 	}
-	if (s.Options.ResidualTol > 0 || s.Options.ResidualEdgeBudget > 0 || s.Options.CompactFraction > 0) && !s.Options.Incremental {
-		return fmt.Errorf("registry: residual_tol/residual_edge_budget/compact_fraction require incremental")
+	if (s.Options.ResidualTol > 0 || s.Options.ResidualEdgeBudget > 0 || s.Options.CompactFraction > 0 || s.Options.AsyncCompact) && !s.Options.Incremental {
+		return fmt.Errorf("registry: residual_tol/residual_edge_budget/compact_fraction/async_compact require incremental")
 	}
 	switch {
 	case s.Synthetic != nil:

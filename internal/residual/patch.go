@@ -27,7 +27,9 @@ import (
 // A Patch never mutates its base before Apply. The caller must serialize
 // patch sessions against each other and Apply against every base access
 // (the engine holds its patch mutex across the session and its write lock
-// across Apply). Exactly one Apply per patch.
+// across Apply). Exactly one Apply or Abort per patch: a session whose
+// result is discarded (the owner dropped or replaced the base mid-flush)
+// must be Aborted so a promoted session's O(n·k) clones release eagerly.
 type Patch struct {
 	base *State
 
@@ -305,6 +307,21 @@ func (p *Patch) Apply() {
 		}
 	}
 	s.compact()
+}
+
+// Abort ends the session without merging anything into the base: every
+// session buffer — including a promoted session's O(n·k) belief/residual
+// clones — is released eagerly rather than pinned until the session header
+// itself is collected. The base is untouched (a Patch never writes it
+// before Apply), so aborting a flushed session simply discards the flush.
+// The session is dead afterwards; further use panics.
+func (p *Patch) Abort() {
+	p.base = nil
+	p.xdel = nil
+	p.rows, p.res, p.front = nil, nil, nil
+	p.rowBuf, p.rhBuf = nil, nil
+	p.df, p.dr, p.dx = nil, nil, nil
+	p.norms, p.pull = nil, nil
 }
 
 // patchKernel is the copy-on-write push step of a sparse-tier patch.

@@ -596,6 +596,7 @@ func (s *Server) handleEdgesPatch(w http.ResponseWriter, r *http.Request, eng *f
 		RemovedEdges: meta.RemovedEdges, MissingRemoves: meta.MissingRemoves,
 		Mode: mode, PushedNodes: meta.PushedNodes, TouchedEdges: meta.TouchedEdges,
 		FellBack: meta.FellBack, Compacted: meta.Compacted, Rescaled: meta.Rescaled,
+		Compacting:      meta.CompactPending,
 		OverlayFraction: meta.OverlayFraction,
 	})
 }

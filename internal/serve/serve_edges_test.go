@@ -164,6 +164,8 @@ func TestEdgesPatchErrors(t *testing.T) {
 		`{"set":[[1.5,2]]}`:    "fractional node id",
 		`{"set":[[0,200]]}`:    "out-of-range endpoint",
 		`{"set":[[0,1,-3]]}`:   "negative weight",
+		`{"set":[[7,7]]}`:      "self-loop upsert",
+		`{"remove":[[7,7]]}`:   "self-loop removal",
 		`{"remove":[[1,2,3]]}`: "long remove tuple",
 		`{"add_nodes":-1}`:     "negative add_nodes",
 		`{"bogus":true}`:       "unknown field",
@@ -219,5 +221,67 @@ func TestStreamingAdaptiveFlush(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
 	if len(lines) != 500 {
 		t.Fatalf("streamed %d records, want 500", len(lines))
+	}
+}
+
+// TestEdgesPatchAsyncCompact registers an async_compact graph, drives it
+// past the compaction threshold, and checks the epoch swap happens off the
+// mutation path: the tripping PATCH returns compacting=true instead of
+// compacted=true, and the background install eventually surfaces in the
+// admin counters while queries keep serving.
+func TestEdgesPatchAsyncCompact(t *testing.T) {
+	srv := newMultiServer(0, Options{})
+	body := `{"name":"bg","incremental":true,"async_compact":true,"compact_fraction":0.02,"warm":true,"synthetic":{"n":400,"m":2000,"f":0.1,"seed":7}}`
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs", body); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs/bg/classify", `{"nodes":[0]}`); rec.Code != http.StatusOK {
+		t.Fatalf("warm classify: %d", rec.Code)
+	}
+	sawPending := false
+	for i := 0; i < 120; i++ {
+		u, v := (i*3)%400, (i*7+11)%400
+		if u == v {
+			v = (v + 1) % 400
+		}
+		rec, resp := patchEdges(t, srv, "bg", fmt.Sprintf(`{"set":[[%d,%d]]}`, u, v))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("patch %d: %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if resp.Compacted {
+			t.Fatalf("async graph compacted synchronously on patch %d: %+v", i, resp)
+		}
+		if resp.Compacting {
+			sawPending = true
+		}
+	}
+	if !sawPending {
+		t.Error("no patch reported compacting=true despite crossing the threshold")
+	}
+	// The background swap lands shortly. Topology counters are refreshed
+	// at request release, so poll with a query in front of each admin read.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if rec, _ := doJSON(t, srv, "POST", "/v1/graphs/bg/classify", `{"nodes":[1,2,3]}`); rec.Code != http.StatusOK {
+			t.Fatalf("classify during swap: %d", rec.Code)
+		}
+		rec, _ := doJSON(t, srv, "GET", "/v1/admin/registry", "")
+		var admin AdminResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &admin); err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		for _, g := range admin.Graphs {
+			if g.Name == "bg" && g.AsyncCompactions > 0 && !g.Compacting {
+				done = true
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background compaction never installed")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

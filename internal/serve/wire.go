@@ -41,6 +41,12 @@ type CreateGraphRequest struct {
 	// triggers compaction (0 = the engine default, 0.25). Requires
 	// incremental.
 	CompactFraction float64 `json:"compact_fraction"`
+	// AsyncCompact runs overlay compactions in the background: the
+	// triggering PATCH /edges batch returns immediately (compacting=true)
+	// while the merged CSR and ρ(W) are built off the request path, and
+	// mutations keep landing in a fresh overlay meanwhile. Requires
+	// incremental.
+	AsyncCompact bool `json:"async_compact"`
 	// Synthetic plants a partition graph with the paper's generator.
 	Synthetic *SyntheticGraphSpec `json:"synthetic"`
 	// Files loads TSV files from the server's filesystem.
@@ -89,6 +95,7 @@ func (r *CreateGraphRequest) Spec() registry.Spec {
 			ResidualTol:        r.ResidualTol,
 			ResidualEdgeBudget: r.ResidualEdgeBudget,
 			CompactFraction:    r.CompactFraction,
+			AsyncCompact:       r.AsyncCompact,
 		},
 	}
 	if r.Synthetic != nil {
@@ -253,18 +260,22 @@ type EdgeOp struct {
 // the beliefs of the epoch they started on; requests arriving after the
 // response see the mutated topology.
 type EdgesPatchResponse struct {
-	Nodes           int     `json:"nodes"`
-	Edges           int     `json:"edges"`
-	AddedNodes      int     `json:"added_nodes,omitempty"`
-	SetEdges        int     `json:"set_edges,omitempty"`
-	RemovedEdges    int     `json:"removed_edges,omitempty"`
-	MissingRemoves  int     `json:"missing_removes,omitempty"`
-	Mode            string  `json:"mode"`
-	PushedNodes     int     `json:"pushed_nodes,omitempty"`
-	TouchedEdges    int     `json:"touched_edges,omitempty"`
-	FellBack        bool    `json:"fell_back,omitempty"`
-	Compacted       bool    `json:"compacted,omitempty"`
-	Rescaled        bool    `json:"rescaled,omitempty"`
+	Nodes          int    `json:"nodes"`
+	Edges          int    `json:"edges"`
+	AddedNodes     int    `json:"added_nodes,omitempty"`
+	SetEdges       int    `json:"set_edges,omitempty"`
+	RemovedEdges   int    `json:"removed_edges,omitempty"`
+	MissingRemoves int    `json:"missing_removes,omitempty"`
+	Mode           string `json:"mode"`
+	PushedNodes    int    `json:"pushed_nodes,omitempty"`
+	TouchedEdges   int    `json:"touched_edges,omitempty"`
+	FellBack       bool   `json:"fell_back,omitempty"`
+	Compacted      bool   `json:"compacted,omitempty"`
+	Rescaled       bool   `json:"rescaled,omitempty"`
+	// Compacting reports that this batch tripped the compaction threshold
+	// on an async_compact graph: a background compactor is merging the
+	// frozen epoch off the request path — this request did not pay it.
+	Compacting      bool    `json:"compacting,omitempty"`
 	OverlayFraction float64 `json:"overlay_fraction"`
 }
 
