@@ -46,6 +46,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"factorgraph/internal/telemetry"
 )
 
 type workload struct {
@@ -89,8 +91,80 @@ type report struct {
 	MutateLatencyMS *latencies `json:"mutate_latency_ms,omitempty"`
 	// PerGraph breaks the same populations down by tenant (present only
 	// with -graphs > 0 or as a single entry for the named graph).
-	PerGraph  map[string]graphLatencies `json:"per_graph,omitempty"`
-	Timestamp string                    `json:"timestamp"`
+	PerGraph map[string]graphLatencies `json:"per_graph,omitempty"`
+	// ServerMetrics embeds server-side counter deltas over the whole burst,
+	// scraped from GET /metrics before and after (label dimensions summed
+	// away). Client latencies say how the run felt; these say what the
+	// server DID for it — propagations, patch flushes, compactions,
+	// evictions, fallback sweeps. Absent when the server has no /metrics
+	// (older builds) or the scrape failed.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
+	Timestamp     string             `json:"timestamp"`
+}
+
+// scrapeKeys is the subset of server series worth embedding in the report.
+var scrapeKeys = []string{
+	"fg_http_requests_total",
+	"fg_http_ndjson_flushes_total",
+	"fg_engine_queries_total",
+	"fg_engine_propagations_total",
+	"fg_engine_label_patches_total",
+	"fg_engine_edge_mutations_total",
+	"fg_engine_compactions_total",
+	"fg_engine_whatif_cache_total",
+	"fg_residual_flushes_total",
+	"fg_residual_pushes_total",
+	"fg_residual_edges_traversed_total",
+	"fg_residual_fallback_sweeps_total",
+	"fg_exec_rounds_total",
+	"fg_delta_epochs_published_total",
+	"fg_registry_builds_total",
+	"fg_registry_evictions_total",
+}
+
+// scrapeMetrics fetches base/metrics and sums each family's series into one
+// total per metric name. nil (not an error) when the endpoint is missing or
+// unreadable — the report simply omits server metrics then.
+func scrapeMetrics(base string) map[string]float64 {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	totals, err := telemetry.ParseTextTotals(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return totals
+}
+
+// metricsDelta selects the scrapeKeys deltas between two scrapes. Counters
+// only move forward, so a negative delta means the server restarted
+// mid-burst; the post-restart absolute value is the best remaining answer.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	if after == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(scrapeKeys))
+	for _, key := range scrapeKeys {
+		v, ok := after[key]
+		if !ok {
+			continue
+		}
+		d := v - before[key]
+		if d < 0 {
+			d = v
+		}
+		out[key] = d
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // target is one graph a worker can direct a request at.
@@ -264,6 +338,7 @@ func execute(ctx context.Context, p params) error {
 	queries := make([][]time.Duration, len(targets))
 	patches := make([][]time.Duration, len(targets))
 	mutates := make([][]time.Duration, len(targets))
+	metricsBefore := scrapeMetrics(base)
 	var nErrs int64
 	var elapsed time.Duration
 	for r := 0; r < p.repeat; r++ {
@@ -320,11 +395,12 @@ func execute(ctx context.Context, p params) error {
 		wl.Graph = targets[0].name
 	}
 	rep := report{
-		Workload:  wl,
-		QPS:       float64(wl.Requests) / elapsed.Seconds(),
-		LatencyMS: summarize(allQ),
-		PerGraph:  perGraph,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Workload:      wl,
+		QPS:           float64(wl.Requests) / elapsed.Seconds(),
+		LatencyMS:     summarize(allQ),
+		PerGraph:      perGraph,
+		ServerMetrics: metricsDelta(metricsBefore, scrapeMetrics(base)),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 	}
 	if len(allP) > 0 {
 		pl := summarize(allP)

@@ -17,10 +17,18 @@
 //	serve -addr :8080 -mem-budget-mb 2048
 //	curl -X POST localhost:8080/v1/graphs -d '{"name":"demo","synthetic":{"n":20000,"m":100000}}'
 //
-// Endpoints: GET /healthz, GET /v1/admin/registry, POST|GET /v1/graphs,
-// GET|DELETE /v1/graphs/{name}, POST /v1/graphs/{name}/estimate|classify,
-// GET|PATCH /v1/graphs/{name}/labels, plus the legacy default-graph
-// aliases. See internal/serve for the wire format.
+// Endpoints: GET /healthz, GET /metrics, GET /v1/admin/registry,
+// GET /v1/admin/build, POST|GET /v1/graphs, GET|DELETE /v1/graphs/{name},
+// POST /v1/graphs/{name}/estimate|classify, GET|PATCH
+// /v1/graphs/{name}/labels|edges, plus the legacy default-graph aliases.
+// See internal/serve for the wire format.
+//
+// Observability: Prometheus-text metrics at /metrics (on -addr, or on a
+// separate -metrics-addr admin listener, which also mounts /debug/pprof;
+// -pprof mounts pprof on the main listener too). Logs go through log/slog
+// (-log-format text|json, -log-level; debug level adds per-request access
+// logs). Non-streaming classify accepts ?debug=1 for a per-stage timing
+// breakdown.
 package main
 
 import (
@@ -28,16 +36,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"factorgraph"
 	"factorgraph/internal/registry"
 	"factorgraph/internal/serve"
+	"factorgraph/internal/telemetry"
 )
 
 func main() {
@@ -65,7 +76,17 @@ func run() error {
 	residualTol := flag.Float64("residual-tol", 0, "default graph: per-node residual tolerance for -incremental (0 = engine default 1e-8)")
 	compactFrac := flag.Float64("compact-frac", 0, "default graph: delta-overlay share triggering topology compaction on PATCH /edges (0 = engine default 0.25; requires -incremental)")
 	asyncCompact := flag.Bool("async-compact", false, "default graph: build fraction-triggered compactions in the background and swap epochs off the mutation path (requires -incremental)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug adds per-request access logs)")
+	metricsAddr := flag.String("metrics-addr", "", "separate admin listen address for /metrics and /debug/pprof (empty = serve them on -addr)")
+	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof on the main -addr listener (the -metrics-addr listener always has it)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	// The registry treats zero synthetic parameters as "use the default",
 	// which a JSON API needs (omitted and zero are indistinguishable) but a
@@ -85,7 +106,11 @@ func run() error {
 	}
 
 	reg := registry.New(registry.Options{MemoryBudget: *budgetMB << 20})
-	srvHandler := serve.NewMulti(reg, serve.Options{FlushEvery: *flushEvery})
+	srvHandler := serve.NewMulti(reg, serve.Options{
+		FlushEvery: *flushEvery,
+		Logger:     logger,
+		Pprof:      *pprofFlag,
+	})
 
 	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator, *incremental, *residualTol, *compactFrac, *asyncCompact); err != nil {
 		return err
@@ -102,15 +127,39 @@ func run() error {
 		}
 		g := eng.Graph()
 		est := eng.Estimate()
-		log.Printf("default graph ready in %s: %d nodes, %d edges, k=%d (estimator=%s, estimation=%s, ~%d MiB)",
-			time.Since(start).Round(time.Millisecond), g.N, g.M, eng.K(),
-			est.Method, est.Runtime.Round(time.Millisecond), eng.MemoryFootprint()>>20)
+		logger.Info("default graph ready",
+			slog.Duration("build", time.Since(start).Round(time.Millisecond)),
+			slog.Int("nodes", g.N), slog.Int("edges", g.M), slog.Int("k", eng.K()),
+			slog.String("estimator", est.Method),
+			slog.Duration("estimation", est.Runtime.Round(time.Millisecond)),
+			slog.Int64("mib", eng.MemoryFootprint()>>20))
 		release()
 	} else {
-		log.Printf("no default graph; admit graphs via POST /v1/graphs")
+		logger.Info("no default graph; admit graphs via POST /v1/graphs")
 	}
 	if *budgetMB > 0 {
-		log.Printf("engine memory budget: %d MiB", *budgetMB)
+		logger.Info("engine memory budget set", slog.Int64("mib", *budgetMB))
+	}
+
+	if *metricsAddr != "" {
+		go func() {
+			admin := http.NewServeMux()
+			admin.Handle("GET /metrics", telemetry.Handler(telemetry.Default()))
+			admin.HandleFunc("GET /debug/pprof/", pprof.Index)
+			admin.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+			admin.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+			admin.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+			admin.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+			adminSrv := &http.Server{
+				Addr:              *metricsAddr,
+				Handler:           admin,
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			logger.Info("admin listener up", slog.String("addr", *metricsAddr))
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener failed", slog.String("error", err.Error()))
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -120,7 +169,7 @@ func run() error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", slog.String("addr", *addr))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -130,7 +179,7 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("received %s, shutting down", sig)
+		logger.Info("shutting down", slog.String("signal", sig.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -141,6 +190,33 @@ func run() error {
 		}
 		return nil
 	}
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. Text goes to stderr in slog's key=value form; json emits one JSON
+// object per line for log shippers.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("-log-format %q: want text or json", format)
 }
 
 // defaultSpec translates the single-graph flags into a registry spec for

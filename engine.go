@@ -17,6 +17,7 @@ import (
 	"factorgraph/internal/labels"
 	"factorgraph/internal/propagation"
 	"factorgraph/internal/residual"
+	"factorgraph/internal/telemetry"
 )
 
 // ErrUnknownEstimator is wrapped by estimation entry points when the
@@ -257,6 +258,10 @@ type Query struct {
 	// node → class, or node → Unlabeled to ignore an existing seed. The
 	// engine's state is not modified; the query runs its own propagation.
 	ExtraSeeds map[int]int
+	// Trace, when non-nil, records per-stage timings of how the query was
+	// served (the HTTP layer attaches one for debug=1 requests). nil — the
+	// normal case — costs nothing: no clock reads, no allocation.
+	Trace *telemetry.Trace
 }
 
 // ClassScore is one (class, belief score) pair of a top-k response.
@@ -453,6 +458,7 @@ func EstimateBy(method string, g *Graph, seeds []int, k int, opts EstimateOption
 // internally, and RWMutex is not reentrant.
 func (e *Engine) runEstimator() (*Estimate, error) {
 	e.nEstimations.Add(1)
+	engEstimations.Inc()
 	return e.estimateCached(e.eopts.Estimator, e.eopts.Estimate)
 }
 
@@ -463,6 +469,7 @@ func (e *Engine) runEstimator() (*Estimate, error) {
 // the k×k optimization, not a fresh O(mkℓ) pass over the graph.
 func (e *Engine) EstimateWith(method string, opts EstimateOptions) (*Estimate, error) {
 	e.nEstimations.Add(1)
+	engEstimations.Inc()
 	return e.estimateCached(method, opts)
 }
 
@@ -826,9 +833,12 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 				return nil, fmt.Errorf("factorgraph: %w: %v", ErrEngineInternal, err)
 			}
 			e.nPropagations.Add(1)
+			engPropagations.Inc()
+			start := telemetry.Now()
 			if _, err := rs.Init(x); err != nil {
 				return nil, fmt.Errorf("factorgraph: %w: %v", ErrEngineInternal, err)
 			}
+			hPropagation.ObserveSince(start)
 			e.mu.Lock()
 			if e.gen == gen && !e.closed {
 				e.res = rs
@@ -867,7 +877,10 @@ func (e *Engine) propagateOn(pool *sync.Pool, x *dense.Matrix) (*dense.Matrix, e
 	}
 	defer pool.Put(st)
 	e.nPropagations.Add(1)
+	engPropagations.Inc()
+	start := telemetry.Now()
 	f, err := st.Run(x)
+	hPropagation.ObserveSince(start)
 	if err != nil {
 		return nil, err
 	}
@@ -934,24 +947,57 @@ func (e *Engine) ClassifyEach(q Query, fn func(NodeResult) error) error {
 // are answered straight from the live belief rows without rebuilding it.
 func (e *Engine) ClassifyEachMeta(q Query, fn func(NodeResult) error) (QueryMeta, error) {
 	e.nQueries.Add(1)
+	engQueries.Inc()
+	tr := q.Trace // nil on untraced queries: every clock read below is gated
 	if e.eopts.Incremental {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		if len(q.ExtraSeeds) > 0 {
 			meta, handled, err := e.overlayResidual(q, fn)
 			if handled || err != nil {
+				if tr != nil {
+					name := "overlay_flush"
+					if meta.CacheHit {
+						name = "overlay_cached"
+					}
+					tr.Add(name, time.Since(t0))
+				}
 				return meta, err
+			}
+			// Declined: the overlay flooded (or raced an H change) and the
+			// full propagation below serves the query.
+			if tr != nil {
+				tr.Add("overlay_reroute", time.Since(t0))
 			}
 		} else {
 			meta, handled, err := e.residualDirect(q, fn)
 			if handled || err != nil {
+				if tr != nil {
+					tr.Add("residual_direct", time.Since(t0))
+				}
 				return meta, err
 			}
 		}
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	beliefs, lab, err := e.resolve(q)
 	if err != nil {
 		return QueryMeta{}, err
 	}
-	return QueryMeta{}, e.formatEach(q, beliefs, lab, fn)
+	if tr != nil {
+		tr.Add("resolve", time.Since(t0))
+		t0 = time.Now()
+	}
+	err = e.formatEach(q, beliefs, lab, fn)
+	if tr != nil {
+		tr.Add("emit", time.Since(t0))
+	}
+	return QueryMeta{}, err
 }
 
 // residualDirectMax bounds the node-list size served straight from the live
@@ -1070,7 +1116,9 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 			return e.res.Row(node)
 		}
 		e.nOverlayCacheHits.Add(1)
+		engWhatifHits.Inc()
 	} else {
+		engWhatifMisses.Inc()
 		ov := e.res.NewOverlay()
 		for node, c := range q.ExtraSeeds {
 			ov.SetSeed(node, c)
@@ -1310,9 +1358,11 @@ func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
 // if they had arrived just before the patch. patchMu serializes patch
 // sessions so two concurrent updates cannot interleave their base views.
 func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, error) {
+	lockStart := telemetry.Now()
 	e.patchMu.Lock()
 	defer e.patchMu.Unlock()
 	e.mu.Lock()
+	hPatchLockWaitLabel.ObserveSince(lockStart)
 	if e.closed {
 		e.mu.Unlock()
 		return PatchMeta{}, ErrEngineClosed
@@ -1350,6 +1400,7 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 	e.gen++
 	e.labelGen++ // seeds changed ⇒ cached summaries are stale
 	e.nLabelUpdates.Add(1)
+	engLabelPatches.Inc()
 	e.mu.Unlock()
 	if patch == nil {
 		return PatchMeta{}, nil
@@ -1358,12 +1409,15 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 	// pull rounds (and dense sweeps past the edge budget) without stalling
 	// a single reader. The deltas queued by setSeedLocked coalesce into one
 	// flush per batch.
+	flushStart := telemetry.Now()
 	st := patch.Flush()
+	hPatchFlushLabel.ObserveSince(flushStart)
 	e.nResidualPatches.Add(1)
 	e.nResidualPushes.Add(int64(st.Pushed))
 	if st.FellBack {
 		e.nResidualFallbacks.Add(1)
 	}
+	applyStart := telemetry.Now()
 	e.mu.Lock()
 	applied := e.res == res && !e.closed
 	if applied {
@@ -1374,6 +1428,7 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 		e.gen++
 	}
 	e.mu.Unlock()
+	hPatchApplyLabel.ObserveSince(applyStart)
 	if !applied {
 		// An H change, ReleaseTransient or Close replaced (or dropped) the
 		// residual state mid-flush: any successor state initializes from the

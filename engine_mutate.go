@@ -12,6 +12,7 @@ import (
 	"factorgraph/internal/propagation"
 	"factorgraph/internal/residual"
 	"factorgraph/internal/sparse"
+	"factorgraph/internal/telemetry"
 )
 
 // ErrTopologyImmutable is returned by topology mutations on an engine that
@@ -111,10 +112,12 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 	if addNodes < 0 {
 		return MutateMeta{}, fmt.Errorf("factorgraph: negative node addition %d", addNodes)
 	}
+	lockStart := telemetry.Now()
 	e.patchMu.Lock()
 	defer e.patchMu.Unlock()
 
 	e.mu.Lock()
+	hPatchLockWaitTopo.ObserveSince(lockStart)
 	if e.closed {
 		e.mu.Unlock()
 		return MutateMeta{}, ErrEngineClosed
@@ -206,6 +209,7 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 	liveEdges := next.UndirectedEdges()
 	e.nNodes.Store(int64(next.Dim()))
 	e.nEdgeMutations.Add(int64(meta.SetEdges + meta.RemovedEdges))
+	engEdgeMutations.Add(int64(meta.SetEdges + meta.RemovedEdges))
 	force := e.contractionGuardTrippedLocked(next)
 	if force && patch != nil {
 		// The pinned ε can no longer guarantee contraction: do not flush
@@ -227,13 +231,16 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 	if patch != nil {
 		// Flush OUTSIDE the engine locks — same narrow-locking contract as
 		// label patches: readers serve pre-mutation beliefs meanwhile.
+		flushStart := telemetry.Now()
 		st := patch.Flush()
+		hPatchFlushTopo.ObserveSince(flushStart)
 		meta.Residual = true
 		meta.PushedNodes, meta.TouchedEdges, meta.FellBack = st.Pushed, st.Edges, st.FellBack
 		e.nResidualPushes.Add(int64(st.Pushed))
 		if st.FellBack {
 			e.nResidualFallbacks.Add(1)
 		}
+		applyStart := telemetry.Now()
 		e.mu.Lock()
 		applied := e.res == res && !e.closed
 		if applied {
@@ -242,6 +249,7 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 			e.gen++
 		}
 		e.mu.Unlock()
+		hPatchApplyTopo.ObserveSince(applyStart)
 		if !applied {
 			patch.Abort() // base replaced mid-flush; discard the session
 		}
@@ -318,6 +326,7 @@ func (e *Engine) applySketchDeltas(oldGen, newGen int64, seeds []int, liveEdges 
 	e.sumDrift += drift
 	e.sumGen = newGen
 	e.nSketchUpdates.Add(int64(len(deltas)))
+	engSketchApplies.Add(int64(len(deltas)))
 }
 
 // compactFraction returns the configured overlay-share compaction trigger.
@@ -432,6 +441,7 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 	if topo == nil || !topo.Dirty() {
 		return false, false, nil
 	}
+	start := telemetry.Now()
 	csr := topo.Compact()
 	rhoNew := csr.SpectralRadiusCached(e.linbpOptions().SpectralIters)
 	installed, rescaled := e.installEpoch(topo, csr, rhoNew)
@@ -440,6 +450,8 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 		// so a refused install means the engine closed mid-build.
 		return false, false, ErrEngineClosed
 	}
+	engCompactionsSync.Inc()
+	hCompactSync.ObserveSince(start)
 	return true, rescaled, nil
 }
 
@@ -463,6 +475,9 @@ func (e *Engine) installEpoch(frozen *delta.Graph, csr *sparse.CSR, rhoNew float
 		e.mu.Unlock()
 		return false, false
 	}
+	// The swap latency metric covers exactly the write-lock hold: this is
+	// the reader-visible stall an epoch install costs.
+	swapStart := telemetry.Now()
 	newTopo := e.topo.Rebase(frozen, csr)
 	rhoOld := e.rhoW
 	e.topo = newTopo
@@ -498,6 +513,7 @@ func (e *Engine) installEpoch(frozen *delta.Graph, csr *sparse.CSR, rhoNew float
 		}
 	}
 	e.mu.Unlock()
+	hEpochSwap.ObserveSince(swapStart)
 
 	if rescaled {
 		// Re-converge to the rescaled fixed point outside the locks.
@@ -547,6 +563,7 @@ func (e *Engine) startAsyncCompact() bool {
 // compaction first) is discarded; Close never waits for this goroutine —
 // it aborts at the swap via the closed check.
 func (e *Engine) runAsyncCompact(frozen *delta.Graph) {
+	start := telemetry.Now()
 	csr := frozen.Compact()
 	rhoNew := csr.SpectralRadiusCached(e.linbpOptions().SpectralIters)
 	e.patchMu.Lock()
@@ -554,6 +571,8 @@ func (e *Engine) runAsyncCompact(frozen *delta.Graph) {
 	e.patchMu.Unlock()
 	if installed {
 		e.nAsyncCompactions.Add(1)
+		engCompactionsAsync.Inc()
+		hCompactAsync.ObserveSince(start)
 	}
 	e.mu.Lock()
 	e.compacting = false

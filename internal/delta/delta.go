@@ -206,6 +206,8 @@ func (g *Graph) Clone() *Graph {
 		r.shared = true // benign on the frozen original: never written again
 		out.rows[node] = r
 	}
+	mEpochs.Inc()
+	mOverlayFraction.Set(g.PatchedFraction())
 	return &out
 }
 
@@ -363,6 +365,7 @@ func (g *Graph) RemoveEdge(u, v int) (old float64, existed bool) {
 // from it (spectral radius, ε) matches a cold engine exactly. The receiver
 // is not modified; call ResetBase with the result to start a new epoch.
 func (g *Graph) Compact() *sparse.CSR {
+	mCompacts.Inc()
 	indptr := make([]int, g.n+1)
 	indices := make([]int32, 0, g.nnz)
 	data := make([]float64, 0, g.nnz)
@@ -428,10 +431,13 @@ func (g *Graph) Rebase(frozen *Graph, base *sparse.CSR) *Graph {
 		addedNodes:  g.addedNodes,
 		compactions: g.compactions + 1,
 	}
+	reused, carried := int64(0), int64(0)
 	for node, r := range g.rows {
 		if fr, ok := frozen.rows[node]; ok && fr == r {
+			reused++
 			continue // untouched since the capture: base covers it
 		}
+		carried++
 		r.shared = true
 		out.rows[node] = r
 		out.patched += len(r.cols)
@@ -439,6 +445,9 @@ func (g *Graph) Rebase(frozen *Graph, base *sparse.CSR) *Graph {
 			out.maxAbsDelta = r.absDelta
 		}
 	}
+	mRebaseReused.Add(reused)
+	mRebaseCarried.Add(carried)
+	mOverlayFraction.Set(out.PatchedFraction())
 	return out
 }
 

@@ -1,0 +1,19 @@
+package delta
+
+import "factorgraph/internal/telemetry"
+
+var (
+	mEpochs = telemetry.Default().Counter("fg_delta_epochs_published_total",
+		"Delta-overlay epochs published (one Clone per mutation batch).")
+	mCompacts = telemetry.Default().Counter("fg_delta_compactions_total",
+		"Overlay-to-canonical CSR compaction builds.")
+	mRebaseReused = telemetry.Default().Counter("fg_delta_rebase_rows_reused_total",
+		"Rebase rows dropped because the compacted base already covers them.")
+	mRebaseCarried = telemetry.Default().Counter("fg_delta_rebase_rows_carried_total",
+		"Rebase rows carried as patch rows over the new base (mutated mid-build).")
+	// mOverlayFraction tracks the patched-entry share of the most recently
+	// published epoch — the value the engine's compaction trigger compares
+	// against CompactFraction.
+	mOverlayFraction = telemetry.Default().Gauge("fg_delta_overlay_fraction",
+		"Patched-entry fraction of the last published delta-overlay epoch.")
+)

@@ -119,9 +119,11 @@ func (p *PullPass) drainPull(active []int32, edgeBudget int) (pushed, edges, rou
 		pushed += len(active)
 		if len(active) > p.n/deltaDivisor {
 			p.deltaRounds++
+			mRoundsDelta.Inc()
 			active, edges = p.deltaRound(active, edges)
 		} else {
 			p.trackedRounds++
+			mRoundsTracked.Inc()
 			active, edges = p.pullRound(active, edges)
 		}
 		if edgeBudget > 0 && edges > edgeBudget {
@@ -321,6 +323,7 @@ func (p *PullPass) drainScatter(active []int32, edgeBudget int) (pushed, edges, 
 	for len(active) > 0 {
 		rounds++
 		p.scatterRounds++
+		mRoundsScatter.Inc()
 		next = next[:0]
 		for _, u32 := range active {
 			u := int(u32)
@@ -395,6 +398,7 @@ func (p *PullPass) drainScatter(active []int32, edgeBudget int) (pushed, edges, 
 // runs on the full shared pool; the Runner's worker cap applies to the
 // dense passes.
 func (r Runner) DenseRound(w RowIterator, f, hScaled, fh, wfh *dense.Matrix, finish func(chunk, lo, hi int)) {
+	mDenseRounds.Inc()
 	k := hScaled.Cols
 	r.Rows(f.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

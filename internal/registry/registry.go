@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"factorgraph"
+	"factorgraph/internal/telemetry"
 )
 
 // ErrNotFound is wrapped by lookups of unregistered graph names; the HTTP
@@ -143,6 +144,7 @@ func (r *Registry) Register(name string, spec Spec) (GraphInfo, error) {
 	}
 	r.entries[name] = e
 	r.evictLocked()
+	r.syncGaugesLocked()
 	return r.infoLocked(e), nil
 }
 
@@ -168,6 +170,7 @@ func (r *Registry) RegisterEngine(name string, eng *factorgraph.Engine) error {
 	r.resident += e.mem
 	r.touchLocked(e)
 	r.evictLocked()
+	r.syncGaugesLocked()
 	return nil
 }
 
@@ -196,6 +199,7 @@ func (r *Registry) Acquire(name string) (*factorgraph.Engine, func(), error) {
 			// re-evaluate. A successful build is taken on the next loop
 			// iteration; a failed one is reported to every waiter without
 			// a rebuild stampede.
+			mCoalesces.Inc()
 			ch := e.building
 			r.mu.Unlock()
 			<-ch
@@ -219,7 +223,9 @@ func (r *Registry) Acquire(name string) (*factorgraph.Engine, func(), error) {
 		spec.presetH, spec.presetHMethod = e.lastH, e.lastHMethod
 		r.mu.Unlock()
 
+		buildStart := telemetry.Now()
 		eng, err := r.builder(spec)
+		hBuild.ObserveSince(buildStart)
 
 		r.mu.Lock()
 		e.building = nil
@@ -240,10 +246,12 @@ func (r *Registry) Acquire(name string) (*factorgraph.Engine, func(), error) {
 		e.mem = eng.MemoryFootprint()
 		e.nodes, e.edges, e.classes = g.N, g.M, eng.K()
 		e.builds++
+		mBuilds.Inc()
 		e.refs++
 		r.resident += e.mem
 		r.touchLocked(e)
 		r.evictLocked()
+		r.syncGaugesLocked()
 		r.mu.Unlock()
 		return eng, r.releaseFunc(e, eng), nil
 	}
@@ -286,6 +294,7 @@ func (r *Registry) Delete(name string) error {
 			e.engine = nil
 		}
 	}
+	r.syncGaugesLocked()
 	return nil
 }
 
@@ -318,6 +327,7 @@ func (r *Registry) releaseFunc(e *entry, eng *factorgraph.Engine) func() {
 			}
 			r.applyMemLocked(e, eng, m)
 			r.evictLocked()
+			r.syncGaugesLocked()
 			r.mu.Unlock()
 		})
 	}
@@ -385,6 +395,7 @@ func (r *Registry) evictLocked() {
 		m := victim.engine.ReleaseTransient()
 		victim.shed = true
 		victim.partials++
+		mEvictPartial.Inc()
 		r.resident += m - victim.mem
 		victim.mem = m
 	}
@@ -413,6 +424,7 @@ func (r *Registry) evictLocked() {
 		r.resident -= victim.mem
 		victim.mem = 0
 		victim.evictions++
+		mEvictFull.Inc()
 	}
 }
 

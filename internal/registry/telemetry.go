@@ -1,0 +1,31 @@
+package registry
+
+import "factorgraph/internal/telemetry"
+
+var (
+	mBuilds = telemetry.Default().Counter("fg_registry_builds_total",
+		"Engine builds performed (cold admissions and post-eviction rebuilds).")
+	mCoalesces = telemetry.Default().Counter("fg_registry_coalesced_waits_total",
+		"Acquisitions that joined an in-flight singleflight build instead of starting one.")
+	mEvictPartial = telemetry.Default().Counter("fg_registry_evictions_total",
+		"Evictions by tier: partial sheds transient state, full closes the engine.",
+		telemetry.Labels{"tier": "partial"})
+	mEvictFull = telemetry.Default().Counter("fg_registry_evictions_total",
+		"Evictions by tier: partial sheds transient state, full closes the engine.",
+		telemetry.Labels{"tier": "full"})
+	hBuild = telemetry.Default().Histogram("fg_registry_build_seconds",
+		"Engine build duration.", nil)
+	// Gauges reflect the most recently mutated Registry instance; a serving
+	// process has exactly one.
+	mResident = telemetry.Default().Gauge("fg_registry_resident_bytes",
+		"Estimated resident bytes of built engines plus retained inline payloads.")
+	mGraphs = telemetry.Default().Gauge("fg_registry_graphs",
+		"Registered graphs.")
+)
+
+// syncGaugesLocked refreshes the process gauges from the registry's state;
+// call after any change to resident accounting or the entry map.
+func (r *Registry) syncGaugesLocked() {
+	mResident.Set(float64(r.resident))
+	mGraphs.Set(float64(len(r.entries)))
+}

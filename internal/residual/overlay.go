@@ -101,6 +101,7 @@ func (o *Overlay) SetSeed(node, c int) {
 // should answer the query with a full propagation instead.
 func (o *Overlay) Flush() Stats {
 	var st Stats
+	defer func() { recordStats(st) }()
 	budget := o.base.edgeBudget - o.edges
 	if budget <= 0 {
 		// A previous flush already exhausted the budget; don't hand Drain a

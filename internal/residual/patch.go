@@ -188,6 +188,7 @@ func (p *Patch) promoteForSweep() {
 	if p.df != nil {
 		return
 	}
+	mPromotions.Inc()
 	s := p.base
 	p.df = s.f.Clone()
 	p.dr = dense.New(s.n, s.k)
@@ -229,6 +230,7 @@ func (p *Patch) ensureDX() *dense.Matrix {
 func (p *Patch) Flush() Stats {
 	s := p.base
 	var st Stats
+	defer func() { recordStats(st) }()
 	if p.df == nil {
 		pushed, edges, outcome := exec.Drain(p.front, patchKernel{p}, s.edgeBudget)
 		st.Pushed += pushed

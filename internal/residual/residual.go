@@ -412,6 +412,7 @@ func (s *State) Init(x *dense.Matrix) (Stats, error) {
 	s.promote()
 	st := s.sweepToTol()
 	s.demote()
+	mSweeps.Add(int64(st.Sweeps))
 	return st, nil
 }
 
@@ -435,6 +436,7 @@ func (s *State) promoteForSweep() {
 	if s.r != nil {
 		return
 	}
+	mPromotions.Inc()
 	s.r = dense.New(s.n, s.k)
 	s.norms = make([]float64, s.n)
 	for node, row := range s.sRows {
@@ -453,6 +455,7 @@ func (s *State) demote() {
 	if s.r == nil {
 		return
 	}
+	mDemotions.Inc()
 	for i, norm := range s.norms {
 		if norm > s.opts.Tol {
 			row := append([]float64(nil), s.r.Row(i)...)
@@ -584,6 +587,7 @@ func (s *State) AddDelta(node int, delta []float64) {
 // for an on-demand exact scan.
 func (s *State) Flush() Stats {
 	st, _ := s.flush(true)
+	recordStats(st)
 	return st
 }
 
@@ -595,7 +599,9 @@ func (s *State) Flush() Stats {
 // engine builds flushed patches under their write lock — use this; the
 // current engine instead flushes on a Patch outside its locks.
 func (s *State) FlushBounded() (Stats, bool) {
-	return s.flush(false)
+	st, converged := s.flush(false)
+	recordStats(st)
+	return st, converged
 }
 
 func (s *State) flush(sweepFallback bool) (Stats, bool) {

@@ -27,6 +27,17 @@
 // GET|PATCH /v1/labels, GET /healthz) remain as aliases for the graph named
 // "default", which cmd/serve pre-registers from its -synthetic/-edges
 // flags, so existing clients keep working unchanged.
+//
+// Observability:
+//
+//	GET /metrics            Prometheus text exposition of the whole stack
+//	GET /v1/admin/build     the serving binary: module, VCS, Go, GOMAXPROCS
+//	/debug/pprof/*          with Options.Pprof (cmd/serve -pprof)
+//	POST .../classify?debug=1   per-stage timing breakdown in the response
+//
+// Every route is wrapped in a telemetry middleware (request counts,
+// latency histograms, error classes, in-flight gauge) and, when
+// Options.Logger is set, a debug-level access log.
 package serve
 
 import (
@@ -35,13 +46,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
 	"factorgraph"
 	"factorgraph/internal/registry"
+	"factorgraph/internal/telemetry"
 )
 
 // DefaultGraph is the graph name the legacy single-graph endpoints resolve
@@ -71,6 +87,14 @@ type Options struct {
 	// so the handler amortizes the stalls, and it halves back once writes
 	// are fast again.
 	FlushEvery int
+	// Logger, when set, emits debug-level access logs (route, method,
+	// status, duration, graph) through the wrapping middleware. nil
+	// disables access logging; metrics are collected either way.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the server's own
+	// mux. cmd/serve sets it for same-port profiling; a separate admin
+	// listener (-metrics-addr) mounts its own handlers instead.
+	Pprof bool
 }
 
 // Adaptive flush bounds: a flush slower than slowFlushLatency doubles the
@@ -108,6 +132,7 @@ type Server struct {
 	mux        *http.ServeMux
 	start      time.Time
 	flushEvery int
+	log        *slog.Logger
 }
 
 // New builds a single-graph Server around an initialized engine: the engine
@@ -129,26 +154,43 @@ func NewMulti(reg *registry.Registry, o Options) *Server {
 	if o.FlushEvery <= 0 {
 		o.FlushEvery = defaultFlushEvery
 	}
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), flushEvery: o.FlushEvery}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/admin/registry", s.handleAdmin)
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), flushEvery: o.FlushEvery, log: o.Logger}
+	s.route("GET /healthz", "healthz", s.handleHealth)
+	s.route("GET /v1/admin/registry", "admin_registry", s.handleAdmin)
+	s.route("GET /v1/admin/build", "admin_build", s.handleBuildInfo)
 
-	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
-	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
-	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+	metrics := telemetry.Handler(telemetry.Default())
+	s.route("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+		metrics.ServeHTTP(w, r)
+	})
 
-	s.mux.HandleFunc("POST /v1/graphs/{name}/estimate", s.withEngine(s.handleEstimate))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/classify", s.withEngine(s.handleClassify))
-	s.mux.HandleFunc("GET /v1/graphs/{name}/labels", s.withEngine(s.handleLabelsGet))
-	s.mux.HandleFunc("PATCH /v1/graphs/{name}/labels", s.withEngine(s.handleLabelsPatch))
-	s.mux.HandleFunc("PATCH /v1/graphs/{name}/edges", s.withEngine(s.handleEdgesPatch))
+	s.route("POST /v1/graphs", "graph_create", s.handleGraphCreate)
+	s.route("GET /v1/graphs", "graph_list", s.handleGraphList)
+	s.route("GET /v1/graphs/{name}", "graph_get", s.handleGraphGet)
+	s.route("DELETE /v1/graphs/{name}", "graph_delete", s.handleGraphDelete)
 
-	// Legacy single-graph aliases resolving to the default graph.
-	s.mux.HandleFunc("POST /v1/estimate", s.withEngine(s.handleEstimate))
-	s.mux.HandleFunc("POST /v1/classify", s.withEngine(s.handleClassify))
-	s.mux.HandleFunc("GET /v1/labels", s.withEngine(s.handleLabelsGet))
-	s.mux.HandleFunc("PATCH /v1/labels", s.withEngine(s.handleLabelsPatch))
+	s.route("POST /v1/graphs/{name}/estimate", "estimate", s.withEngine(s.handleEstimate))
+	s.route("POST /v1/graphs/{name}/classify", "classify", s.withEngine(s.handleClassify))
+	s.route("GET /v1/graphs/{name}/labels", "labels_get", s.withEngine(s.handleLabelsGet))
+	s.route("PATCH /v1/graphs/{name}/labels", "labels_patch", s.withEngine(s.handleLabelsPatch))
+	s.route("PATCH /v1/graphs/{name}/edges", "edges_patch", s.withEngine(s.handleEdgesPatch))
+
+	// Legacy single-graph aliases resolving to the default graph. They share
+	// the canonical route's metric series.
+	s.route("POST /v1/estimate", "estimate", s.withEngine(s.handleEstimate))
+	s.route("POST /v1/classify", "classify", s.withEngine(s.handleClassify))
+	s.route("GET /v1/labels", "labels_get", s.withEngine(s.handleLabelsGet))
+	s.route("PATCH /v1/labels", "labels_patch", s.withEngine(s.handleLabelsPatch))
+
+	if o.Pprof {
+		// Unwrapped: profile downloads run for -seconds and would distort
+		// the request latency series.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -245,6 +287,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Graphs:        rs.Graphs,
 		GraphsBuilt:   rs.Built,
 		ResidentBytes: rs.ResidentBytes,
+		GoVersion:     runtime.Version(),
 		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
 	}
 	// The default graph's engine details are reported when resident, for
@@ -267,6 +310,28 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		Stats:  s.reg.Stats(),
 		Graphs: s.reg.List(),
 	})
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	resp := BuildResponse{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Path = bi.Main.Path
+		resp.Version = bi.Main.Version
+		for _, st := range bi.Settings {
+			switch st.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified", "GOARCH", "GOOS", "-buildmode":
+				if resp.Build == nil {
+					resp.Build = make(map[string]string)
+				}
+				resp.Build[st.Key] = st.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
@@ -392,6 +457,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 	}
 	gzipOK := acceptsGzip(r)
 	if !req.Stream {
+		// debug=1 threads a stage trace through the query: the engine
+		// records where the time went (overlay vs resolve vs emit) and the
+		// response carries the breakdown. Normal requests pass a nil trace
+		// and pay nothing.
+		var tr *telemetry.Trace
+		if r.URL.Query().Get("debug") == "1" {
+			tr = telemetry.NewTrace()
+			q.Trace = tr
+		}
 		var results []factorgraph.NodeResult
 		if q.Nodes != nil {
 			results = make([]factorgraph.NodeResult, 0, len(q.Nodes))
@@ -409,6 +483,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 			Residual: meta.Residual, PushedNodes: meta.PushedNodes,
 			TouchedEdges: meta.TouchedEdges, ClonedRows: meta.ClonedRows,
 			Cached: meta.CacheHit,
+		}
+		if tr != nil {
+			for _, sp := range tr.Spans() {
+				resp.Stages = append(resp.Stages, StageTiming{
+					Stage: sp.Name,
+					Us:    float64(sp.Dur) / float64(time.Microsecond),
+				})
+			}
 		}
 		writeJSONNegotiated(w, r, http.StatusOK, resp)
 		return
@@ -448,6 +530,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 		}
 		sinceFlush++
 		if sinceFlush >= interval {
+			mNDJSONRecords.Add(int64(sinceFlush))
 			sinceFlush = 0
 			start := time.Now()
 			if gz != nil {
@@ -456,13 +539,22 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 			if flusher != nil {
 				flusher.Flush()
 			}
+			flushDur := time.Since(start)
+			mNDJSONFlushes.Inc()
+			hNDJSONFlush.Observe(flushDur.Seconds())
+			if flushDur > slowFlushLatency {
+				mNDJSONSlowFlushes.Inc()
+			}
 			// Backpressure-aware chunk sizing: scale the interval by the
 			// observed write latency instead of flushing a slow client on
 			// the static cadence.
-			interval = nextFlushInterval(interval, s.flushEvery, time.Since(start))
+			interval = nextFlushInterval(interval, s.flushEvery, flushDur)
 		}
 		return nil
 	})
+	if sinceFlush > 0 {
+		mNDJSONRecords.Add(int64(sinceFlush)) // trailing partial batch
+	}
 	if err != nil && !headerSent {
 		writeError(w, classifyStatus(err), "%v", err)
 		return

@@ -191,6 +191,19 @@ type ClassifyResponse struct {
 	// cost no pushing at all. The push/clone counts then describe the
 	// cached flush.
 	Cached bool `json:"cached,omitempty"`
+	// Stages is the per-stage time breakdown of how this query was served,
+	// present when the request asked for it with ?debug=1 (non-streaming
+	// only). Stage names name the engine path taken: overlay_cached /
+	// overlay_flush / overlay_reroute for what-if queries, residual_direct
+	// for live fixed-point reads, resolve for snapshot resolution (a full
+	// propagation when cold), emit for result formatting.
+	Stages []StageTiming `json:"stages,omitempty"`
+}
+
+// StageTiming is one entry of a debug=1 stage breakdown.
+type StageTiming struct {
+	Stage string  `json:"stage"`
+	Us    float64 `json:"us"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate.
@@ -326,7 +339,22 @@ type Health struct {
 	Estimations   int64   `json:"estimations"`
 	Propagations  int64   `json:"propagations"`
 	Queries       int64   `json:"queries"`
+	GoVersion     string  `json:"go_version"`
 	UptimeMS      float64 `json:"uptime_ms"`
+}
+
+// BuildResponse is the body of GET /v1/admin/build: what binary is serving.
+type BuildResponse struct {
+	// Path / Version identify the main module (Version is "(devel)" for
+	// plain `go build` binaries).
+	Path    string `json:"path,omitempty"`
+	Version string `json:"version,omitempty"`
+	// Build carries selected debug.ReadBuildInfo settings when stamped:
+	// vcs.revision, vcs.time, vcs.modified, GOOS, GOARCH, -buildmode.
+	Build      map[string]string `json:"build,omitempty"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
 }
 
 // APIError is the uniform error body.

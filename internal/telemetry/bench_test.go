@@ -1,0 +1,62 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTelemetryOverhead pins the per-event cost of the hot-path
+// primitives, instrumented (enabled) vs no-op (disabled). The instrumented
+// counter increment is one atomic add; disabled it is one atomic load.
+// These numbers bound what any single instrumentation point can add to a
+// serving hot path.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_ops_total", "ops")
+	h := r.Histogram("bench_dur_seconds", "dur", nil)
+
+	b.Run("counter/enabled", func(b *testing.B) {
+		SetEnabled(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter/disabled", func(b *testing.B) {
+		SetEnabled(false)
+		defer SetEnabled(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram/enabled", func(b *testing.B) {
+		SetEnabled(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.003)
+		}
+	})
+	b.Run("histogram/disabled", func(b *testing.B) {
+		SetEnabled(false)
+		defer SetEnabled(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.003)
+		}
+	})
+	b.Run("timed-section/enabled", func(b *testing.B) {
+		SetEnabled(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			start := Now()
+			h.ObserveSince(start)
+		}
+	})
+	b.Run("timed-section/disabled", func(b *testing.B) {
+		SetEnabled(false)
+		defer SetEnabled(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			start := Now()
+			h.ObserveSince(start)
+		}
+	})
+}

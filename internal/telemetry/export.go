@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one HELP/TYPE header per family, series sorted by name
+// then label string, histogram series expanded to cumulative _bucket rows
+// plus _sum and _count. The snapshot is per-series atomic, not global —
+// concurrent increments may land between two series — which is the usual
+// scrape contract.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			switch s := f.series[key].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(key), formatFloat(float64(s.Value())))
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(key), formatFloat(s.Value()))
+			case *Histogram:
+				cum := int64(0)
+				for i, b := range s.bounds {
+					cum += s.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, bracedLE(key, formatFloat(b)), cum)
+				}
+				cum += s.counts[len(s.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, bracedLE(key, "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, braced(key), formatFloat(s.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, braced(key), s.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func bracedLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format; mount it at GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

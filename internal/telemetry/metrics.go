@@ -1,0 +1,288 @@
+// Package telemetry is the serving stack's runtime measurement substrate:
+// atomic counters, gauges and fixed-bucket latency histograms with a
+// Prometheus-text-format exporter, plus a lightweight per-request stage
+// trace (trace.go). It is dependency-free and allocation-free on the hot
+// path: every metric is registered once at package init of the layer that
+// owns it, and an increment or observation after that is a handful of
+// atomic operations on a pre-resolved handle — no map lookup, no label
+// hashing, no allocation.
+//
+// Layers register their series on the process-global Default() registry;
+// the HTTP layer exports it at GET /metrics. SetEnabled(false) turns every
+// handle into a no-op behind one atomic load, which is what the overhead
+// acceptance test and BenchmarkTelemetryOverhead toggle to measure the
+// instrumented-vs-bare cost of the hot paths.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var enabledFlag atomic.Bool
+
+func init() { enabledFlag.Store(true) }
+
+// Enabled reports whether metric recording is on (the default).
+func Enabled() bool { return enabledFlag.Load() }
+
+// SetEnabled toggles all metric recording process-wide. Registration is
+// unaffected; handles simply drop increments and observations while off.
+func SetEnabled(v bool) { enabledFlag.Store(v) }
+
+// Now returns time.Now() when telemetry is enabled and the zero time
+// otherwise, so hot paths pay no clock read while disabled. Pair with
+// Histogram.ObserveSince, which ignores a zero start.
+func Now() time.Time {
+	if !enabledFlag.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Labels is a fixed label set attached to one series at registration time.
+// There is no dynamic labeling: each distinct label combination is its own
+// pre-registered handle, which is what keeps the hot path a bare atomic.
+type Labels map[string]string
+
+// DefBuckets are the default latency histogram bounds in seconds, spanning
+// sub-millisecond classify responses to multi-second cold builds.
+var DefBuckets = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// MicroBuckets extend DefBuckets downward for micro-scale sections (lock
+// waits, epoch swaps) that routinely finish in single-digit microseconds.
+var MicroBuckets = []float64{
+	1e-6, 5e-6, 10e-6, 25e-6, 50e-6,
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5,
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be non-negative to keep the series monotone).
+func (c *Counter) Add(n int64) {
+	if !enabledFlag.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down (resident bytes,
+// in-flight requests, overlay fraction).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value. Unlike increments, Set is not gated on Enabled:
+// a gauge records state, not work, and a stale gauge after re-enabling
+// would misreport.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by d (CAS loop; d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bounds are upper-inclusive
+// bucket edges; an implicit +Inf bucket catches the rest. Counts are
+// per-bucket (cumulated only at export), so concurrent observations touch
+// exactly one bucket counter plus the sum and count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabledFlag.Load() {
+		return
+	}
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start; a zero start (from
+// Now() while disabled) is ignored.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Registry holds metric families by name. Registration takes a lock;
+// the returned handles never do.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type family struct {
+	name, help, kind string
+	bounds           []float64 // histograms only
+	series           map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry every layer registers on and
+// the serving mux exports.
+func Default() *Registry { return defaultRegistry }
+
+// canonLabels renders a label set in sorted key order; this is both the
+// dedup key and the exposition string.
+func canonLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) familyFor(name, help, kind string, bounds []float64) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]any)}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic("telemetry: metric " + name + " re-registered as " + kind + ", was " + f.kind)
+	}
+	return f
+}
+
+// Counter registers (or returns the existing) counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Labels) *Counter {
+	key := canonLabels(merge(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "counter", nil)
+	if s, ok := f.series[key]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{}
+	f.series[key] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Labels) *Gauge {
+	key := canonLabels(merge(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "gauge", nil)
+	if s, ok := f.series[key]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[key] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram series
+// name{labels} with the given bucket bounds (nil = DefBuckets). All series
+// of one family share the bounds of the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labels) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	key := canonLabels(merge(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "histogram", bounds)
+	if s, ok := f.series[key]; ok {
+		return s.(*Histogram)
+	}
+	h := &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+	f.series[key] = h
+	return h
+}
+
+func merge(ls []Labels) Labels {
+	switch len(ls) {
+	case 0:
+		return nil
+	case 1:
+		return ls[0]
+	}
+	out := make(Labels)
+	for _, l := range ls {
+		for k, v := range l {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTextFormatGolden pins the exact Prometheus text exposition: HELP/TYPE
+// headers, sorted families and series, cumulative histogram buckets with
+// the implicit +Inf, and _sum/_count rows.
+func TestTextFormatGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.", Labels{"route": "classify"})
+	c.Add(3)
+	c2 := r.Counter("test_requests_total", "Total requests.", Labels{"route": "labels"})
+	c2.Add(1)
+	g := r.Gauge("test_in_flight", "In-flight requests.")
+	g.Set(2.5)
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_in_flight In-flight requests.
+# TYPE test_in_flight gauge
+test_in_flight 2.5
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.01"} 1
+test_latency_seconds_bucket{le="0.1"} 3
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 5.105
+test_latency_seconds_count 4
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{route="classify"} 3
+test_requests_total{route="labels"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("text format mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestParseTextTotalsRoundTrip checks the scrape-side parser against the
+// exporter's own output.
+func TestParseTextTotalsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_ops_total", "ops", Labels{"kind": "a"}).Add(7)
+	r.Counter("rt_ops_total", "ops", Labels{"kind": "b"}).Add(5)
+	r.Gauge("rt_bytes", "bytes").Set(1 << 20)
+	h := r.Histogram("rt_dur_seconds", "dur", []float64{0.1, 1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	totals, err := ParseTextTotals(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totals["rt_ops_total"]; got != 12 {
+		t.Errorf("rt_ops_total = %v, want 12 (summed across labels)", got)
+	}
+	if got := totals["rt_bytes"]; got != 1<<20 {
+		t.Errorf("rt_bytes = %v, want %v", got, 1<<20)
+	}
+	if got := totals["rt_dur_seconds_count"]; got != 2 {
+		t.Errorf("rt_dur_seconds_count = %v, want 2", got)
+	}
+	if got := totals["rt_dur_seconds_sum"]; math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("rt_dur_seconds_sum = %v, want 2.5", got)
+	}
+}
+
+// TestRegistrationDedup checks that re-registering the same name+labels
+// returns the same handle, and that label order does not matter.
+func TestRegistrationDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dedup_total", "x", Labels{"a": "1", "b": "2"})
+	b := r.Counter("dedup_total", "x", Labels{"b": "2", "a": "1"})
+	if a != b {
+		t.Error("same name+labels registered twice returned distinct handles")
+	}
+	c := r.Counter("dedup_total", "x", Labels{"a": "1", "b": "3"})
+	if a == c {
+		t.Error("distinct labels returned the same handle")
+	}
+}
+
+// TestConcurrentMetrics hammers one counter, one gauge and one histogram
+// from many goroutines while a scraper renders the registry; run under
+// -race this is the data-race acceptance test, and the final counts prove
+// no increment was lost.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_ops_total", "ops")
+	g := r.Gauge("cc_level", "level")
+	h := r.Histogram("cc_dur_seconds", "dur", []float64{0.5})
+
+	const workers = 8
+	const perWorker = 5000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				_ = r.WriteText(&b)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%2) + 0.25) // alternate buckets
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	lo := h.counts[0].Load()
+	hi := h.counts[1].Load()
+	if lo != hi || lo+hi != workers*perWorker {
+		t.Errorf("bucket split = %d/%d, want even halves of %d", lo, hi, workers*perWorker)
+	}
+}
+
+// TestSetEnabled checks the global kill switch drops work without
+// affecting already-recorded values, and that gauges still Set.
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("en_total", "x")
+	h := r.Histogram("en_seconds", "x", nil)
+	g := r.Gauge("en_gauge", "x")
+	c.Inc()
+	h.Observe(1)
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(1)
+	g.Set(7)
+	if !Now().IsZero() {
+		t.Error("Now() while disabled should be zero")
+	}
+	SetEnabled(true)
+	if c.Value() != 1 {
+		t.Errorf("counter recorded while disabled: %d", c.Value())
+	}
+	if h.Count() != 1 {
+		t.Errorf("histogram recorded while disabled: %d", h.Count())
+	}
+	if g.Value() != 7 {
+		t.Errorf("gauge Set should work while disabled, got %v", g.Value())
+	}
+	if Now().IsZero() {
+		t.Error("Now() while enabled should be non-zero")
+	}
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseTextTotals is the minimal scrape-side inverse of WriteText: it reads
+// a Prometheus text exposition and returns each metric name summed across
+// its label combinations (histogram components appear under their expanded
+// _bucket/_sum/_count names). cmd/loadgen uses it to fold server-side
+// counters into bench reports; it ignores comment lines and skips lines it
+// cannot parse rather than failing the whole scrape.
+func ParseTextTotals(r io.Reader) (map[string]float64, error) {
+	totals := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value [timestamp] — labels may contain spaces inside
+		// quoted values, so find the value by scanning from the last space.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		// A trailing timestamp would make valStr an integer millisecond
+		// stamp; WriteText never emits one, and exporters that do put it
+		// after the value — handle that by retrying one field left.
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		totals[name] += v
+	}
+	return totals, sc.Err()
+}

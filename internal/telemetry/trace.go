@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight per-request span recorder: the HTTP layer creates
+// one when a client asks for a stage breakdown (debug=1), threads it
+// through context and the engine Query, and renders the recorded spans in
+// the response. A nil *Trace is fully inert — every method is a no-op that
+// reads no clock — so instrumented code calls unconditionally and only
+// traced requests pay anything.
+type Trace struct {
+	t0    time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one recorded stage: its name, start offset from the trace origin
+// and duration.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// NewTrace starts a trace anchored at now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// Start opens a span and returns its closer; call the closer when the
+// stage ends. Safe on a nil trace (returns an inert closer).
+func (t *Trace) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	s := time.Now()
+	return func() { t.add(name, s.Sub(t.t0), time.Since(s)) }
+}
+
+// Add records a completed span of the given duration ending now. Safe on a
+// nil trace. Instrumented code that decides the stage name after the fact
+// (e.g. overlay_cached vs overlay_flush) uses this with its own clock
+// reads, guarded by t != nil.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.add(name, time.Since(t.t0)-d, d)
+}
+
+func (t *Trace) add(name string, start, d time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans (nil on a nil trace).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Total returns the elapsed time since the trace began (0 on nil).
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.t0)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace attached to the context, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,213 @@
+package factorgraph
+
+import (
+	"testing"
+	"time"
+
+	"factorgraph/internal/telemetry"
+)
+
+// newOverheadEngine builds a small warm engine and a query that stays on
+// the hot serving path (snapshot resolved, no propagation per query).
+func newOverheadEngine(tb testing.TB) (*Engine, Query) {
+	tb.Helper()
+	h := SkewedH(3, 8)
+	g, truth, err := Generate(GenerateConfig{N: 2000, M: 10000, K: 3, H: h, Seed: 5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds, err := SampleSeeds(truth, 3, 0.05, 5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := NewEngine(g, seeds, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	nodes := make([]int, 64)
+	for i := range nodes {
+		nodes[i] = i * 7 % 2000
+	}
+	q := Query{Nodes: nodes, TopK: 2}
+	// Warm: resolve the snapshot so the measured loop is pure serving.
+	if err := eng.ClassifyEach(q, func(NodeResult) error { return nil }); err != nil {
+		tb.Fatal(err)
+	}
+	return eng, q
+}
+
+// classifyNsPerOp times the warm classify path.
+func classifyNsPerOp(eng *Engine, q Query) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := eng.ClassifyEach(q, func(NodeResult) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+// TestTelemetryOverheadClassify gates the instrumentation cost of the warm
+// classify path at ~2%. Shared-runner noise routinely exceeds that, so the
+// test first measures the telemetry-DISABLED path twice; if those two runs
+// disagree by more than 2% the machine cannot resolve the budget and the
+// test skips rather than flake. Otherwise the enabled run must stay within
+// budget + observed noise.
+func TestTelemetryOverheadClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed test; skipped in -short")
+	}
+	eng, q := newOverheadEngine(t)
+	defer telemetry.SetEnabled(true)
+
+	telemetry.SetEnabled(false)
+	off1 := classifyNsPerOp(eng, q)
+	off2 := classifyNsPerOp(eng, q)
+	base := min(off1, off2)
+	noise := (max(off1, off2) - base) / base
+	if noise > 0.02 {
+		t.Skipf("runner too noisy to gate 2%% (disabled runs differ by %.1f%%)", noise*100)
+	}
+
+	telemetry.SetEnabled(true)
+	on := classifyNsPerOp(eng, q)
+	budget := 0.02 + noise
+	if overhead := on/base - 1; overhead > budget {
+		t.Errorf("telemetry overhead %.2f%% exceeds %.2f%% (off=%.0fns on=%.0fns)",
+			overhead*100, budget*100, base, on)
+	}
+}
+
+// TestTelemetryOverheadPatch applies the same gate to the label-patch path.
+func TestTelemetryOverheadPatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed test; skipped in -short")
+	}
+	h := SkewedH(3, 8)
+	g, truth, err := Generate(GenerateConfig{N: 2000, M: 10000, K: 3, H: h, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := SampleSeeds(truth, 3, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(g, seeds, 3, EngineOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ClassifyEach(Query{Nodes: []int{0}}, func(NodeResult) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	patchNsPerOp := func() float64 {
+		i := 0
+		r := testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := eng.UpdateLabelsMeta(map[int]int{100 + i%500: i % 3}, nil); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	defer telemetry.SetEnabled(true)
+
+	telemetry.SetEnabled(false)
+	off1 := patchNsPerOp()
+	off2 := patchNsPerOp()
+	base := min(off1, off2)
+	noise := (max(off1, off2) - base) / base
+	if noise > 0.02 {
+		t.Skipf("runner too noisy to gate 2%% (disabled runs differ by %.1f%%)", noise*100)
+	}
+
+	telemetry.SetEnabled(true)
+	on := patchNsPerOp()
+	budget := 0.02 + noise
+	if overhead := on/base - 1; overhead > budget {
+		t.Errorf("telemetry overhead %.2f%% exceeds %.2f%% (off=%.0fns on=%.0fns)",
+			overhead*100, budget*100, base, on)
+	}
+}
+
+// TestDebugTraceConsistency cross-checks the debug stage trace against the
+// query meta: the path the meta reports must match the stages recorded, and
+// the stage sum must not exceed wall time.
+func TestDebugTraceConsistency(t *testing.T) {
+	h := SkewedH(3, 8)
+	g, truth, err := Generate(GenerateConfig{N: 500, M: 2500, K: 3, H: h, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := SampleSeeds(truth, 3, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(g, seeds, 3, EngineOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := telemetry.NewTrace()
+	wall := time.Now()
+	meta, err := eng.ClassifyEachMeta(Query{Nodes: []int{1, 2, 3}, TopK: 2, Trace: tr},
+		func(NodeResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(wall)
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no stages recorded")
+	}
+	byName := map[string]time.Duration{}
+	var sum time.Duration
+	for _, sp := range spans {
+		byName[sp.Name] = sp.Dur
+		sum += sp.Dur
+	}
+	if sum > elapsed {
+		t.Errorf("stage sum %v exceeds wall time %v", sum, elapsed)
+	}
+	if _, ok := byName["emit"]; !ok {
+		t.Errorf("stages %v missing emit", byName)
+	}
+	// The incremental engine answers plain queries from the live residual
+	// state; the meta agrees with the recorded stage.
+	if meta.Residual {
+		if _, ok := byName["residual_direct"]; !ok {
+			t.Errorf("meta.Residual set but stages are %v", byName)
+		}
+	}
+
+	// A what-if query routes through the overlay; meta + stages must agree
+	// on cache behavior.
+	q := Query{Nodes: []int{1}, ExtraSeeds: map[int]int{4: 1}}
+	q.Trace = telemetry.NewTrace()
+	meta, err = eng.ClassifyEachMeta(q, func(NodeResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range q.Trace.Spans() {
+		names[sp.Name] = true
+	}
+	if meta.Residual && !meta.CacheHit && !names["overlay_flush"] {
+		t.Errorf("overlay miss, stages %v missing overlay_flush", names)
+	}
+
+	q.Trace = telemetry.NewTrace()
+	meta, err = eng.ClassifyEachMeta(q, func(NodeResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = map[string]bool{}
+	for _, sp := range q.Trace.Spans() {
+		names[sp.Name] = true
+	}
+	if meta.CacheHit && !names["overlay_cached"] {
+		t.Errorf("cache hit, stages %v missing overlay_cached", names)
+	}
+}
