@@ -97,9 +97,16 @@ type report struct {
 	// away). Client latencies say how the run felt; these say what the
 	// server DID for it — propagations, patch flushes, compactions,
 	// evictions, fallback sweeps. Absent when the server has no /metrics
-	// (older builds) or the scrape failed.
-	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
-	Timestamp     string             `json:"timestamp"`
+	// (older builds) or the scrape failed — ServerMetricsError then says
+	// why, so a missing section is diagnosable from the report alone.
+	ServerMetrics      map[string]float64 `json:"server_metrics,omitempty"`
+	ServerMetricsError string             `json:"server_metrics_error,omitempty"`
+	// ServerTimeline is the tail of the server's flight-recorder timeline
+	// (GET /v1/admin/timeline) captured after the burst: the last few
+	// sampled points per series, enough for benchdiff to see trends
+	// (ramping RSS, growing overlay) without an external Prometheus.
+	ServerTimeline []timelineSeriesTail `json:"server_timeline,omitempty"`
+	Timestamp      string               `json:"timestamp"`
 }
 
 // scrapeKeys is the subset of server series worth embedding in the report.
@@ -123,11 +130,44 @@ var scrapeKeys = []string{
 }
 
 // scrapeMetrics fetches base/metrics and sums each family's series into one
-// total per metric name. nil (not an error) when the endpoint is missing or
-// unreadable — the report simply omits server metrics then.
-func scrapeMetrics(base string) map[string]float64 {
+// total per metric name. A nil map with a non-nil error means the endpoint
+// was missing or unreadable — the report omits server metrics and records
+// the reason instead of silently dropping the section.
+func scrapeMetrics(base string) (map[string]float64, error) {
 	client := &http.Client{Timeout: 10 * time.Second}
 	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	totals, err := telemetry.ParseTextTotals(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse /metrics exposition: %w", err)
+	}
+	return totals, nil
+}
+
+// timelineSeriesTail is one embedded flight-recorder series, trimmed to
+// its most recent points.
+type timelineSeriesTail struct {
+	Graph  string                    `json:"graph,omitempty"`
+	Name   string                    `json:"name"`
+	Points []telemetry.TimelinePoint `json:"points"`
+}
+
+// timelineTailPoints bounds how much history rides along per series.
+const timelineTailPoints = 12
+
+// timelineTail fetches the server's rolling timeline and keeps the last
+// timelineTailPoints points of every series. nil when the server predates
+// the endpoint or the fetch fails — the section is optional color, unlike
+// server_metrics it carries no gating numbers.
+func timelineTail(base string) []timelineSeriesTail {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/v1/admin/timeline")
 	if err != nil {
 		return nil
 	}
@@ -135,11 +175,19 @@ func scrapeMetrics(base string) map[string]float64 {
 	if resp.StatusCode != http.StatusOK {
 		return nil
 	}
-	totals, err := telemetry.ParseTextTotals(resp.Body)
-	if err != nil {
+	var body struct {
+		Series []timelineSeriesTail `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		return nil
 	}
-	return totals
+	out := body.Series
+	for i := range out {
+		if n := len(out[i].Points); n > timelineTailPoints {
+			out[i].Points = out[i].Points[n-timelineTailPoints:]
+		}
+	}
+	return out
 }
 
 // metricsDelta selects the scrapeKeys deltas between two scrapes. Counters
@@ -338,7 +386,7 @@ func execute(ctx context.Context, p params) error {
 	queries := make([][]time.Duration, len(targets))
 	patches := make([][]time.Duration, len(targets))
 	mutates := make([][]time.Duration, len(targets))
-	metricsBefore := scrapeMetrics(base)
+	metricsBefore, scrapeErr := scrapeMetrics(base)
 	var nErrs int64
 	var elapsed time.Duration
 	for r := 0; r < p.repeat; r++ {
@@ -394,13 +442,21 @@ func execute(ctx context.Context, p params) error {
 	} else {
 		wl.Graph = targets[0].name
 	}
+	metricsAfter, afterErr := scrapeMetrics(base)
+	if scrapeErr == nil {
+		scrapeErr = afterErr
+	}
 	rep := report{
-		Workload:      wl,
-		QPS:           float64(wl.Requests) / elapsed.Seconds(),
-		LatencyMS:     summarize(allQ),
-		PerGraph:      perGraph,
-		ServerMetrics: metricsDelta(metricsBefore, scrapeMetrics(base)),
-		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Workload:       wl,
+		QPS:            float64(wl.Requests) / elapsed.Seconds(),
+		LatencyMS:      summarize(allQ),
+		PerGraph:       perGraph,
+		ServerMetrics:  metricsDelta(metricsBefore, metricsAfter),
+		ServerTimeline: timelineTail(base),
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+	}
+	if scrapeErr != nil {
+		rep.ServerMetricsError = scrapeErr.Error()
 	}
 	if len(allP) > 0 {
 		pl := summarize(allP)

@@ -18,7 +18,8 @@
 //	curl -X POST localhost:8080/v1/graphs -d '{"name":"demo","synthetic":{"n":20000,"m":100000}}'
 //
 // Endpoints: GET /healthz, GET /metrics, GET /v1/admin/registry,
-// GET /v1/admin/build, POST|GET /v1/graphs, GET|DELETE /v1/graphs/{name},
+// GET /v1/admin/build, GET /v1/admin/timeline, GET /v1/admin/slowlog,
+// GET /v1/admin/health, POST|GET /v1/graphs, GET|DELETE /v1/graphs/{name},
 // POST /v1/graphs/{name}/estimate|classify, GET|PATCH
 // /v1/graphs/{name}/labels|edges, plus the legacy default-graph aliases.
 // See internal/serve for the wire format.
@@ -28,7 +29,9 @@
 // -pprof mounts pprof on the main listener too). Logs go through log/slog
 // (-log-format text|json, -log-level; debug level adds per-request access
 // logs). Non-streaming classify accepts ?debug=1 for a per-stage timing
-// breakdown.
+// breakdown. The flight recorder adds per-graph series to /metrics, a
+// rolling timeline ring (-timeline-interval, -timeline-samples), and an
+// adaptive slow-query log (-slowlog-factor, -slowlog-floor).
 package main
 
 import (
@@ -80,6 +83,10 @@ func run() error {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug adds per-request access logs)")
 	metricsAddr := flag.String("metrics-addr", "", "separate admin listen address for /metrics and /debug/pprof (empty = serve them on -addr)")
 	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof on the main -addr listener (the -metrics-addr listener always has it)")
+	timelineInterval := flag.Duration("timeline-interval", 0, "flight recorder: sampling resolution of /v1/admin/timeline (0 = default 10s)")
+	timelineSamples := flag.Int("timeline-samples", 0, "flight recorder: ring length per timeline series (0 = default 90)")
+	slowFactor := flag.Float64("slowlog-factor", 0, "flight recorder: capture requests slower than this multiple of the tracked p99 (0 = default 3)")
+	slowFloor := flag.Duration("slowlog-floor", 0, "flight recorder: hard minimum slow-query threshold, also active during p99 warmup (0 = adaptive only)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat, *logLevel)
@@ -107,10 +114,15 @@ func run() error {
 
 	reg := registry.New(registry.Options{MemoryBudget: *budgetMB << 20})
 	srvHandler := serve.NewMulti(reg, serve.Options{
-		FlushEvery: *flushEvery,
-		Logger:     logger,
-		Pprof:      *pprofFlag,
+		FlushEvery:       *flushEvery,
+		Logger:           logger,
+		Pprof:            *pprofFlag,
+		TimelineInterval: *timelineInterval,
+		TimelineSamples:  *timelineSamples,
+		SlowLogFactor:    *slowFactor,
+		SlowLogFloor:     *slowFloor,
 	})
+	defer srvHandler.Close()
 
 	if spec, ok, err := defaultSpec(*synthetic, *edgesPath, *labelsPath, *k, *n, *m, *skew, *f, *seed, *estimator, *incremental, *residualTol, *compactFrac, *asyncCompact); err != nil {
 		return err

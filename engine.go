@@ -122,6 +122,12 @@ type Engine struct {
 	// (the first-order updates accumulate O(Δw²) error). Guarded by sumMu.
 	sumDrift float64
 
+	// epochAt is when the current topology epoch was published — at
+	// construction, then at every installEpoch. Guarded by mu; the health
+	// surface reports its age so operators can see ε-staleness building
+	// up on mutation-heavy graphs that never hit a compaction trigger.
+	epochAt time.Time
+
 	nEstimations       atomic.Int64
 	nPropagations      atomic.Int64
 	nQueries           atomic.Int64
@@ -353,6 +359,7 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 	}
 	e.x = x
 	e.nNodes.Store(int64(g.N))
+	e.epochAt = time.Now()
 	// Warm the spectral-radius cache before any query arrives; incremental
 	// engines pin this canonical ρ(W) until their next topology compaction.
 	e.rhoW = g.Adj.SpectralRadiusCached(e.linbpOptions().SpectralIters)
@@ -667,6 +674,99 @@ func (e *Engine) Stats() EngineStats {
 		TopoAsyncCompactions: e.nAsyncCompactions.Load(),
 		SketchUpdates:        e.nSketchUpdates.Load(),
 	}
+}
+
+// NumericHealth is a point-in-time reading of the engine's numeric
+// machinery — the quantities that silently decide correctness fallbacks
+// and accuracy drift but are invisible in work counters. The flight
+// recorder exports them per graph and the /v1/admin/health rollup applies
+// ok/warn thresholds to them.
+type NumericHealth struct {
+	// Incremental reports whether the engine runs the residual subsystem;
+	// the contraction/overlay/sketch fields are zero when it does not.
+	Incremental bool
+
+	// ResidualDroppedMass is the cumulative residual ∞-norm mass discarded
+	// by tier demotions, sparse compactions and patch applies since the
+	// residual state was (re)initialized; each unit perturbs served
+	// beliefs by at most s/(1−s) of itself. ResidualTol is the per-node
+	// discard threshold in force.
+	ResidualDroppedMass float64
+	ResidualTol         float64
+
+	// ContractionSEff is the worst-case effective convergence parameter
+	// s·(1+ρ(ΔW)bound/ρ(W)) of the pinned ε under the live overlay;
+	// ContractionMargin is ContractionGuard − ContractionSEff — when it
+	// reaches zero the next mutation batch forces a compaction.
+	ContractionSEff   float64
+	ContractionMargin float64
+	ContractionGuard  float64
+
+	// OverlayFraction is the delta overlay's patched share of the base
+	// rows; CompactTrigger is the fraction that triggers compaction.
+	OverlayFraction float64
+	CompactTrigger  float64
+
+	// EpochAgeSeconds is the age of the current topology epoch (time
+	// since construction, or since the last compaction epoch swap).
+	// Epoch is the compaction generation of the live overlay, so a
+	// health poller can tell "old epoch, quiet graph" from "old epoch,
+	// compaction stuck".
+	EpochAgeSeconds float64
+	Epoch           int64
+
+	// SketchDrift is the cumulative |Δw| folded into the cached estimator
+	// sketches by first-order updates since the last full summarization;
+	// at SketchDriftLimit (sketchDriftFraction of the live edge count)
+	// the cache is dropped for accuracy. Zero limit means no live cache
+	// bound (no mutable topology).
+	SketchDrift      float64
+	SketchDriftLimit float64
+}
+
+// NumericHealth reads the engine's numeric-health signals. It takes the
+// read lock briefly and never blocks on propagation work, so health
+// surfaces can poll it freely.
+func (e *Engine) NumericHealth() NumericHealth {
+	e.mu.RLock()
+	h := NumericHealth{
+		Incremental:      e.eopts.Incremental,
+		ContractionGuard: contractionGuard,
+		ResidualTol:      e.eopts.ResidualTol,
+	}
+	if h.ResidualTol == 0 {
+		h.ResidualTol = residual.DefaultTol
+	}
+	if e.topo != nil {
+		s := e.linbpOptions().S
+		bound := e.topo.RhoDeltaBound()
+		switch {
+		case e.rhoW > 0:
+			h.ContractionSEff = s * (1 + bound/e.rhoW)
+		case bound > 0:
+			h.ContractionSEff = 1 // degenerate base: guard trips immediately
+		default:
+			h.ContractionSEff = s
+		}
+		h.ContractionMargin = contractionGuard - h.ContractionSEff
+		h.OverlayFraction = e.topo.PatchedFraction()
+		h.CompactTrigger = e.compactFraction()
+		h.SketchDriftLimit = sketchDriftFraction * float64(e.topo.UndirectedEdges())
+		h.Epoch = e.topo.Stats().Compactions
+	}
+	res := e.res
+	epochAt := e.epochAt
+	e.mu.RUnlock()
+	if res != nil {
+		h.ResidualDroppedMass = res.DroppedMass()
+	}
+	if !epochAt.IsZero() {
+		h.EpochAgeSeconds = time.Since(epochAt).Seconds()
+	}
+	e.sumMu.Lock()
+	h.SketchDrift = e.sumDrift
+	e.sumMu.Unlock()
+	return h
 }
 
 // EstimateEngineBytes estimates the resident memory of an Engine serving an

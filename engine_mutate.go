@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"factorgraph/internal/delta"
 	"factorgraph/internal/dense"
@@ -483,6 +484,7 @@ func (e *Engine) installEpoch(frozen *delta.Graph, csr *sparse.CSR, rhoNew float
 	e.topo = newTopo
 	e.g = newGraph
 	e.rhoW = rhoNew
+	e.epochAt = time.Now()
 	e.snap = nil
 	e.gen++
 	e.nCompactions.Add(1)

@@ -484,6 +484,9 @@ func (g *Graph) ResetBase(base *sparse.CSR) {
 	g.diag = countDiag(base)
 	g.maxAbsDelta = 0
 	g.compactions++
+	// The previous epoch's patched share is gone; without this the global
+	// overlay gauge reads stale until the next Clone.
+	mOverlayFraction.Set(0)
 }
 
 // MemoryBytes estimates the overlay's resident bytes beyond the base CSR:

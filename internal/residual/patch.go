@@ -290,12 +290,16 @@ func (p *Patch) Apply() {
 		s.r, s.norms, s.pull = nil, nil, nil
 		s.sRows = make(map[int32][]float64)
 		s.front.Reset()
+		dropped := 0.0
 		for i, norm := range p.norms {
 			if norm > s.opts.Tol {
 				s.sRows[int32(i)] = append([]float64(nil), p.dr.Row(i)...)
 				s.front.Add(int32(i), norm)
+			} else if norm > 0 {
+				dropped += norm
 			}
 		}
+		s.addDropped(dropped)
 		return
 	}
 	for node, row := range p.rows {

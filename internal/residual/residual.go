@@ -57,6 +57,7 @@ package residual
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"factorgraph/internal/dense"
 	"factorgraph/internal/exec"
@@ -189,6 +190,14 @@ type State struct {
 	rhBuf  []float64 // push scratch: row × H̃
 
 	edgeBudget int
+
+	// droppedMass accumulates the residual ∞-norm mass discarded by
+	// demotions, sparse-tier compactions and patch applies — the numeric
+	// cost of the Tol-bounded discards the package comment bounds at
+	// Tol·s/(1−s) per node per discard. Float64 bits, CAS-added: patch
+	// sessions flush outside the engine locks, so plain arithmetic would
+	// race with a concurrent health read.
+	droppedMass atomic.Uint64
 }
 
 // NewState validates shapes, computes the ε-scaled compatibility matrix
@@ -456,13 +465,17 @@ func (s *State) demote() {
 		return
 	}
 	mDemotions.Inc()
+	dropped := 0.0
 	for i, norm := range s.norms {
 		if norm > s.opts.Tol {
 			row := append([]float64(nil), s.r.Row(i)...)
 			s.sRows[int32(i)] = row
 			s.front.Add(int32(i), norm)
+		} else if norm > 0 {
+			dropped += norm
 		}
 	}
+	s.addDropped(dropped)
 	s.r, s.norms, s.pull = nil, nil, nil
 }
 
@@ -665,11 +678,38 @@ func (s *State) compact() {
 	if len(s.sRows) <= s.promoteAt {
 		return
 	}
+	dropped := 0.0
 	for node, row := range s.sRows {
-		if infNorm(row) <= s.opts.Tol {
+		if norm := infNorm(row); norm <= s.opts.Tol {
+			dropped += norm
 			delete(s.sRows, node)
 		}
 	}
+	s.addDropped(dropped)
+}
+
+// addDropped folds discarded residual mass into the running total.
+func (s *State) addDropped(v float64) {
+	if v <= 0 {
+		return
+	}
+	for {
+		old := s.droppedMass.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.droppedMass.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// DroppedMass reports the cumulative residual ∞-norm mass this state has
+// discarded at tier demotions, sparse compactions and patch applies. Each
+// unit of reported mass perturbs the served fixed point by at most
+// s/(1−s) of itself (see the package comment), so the health rollup can
+// compare it against the 1e-6 parity budget directly. Safe to call
+// concurrently with flushes.
+func (s *State) DroppedMass() float64 {
+	return math.Float64frombits(s.droppedMass.Load())
 }
 
 // activeFromNorms lists every node whose residual norm exceeds tol.

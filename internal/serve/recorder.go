@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"factorgraph"
+	"factorgraph/internal/telemetry"
+)
+
+// recorder is the flight-recorder layer: per-graph metric vectors feeding
+// /metrics, the rolling timeline behind /v1/admin/timeline, and the
+// adaptive slow-query log behind /v1/admin/slowlog. One recorder per
+// Server; the registry's lifecycle hooks (OnRelease/OnForget) keep the
+// per-graph series in step with engine residency, and the telemetry.Vec
+// LRU bound caps cardinality even if a forget is missed.
+type recorder struct {
+	// Work counters and latency, labelled {graph}.
+	requests  *telemetry.CounterVec
+	queries   *telemetry.CounterVec
+	patches   *telemetry.CounterVec
+	mutations *telemetry.CounterVec
+	latency   *telemetry.HistogramVec
+
+	// Numeric-health gauges, labelled {graph}; refreshed on every engine
+	// release (OnRelease fires with the engine still pinned).
+	resident *telemetry.GaugeVec
+	dropped  *telemetry.GaugeVec
+	margin   *telemetry.GaugeVec
+	overlay  *telemetry.GaugeVec
+	epochAge *telemetry.GaugeVec
+	drift    *telemetry.GaugeVec
+
+	timeline *telemetry.Timeline
+	slowlog  *telemetry.SlowLog
+
+	// tracked remembers which graphs have timeline probes installed, so
+	// the per-request path is one sync.Map load after the first request.
+	tracked sync.Map // graph name -> struct{}
+}
+
+// graphCardinality bounds the number of per-graph label values each vector
+// family holds; beyond it the least-recently-used graph's series are
+// evicted from /metrics (the counters themselves survive in the handles of
+// any in-flight request, they just stop being exported).
+const graphCardinality = 512
+
+func newRecorder(o Options) *recorder {
+	reg := telemetry.Default()
+	interval := o.TimelineInterval
+	if interval <= 0 {
+		interval = telemetry.DefaultTimelineInterval
+	}
+	samples := o.TimelineSamples
+	if samples <= 0 {
+		samples = telemetry.DefaultTimelineSamples
+	}
+	factor := o.SlowLogFactor
+	if factor <= 0 {
+		factor = telemetry.DefaultSlowLogFactor
+	}
+	capacity := o.SlowLogCapacity
+	if capacity <= 0 {
+		capacity = telemetry.DefaultSlowLogCapacity
+	}
+	return &recorder{
+		requests: telemetry.NewCounterVec(reg, "fg_graph_requests_total",
+			"Engine-backed HTTP requests, by graph.", "graph", graphCardinality),
+		queries: telemetry.NewCounterVec(reg, "fg_graph_queries_total",
+			"Classify/estimate queries, by graph.", "graph", graphCardinality),
+		patches: telemetry.NewCounterVec(reg, "fg_graph_label_patches_total",
+			"Label patch requests, by graph.", "graph", graphCardinality),
+		mutations: telemetry.NewCounterVec(reg, "fg_graph_edge_mutations_total",
+			"Edge mutation requests, by graph.", "graph", graphCardinality),
+		latency: telemetry.NewHistogramVec(reg, "fg_graph_request_duration_seconds",
+			"Engine-backed request duration, by graph.", "graph", nil, graphCardinality),
+
+		resident: telemetry.NewGaugeVec(reg, "fg_graph_resident_bytes",
+			"Estimated resident bytes of the graph's engine.", "graph", graphCardinality),
+		dropped: telemetry.NewGaugeVec(reg, "fg_graph_residual_dropped_mass",
+			"Cumulative residual mass discarded by tier demotions and compactions.", "graph", graphCardinality),
+		margin: telemetry.NewGaugeVec(reg, "fg_graph_contraction_margin",
+			"Contraction-guard margin (guard minus worst-case effective s); compaction is forced at zero.", "graph", graphCardinality),
+		overlay: telemetry.NewGaugeVec(reg, "fg_graph_overlay_fraction",
+			"Delta-overlay patched fraction of the graph's stored entries.", "graph", graphCardinality),
+		epochAge: telemetry.NewGaugeVec(reg, "fg_graph_epoch_age_seconds",
+			"Age of the graph's current topology epoch.", "graph", graphCardinality),
+		drift: telemetry.NewGaugeVec(reg, "fg_graph_sketch_drift_fraction",
+			"Estimator-sketch drift as a fraction of the drop threshold.", "graph", graphCardinality),
+
+		timeline: telemetry.NewTimeline(interval, samples),
+		slowlog:  telemetry.NewSlowLog(capacity, factor, o.SlowLogFloor),
+	}
+}
+
+// trackGlobals installs the process-wide timeline probes (scope "").
+func (c *recorder) trackGlobals(s *Server) {
+	c.timeline.Track("", "http_in_flight", httpInFlight.Value)
+	c.timeline.Track("", "goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	c.timeline.Track("", "registry_resident_bytes", func() float64 {
+		return float64(s.reg.Stats().ResidentBytes)
+	})
+}
+
+// observe is the per-request tail of withEngine: per-graph counters and
+// latency, the slow-query threshold check, and (on a graph's first
+// request) timeline probe installation. The fast path is a handful of
+// LRU-map resolutions plus one atomic threshold compare.
+func (c *recorder) observe(graph, kind string, d time.Duration, tr *telemetry.Trace) {
+	c.requests.With(graph).Inc()
+	c.latency.With(graph).Observe(d.Seconds())
+	switch kind {
+	case "classify", "estimate":
+		c.queries.With(graph).Inc()
+	case "labels_patch":
+		c.patches.With(graph).Inc()
+	case "edges_patch":
+		c.mutations.With(graph).Inc()
+	}
+	c.slowlog.Observe(graph, kind, d, tr)
+	c.ensureProbes(graph)
+}
+
+// ensureProbes installs the per-graph timeline probes once per resident
+// graph. Probes read vector handles (atomics), so the 10s sampler never
+// touches engine locks.
+func (c *recorder) ensureProbes(graph string) {
+	if _, loaded := c.tracked.LoadOrStore(graph, struct{}{}); loaded {
+		return
+	}
+	req := c.requests.With(graph)
+	c.timeline.Track(graph, "requests_total", func() float64 {
+		return float64(req.Value())
+	})
+	c.timeline.Track(graph, "resident_bytes", c.resident.With(graph).Value)
+	c.timeline.Track(graph, "overlay_fraction", c.overlay.With(graph).Value)
+	c.timeline.Track(graph, "residual_dropped_mass", c.dropped.With(graph).Value)
+}
+
+// refresh is the registry's OnRelease hook: the engine is still pinned, so
+// reading its numeric health and footprint is safe. Runs on every request
+// release — NumericHealth is a brief read-lock snapshot by design.
+func (c *recorder) refresh(graph string, eng *factorgraph.Engine) {
+	h := eng.NumericHealth()
+	c.resident.With(graph).Set(float64(eng.MemoryFootprint()))
+	c.dropped.With(graph).Set(h.ResidualDroppedMass)
+	c.epochAge.With(graph).Set(h.EpochAgeSeconds)
+	c.margin.With(graph).Set(h.ContractionMargin)
+	c.overlay.With(graph).Set(h.OverlayFraction)
+	if h.SketchDriftLimit > 0 {
+		c.drift.With(graph).Set(h.SketchDrift / h.SketchDriftLimit)
+	} else {
+		c.drift.With(graph).Set(0)
+	}
+}
+
+// forget is the registry's OnForget hook: the graph was deleted or fully
+// evicted, so every per-graph series leaves /metrics and its timeline
+// history is dropped. Runs under the registry lock — everything here is
+// registry-free (telemetry and timeline have their own locks).
+func (c *recorder) forget(graph string) {
+	c.tracked.Delete(graph)
+	c.timeline.Untrack(graph)
+	c.requests.Delete(graph)
+	c.queries.Delete(graph)
+	c.patches.Delete(graph)
+	c.mutations.Delete(graph)
+	c.latency.Delete(graph)
+	c.resident.Delete(graph)
+	c.dropped.Delete(graph)
+	c.margin.Delete(graph)
+	c.overlay.Delete(graph)
+	c.epochAge.Delete(graph)
+	c.drift.Delete(graph)
+}
+
+// Numeric-health rollup thresholds. The warn levels are deliberately
+// early — the point of the rollup is headroom, not alarms after the
+// machinery already fell back.
+const (
+	// healthMarginWarn: warn when the contraction margin drops below this —
+	// the next mutation batches are likely to force a synchronous
+	// compaction.
+	healthMarginWarn = 0.05
+	// healthTriggerShare: warn when the overlay fraction or the sketch
+	// drift passes this share of its compaction/drop trigger.
+	healthTriggerShare = 0.8
+	// healthDroppedTolMultiple: warn when the cumulative dropped residual
+	// mass exceeds this many multiples of the per-node tolerance — the
+	// discards are no longer individually negligible in aggregate.
+	healthDroppedTolMultiple = 1e4
+	// healthEpochAgeWarn: warn when an epoch older than this still has an
+	// overlay past the warn share of its compaction trigger — the
+	// compaction that should have swapped a fresh epoch in never landed.
+	// Old epochs with small overlays are normal (slow-mutating graphs
+	// never cross the trigger) and stay ok.
+	healthEpochAgeWarn = float64(3600)
+)
+
+const (
+	healthOK   = "ok"
+	healthWarn = "warn"
+)
+
+// numericChecks applies the rollup thresholds to one engine's health
+// snapshot.
+func numericChecks(h factorgraph.NumericHealth) []HealthCheck {
+	checks := []HealthCheck{{
+		Name:   "residual_dropped_mass",
+		Value:  h.ResidualDroppedMass,
+		WarnAt: healthDroppedTolMultiple * h.ResidualTol,
+		Detail: "cumulative residual mass discarded by demotions/compactions",
+	}}
+	checks[0].Status = statusAbove(h.ResidualDroppedMass, checks[0].WarnAt)
+	if h.Incremental {
+		checks = append(checks,
+			HealthCheck{
+				Name:   "contraction_margin",
+				Value:  h.ContractionMargin,
+				WarnAt: healthMarginWarn,
+				Status: statusBelow(h.ContractionMargin, healthMarginWarn),
+				Detail: "guard minus worst-case effective s under the live overlay",
+			},
+			HealthCheck{
+				Name:   "overlay_fraction",
+				Value:  h.OverlayFraction,
+				WarnAt: healthTriggerShare * h.CompactTrigger,
+				Status: statusAbove(h.OverlayFraction, healthTriggerShare*h.CompactTrigger),
+				Detail: "patched share of stored entries vs the compaction trigger",
+			},
+			HealthCheck{
+				Name:   "epoch_age_seconds",
+				Value:  h.EpochAgeSeconds,
+				WarnAt: healthEpochAgeWarn,
+				Status: statusEpochAge(h),
+				Detail: "age of the current epoch; warns only when compaction looks overdue",
+			})
+		if h.SketchDriftLimit > 0 {
+			frac := h.SketchDrift / h.SketchDriftLimit
+			checks = append(checks, HealthCheck{
+				Name:   "sketch_drift_fraction",
+				Value:  frac,
+				WarnAt: healthTriggerShare,
+				Status: statusAbove(frac, healthTriggerShare),
+				Detail: "estimator-sketch drift vs the cache-drop threshold",
+			})
+		}
+	}
+	return checks
+}
+
+func statusAbove(v, warnAt float64) string {
+	if warnAt > 0 && v >= warnAt {
+		return healthWarn
+	}
+	return healthOK
+}
+
+func statusBelow(v, warnAt float64) string {
+	if v < warnAt {
+		return healthWarn
+	}
+	return healthOK
+}
+
+func statusEpochAge(h factorgraph.NumericHealth) string {
+	if h.EpochAgeSeconds > healthEpochAgeWarn &&
+		h.OverlayFraction >= healthTriggerShare*h.CompactTrigger && h.CompactTrigger > 0 {
+		return healthWarn
+	}
+	return healthOK
+}
+
+// handleTimeline serves GET /v1/admin/timeline[?graph=]: the rolling ring
+// of sampled series, oldest point first — trend data with no external
+// Prometheus. Without ?graph it returns every scope (process-wide series
+// carry no "graph" key).
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	graph := r.URL.Query().Get("graph")
+	series := s.rec.timeline.Snapshot(graph, graph == "")
+	writeJSON(w, http.StatusOK, TimelineResponse{
+		IntervalSeconds: s.rec.timeline.Interval().Seconds(),
+		Series:          series,
+	})
+}
+
+// handleSlowLog serves GET /v1/admin/slowlog: the most recent slow-query
+// captures (newest first) plus the adaptive threshold currently in force.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	entries := s.rec.slowlog.Entries()
+	resp := SlowLogResponse{
+		ThresholdUs: s.rec.slowlog.Threshold().Microseconds(),
+		Entries:     make([]SlowLogEntry, 0, len(entries)),
+	}
+	for _, e := range entries {
+		we := SlowLogEntry{
+			Time:        e.Time.UTC().Format(time.RFC3339Nano),
+			Graph:       e.Scope,
+			Route:       e.Route,
+			DurationUs:  e.Duration.Microseconds(),
+			ThresholdUs: e.Threshold.Microseconds(),
+		}
+		for _, sp := range e.Spans {
+			we.Stages = append(we.Stages, StageTiming{
+				Stage: sp.Name,
+				Us:    float64(sp.Dur) / float64(time.Microsecond),
+			})
+		}
+		resp.Entries = append(resp.Entries, we)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleNumericHealth serves GET /v1/admin/health: per-graph numeric-health
+// checks with ok/warn thresholds, rolled up to one top-level status. Cold
+// graphs are listed but never built — health polling must not change
+// residency.
+func (s *Server) handleNumericHealth(w http.ResponseWriter, r *http.Request) {
+	resp := NumericHealthResponse{Status: healthOK}
+	for _, info := range s.reg.List() {
+		eng, release, ok := s.reg.AcquireIfBuilt(info.Name)
+		if !ok {
+			resp.Cold = append(resp.Cold, info.Name)
+			continue
+		}
+		h := eng.NumericHealth()
+		release()
+		gh := GraphHealth{
+			Graph:       info.Name,
+			Status:      healthOK,
+			Incremental: h.Incremental,
+			Epoch:       h.Epoch,
+			Checks:      numericChecks(h),
+		}
+		for _, c := range gh.Checks {
+			if c.Status == healthWarn {
+				gh.Status = healthWarn
+				resp.Status = healthWarn
+			}
+		}
+		resp.Graphs = append(resp.Graphs, gh)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"factorgraph"
+)
+
+// rawScrape fetches /metrics and returns the raw exposition text, for
+// per-label (not summed) assertions.
+func rawScrape(t *testing.T, srv *Server) string {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+func classifyGraph(t *testing.T, srv *Server, name string) {
+	t.Helper()
+	rec, _ := doJSON(t, srv, "POST", "/v1/graphs/"+name+"/classify", `{"nodes":[0,1]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("classify %s: status %d: %s", name, rec.Code, rec.Body.String())
+	}
+}
+
+// TestPerGraphSeriesLifecycle is the flight-recorder cardinality
+// acceptance test: per-graph series appear on the first request, refresh
+// while resident, and leave /metrics completely on DELETE. The telemetry
+// registry is process-global, so assertions are scoped to this test's
+// graph names.
+func TestPerGraphSeriesLifecycle(t *testing.T) {
+	srv := newMultiServer(0, Options{})
+	for _, name := range []string{"recldaa", "recldab"} {
+		rec, _ := doJSON(t, srv, "POST", "/v1/graphs", synthBody(name, 200, 1000))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", name, rec.Code)
+		}
+		classifyGraph(t, srv, name)
+	}
+
+	text := rawScrape(t, srv)
+	for _, name := range []string{"recldaa", "recldab"} {
+		for _, fam := range []string{
+			"fg_graph_requests_total", "fg_graph_queries_total",
+			"fg_graph_resident_bytes", "fg_graph_epoch_age_seconds",
+		} {
+			if !strings.Contains(text, fmt.Sprintf("%s{graph=%q}", fam, name)) {
+				t.Errorf("%s missing series for graph %q", fam, name)
+			}
+		}
+		if !strings.Contains(text, fmt.Sprintf("fg_graph_request_duration_seconds_count{graph=%q}", name)) {
+			t.Errorf("latency histogram missing for graph %q", name)
+		}
+	}
+
+	// DELETE drops every series of that graph and leaves the other's.
+	rec, _ := doJSON(t, srv, "DELETE", "/v1/graphs/recldaa", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: status %d", rec.Code)
+	}
+	text = rawScrape(t, srv)
+	if strings.Contains(text, `graph="recldaa"`) {
+		t.Errorf("deleted graph's series still exported:\n%s", grepLines(text, "recldaa"))
+	}
+	if !strings.Contains(text, `fg_graph_requests_total{graph="recldab"}`) {
+		t.Errorf("surviving graph's series disappeared")
+	}
+}
+
+// TestPerGraphSeriesEviction: a tier-2 (full) eviction unregisters the
+// graph's series exactly like a DELETE; the next request re-registers
+// them.
+func TestPerGraphSeriesEviction(t *testing.T) {
+	// Budget below a single shed footprint: every release fully evicts.
+	budget := factorgraph.EstimateEngineBytes(300, 1500, 3, false) / 4
+	srv := newMultiServer(budget, Options{})
+	rec, _ := doJSON(t, srv, "POST", "/v1/graphs", synthBody("recevict", 300, 1500))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d", rec.Code)
+	}
+	classifyGraph(t, srv, "recevict")
+
+	if text := rawScrape(t, srv); strings.Contains(text, `graph="recevict"`) {
+		t.Errorf("evicted graph's series still exported:\n%s", grepLines(text, "recevict"))
+	}
+
+	// While the transparently-rebuilt engine is pinned resident, the
+	// series are re-registered and exported again...
+	_, release, err := srv.Registry().Acquire("recevict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classifyGraph(t, srv, "recevict")
+	if text := rawScrape(t, srv); !strings.Contains(text, `fg_graph_requests_total{graph="recevict"}`) {
+		t.Errorf("series not re-registered after transparent rebuild")
+	}
+	// ...and the pin's release re-evicts under the tiny budget, dropping
+	// them once more.
+	release()
+	if text := rawScrape(t, srv); strings.Contains(text, `graph="recevict"`) {
+		t.Errorf("re-evicted graph's series still exported:\n%s", grepLines(text, "recevict"))
+	}
+}
+
+func grepLines(text, needle string) string {
+	var hits []string
+	for _, ln := range strings.Split(text, "\n") {
+		if strings.Contains(ln, needle) {
+			hits = append(hits, ln)
+		}
+	}
+	return strings.Join(hits, "\n")
+}
+
+// TestTimelineEndpoint: probes install on a graph's first request, the
+// sampler snapshots them into the ring, and /v1/admin/timeline serves the
+// history — filtered per graph with ?graph=.
+func TestTimelineEndpoint(t *testing.T) {
+	// A huge interval so only explicit Sample() calls add points — the
+	// test owns the clock.
+	srv := newMultiServer(0, Options{TimelineInterval: time.Hour, TimelineSamples: 8})
+	rec, _ := doJSON(t, srv, "POST", "/v1/graphs", synthBody("rectl", 200, 1000))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d", rec.Code)
+	}
+	classifyGraph(t, srv, "rectl")
+	srv.rec.timeline.Sample()
+	classifyGraph(t, srv, "rectl")
+	srv.rec.timeline.Sample()
+
+	var resp TimelineResponse
+	hrec, _ := doJSON(t, srv, "GET", "/v1/admin/timeline", "")
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("timeline: status %d", hrec.Code)
+	}
+	if err := json.Unmarshal(hrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.IntervalSeconds != 3600 {
+		t.Errorf("interval_seconds = %v, want 3600", resp.IntervalSeconds)
+	}
+	find := func(scope, name string) *TimelineSeriesCheck {
+		for _, s := range resp.Series {
+			if s.Scope == scope && s.Name == name {
+				return &TimelineSeriesCheck{s.Points[0].Value, s.Points[len(s.Points)-1].Value, len(s.Points)}
+			}
+		}
+		return nil
+	}
+	got := find("rectl", "requests_total")
+	if got == nil {
+		t.Fatalf("no requests_total series for graph rectl in %d series", len(resp.Series))
+	}
+	if got.n != 2 || got.first != 1 || got.last != 2 {
+		t.Errorf("requests_total points = %+v, want 2 points 1→2", got)
+	}
+	if find("", "goroutines") == nil {
+		t.Errorf("process-wide goroutines series missing")
+	}
+
+	// ?graph= filters to one scope.
+	hrec, _ = doJSON(t, srv, "GET", "/v1/admin/timeline?graph=rectl", "")
+	resp = TimelineResponse{}
+	if err := json.Unmarshal(hrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range resp.Series {
+		if s.Scope != "rectl" {
+			t.Errorf("filtered snapshot leaked scope %q", s.Scope)
+		}
+	}
+	if len(resp.Series) == 0 {
+		t.Errorf("filtered snapshot empty")
+	}
+
+	// DELETE drops the graph's timeline history.
+	if drec, _ := doJSON(t, srv, "DELETE", "/v1/graphs/rectl", ""); drec.Code != http.StatusOK {
+		t.Fatalf("delete: status %d", drec.Code)
+	}
+	hrec, _ = doJSON(t, srv, "GET", "/v1/admin/timeline?graph=rectl", "")
+	resp = TimelineResponse{}
+	if err := json.Unmarshal(hrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Series) != 0 {
+		t.Errorf("deleted graph still has %d timeline series", len(resp.Series))
+	}
+}
+
+type TimelineSeriesCheck struct {
+	first, last float64
+	n           int
+}
+
+// TestSlowLogEndToEnd forces the slow-query path over HTTP: with a 1ns
+// floor every request lands beyond the threshold, and the captured entry
+// carries the engine's full stage trace.
+func TestSlowLogEndToEnd(t *testing.T) {
+	srv := newMultiServer(0, Options{SlowLogFloor: time.Nanosecond})
+	rec, _ := doJSON(t, srv, "POST", "/v1/graphs", synthBody("recslow", 200, 1000))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d", rec.Code)
+	}
+	classifyGraph(t, srv, "recslow")
+
+	hrec, _ := doJSON(t, srv, "GET", "/v1/admin/slowlog", "")
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("slowlog: status %d", hrec.Code)
+	}
+	var resp SlowLogResponse
+	if err := json.Unmarshal(hrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entries) == 0 {
+		t.Fatalf("no slow-log entries captured")
+	}
+	e := resp.Entries[0]
+	if e.Graph != "recslow" || e.Route != "classify" {
+		t.Errorf("entry = %s/%s, want recslow/classify", e.Graph, e.Route)
+	}
+	if e.DurationUs <= 0 {
+		t.Errorf("duration_us = %d, want > 0", e.DurationUs)
+	}
+	if len(e.Stages) == 0 {
+		t.Errorf("captured entry has no stage trace")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, e.Time); err != nil {
+		t.Errorf("entry time %q: %v", e.Time, err)
+	}
+}
+
+// TestNumericHealthEndpoint: resident graphs report their checks, cold
+// graphs are listed without being built, and an incremental graph carries
+// the contraction/overlay/sketch checks.
+func TestNumericHealthEndpoint(t *testing.T) {
+	srv := newMultiServer(0, Options{})
+	body := `{"name":"rechealth","incremental":true,"synthetic":{"n":200,"m":1000,"f":0.1,"seed":7}}`
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs", body); rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, srv, "POST", "/v1/graphs", synthBody("reccold", 200, 1000)); rec.Code != http.StatusCreated {
+		t.Fatalf("create cold: status %d", rec.Code)
+	}
+	classifyGraph(t, srv, "rechealth")
+
+	hrec, _ := doJSON(t, srv, "GET", "/v1/admin/health", "")
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("health: status %d", hrec.Code)
+	}
+	var resp NumericHealthResponse
+	if err := json.Unmarshal(hrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" {
+		t.Errorf("status = %q, want ok: %+v", resp.Status, resp)
+	}
+	var gh *GraphHealth
+	for i := range resp.Graphs {
+		if resp.Graphs[i].Graph == "rechealth" {
+			gh = &resp.Graphs[i]
+		}
+	}
+	if gh == nil {
+		t.Fatalf("no health entry for rechealth: %+v", resp)
+	}
+	if !gh.Incremental {
+		t.Errorf("incremental graph reported as non-incremental")
+	}
+	want := map[string]bool{"residual_dropped_mass": false, "contraction_margin": false, "overlay_fraction": false, "epoch_age_seconds": false}
+	for _, c := range gh.Checks {
+		if _, ok := want[c.Name]; ok {
+			want[c.Name] = true
+		}
+		if c.Status != "ok" && c.Status != "warn" {
+			t.Errorf("check %s has status %q", c.Name, c.Status)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("check %s missing from %+v", name, gh.Checks)
+		}
+	}
+	found := false
+	for _, c := range resp.Cold {
+		if c == "reccold" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cold graph not listed: %+v", resp.Cold)
+	}
+	// Health polling must not build engines.
+	if rec, _ := doJSON(t, srv, "GET", "/v1/graphs/reccold", ""); !strings.Contains(rec.Body.String(), `"state":"cold"`) {
+		t.Errorf("health poll built the cold graph: %s", rec.Body.String())
+	}
+}
+
+// TestNumericChecksThresholds pins the warn directions of the rollup.
+func TestNumericChecksThresholds(t *testing.T) {
+	h := factorgraph.NumericHealth{
+		Incremental:         true,
+		ResidualDroppedMass: 1,
+		ResidualTol:         1e-8,
+		ContractionMargin:   0.01,
+		OverlayFraction:     0.24,
+		CompactTrigger:      0.25,
+		EpochAgeSeconds:     7200,
+		SketchDrift:         9,
+		SketchDriftLimit:    10,
+	}
+	status := map[string]string{}
+	for _, c := range numericChecks(h) {
+		status[c.Name] = c.Status
+	}
+	for name, wantStatus := range map[string]string{
+		"residual_dropped_mass": "warn", // 1 >> 1e4 × 1e-8
+		"contraction_margin":    "warn", // 0.01 < 0.05
+		"overlay_fraction":      "warn", // 0.24 ≥ 0.8 × 0.25
+		"epoch_age_seconds":     "warn", // 2h old with a live overlay
+		"sketch_drift_fraction": "warn", // 0.9 ≥ 0.8
+	} {
+		if status[name] != wantStatus {
+			t.Errorf("check %s = %q, want %q", name, status[name], wantStatus)
+		}
+	}
+
+	// The healthy side of every threshold.
+	h = factorgraph.NumericHealth{
+		Incremental:         true,
+		ResidualDroppedMass: 1e-6,
+		ResidualTol:         1e-8,
+		ContractionMargin:   0.3,
+		OverlayFraction:     0.05,
+		CompactTrigger:      0.25,
+		EpochAgeSeconds:     7200, // old but with an empty overlay: fine
+		SketchDrift:         1,
+		SketchDriftLimit:    10,
+	}
+	for _, c := range numericChecks(h) {
+		if c.Status != "ok" {
+			t.Errorf("check %s = %q, want ok (value %v, warn_at %v)", c.Name, c.Status, c.Value, c.WarnAt)
+		}
+	}
+}

@@ -95,6 +95,22 @@ type Options struct {
 	// mux. cmd/serve sets it for same-port profiling; a separate admin
 	// listener (-metrics-addr) mounts its own handlers instead.
 	Pprof bool
+
+	// TimelineInterval / TimelineSamples size the flight recorder's
+	// rolling ring behind GET /v1/admin/timeline: one point per interval,
+	// samples points of history per series (defaults 10s × 90 — 15
+	// minutes). Zero values take the defaults.
+	TimelineInterval time.Duration
+	TimelineSamples  int
+	// SlowLogFactor scales the tracked p99 latency into the slow-query
+	// capture threshold (default 3: capture requests 3× slower than the
+	// recent p99). SlowLogFloor, when set, is a hard minimum threshold —
+	// and doubles as the pre-warmup threshold so cold servers with a
+	// floor still capture. SlowLogCapacity bounds the capture ring
+	// (default 64 entries).
+	SlowLogFactor   float64
+	SlowLogFloor    time.Duration
+	SlowLogCapacity int
 }
 
 // Adaptive flush bounds: a flush slower than slowFlushLatency doubles the
@@ -133,6 +149,7 @@ type Server struct {
 	start      time.Time
 	flushEvery int
 	log        *slog.Logger
+	rec        *recorder
 }
 
 // New builds a single-graph Server around an initialized engine: the engine
@@ -155,9 +172,20 @@ func NewMulti(reg *registry.Registry, o Options) *Server {
 		o.FlushEvery = defaultFlushEvery
 	}
 	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), flushEvery: o.FlushEvery, log: o.Logger}
+	s.rec = newRecorder(o)
+	// The registry drives per-graph series lifecycle: gauges refresh while
+	// the engine is still pinned, and every per-graph series is dropped
+	// when the graph is deleted or fully evicted.
+	reg.SetHooks(registry.Hooks{OnRelease: s.rec.refresh, OnForget: s.rec.forget})
+	s.rec.trackGlobals(s)
+	s.rec.timeline.Start()
+
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /v1/admin/registry", "admin_registry", s.handleAdmin)
 	s.route("GET /v1/admin/build", "admin_build", s.handleBuildInfo)
+	s.route("GET /v1/admin/timeline", "admin_timeline", s.handleTimeline)
+	s.route("GET /v1/admin/slowlog", "admin_slowlog", s.handleSlowLog)
+	s.route("GET /v1/admin/health", "admin_health", s.handleNumericHealth)
 
 	metrics := telemetry.Handler(telemetry.Default())
 	s.route("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -169,18 +197,18 @@ func NewMulti(reg *registry.Registry, o Options) *Server {
 	s.route("GET /v1/graphs/{name}", "graph_get", s.handleGraphGet)
 	s.route("DELETE /v1/graphs/{name}", "graph_delete", s.handleGraphDelete)
 
-	s.route("POST /v1/graphs/{name}/estimate", "estimate", s.withEngine(s.handleEstimate))
-	s.route("POST /v1/graphs/{name}/classify", "classify", s.withEngine(s.handleClassify))
-	s.route("GET /v1/graphs/{name}/labels", "labels_get", s.withEngine(s.handleLabelsGet))
-	s.route("PATCH /v1/graphs/{name}/labels", "labels_patch", s.withEngine(s.handleLabelsPatch))
-	s.route("PATCH /v1/graphs/{name}/edges", "edges_patch", s.withEngine(s.handleEdgesPatch))
+	s.route("POST /v1/graphs/{name}/estimate", "estimate", s.withEngine("estimate", s.handleEstimate))
+	s.route("POST /v1/graphs/{name}/classify", "classify", s.withEngine("classify", s.handleClassify))
+	s.route("GET /v1/graphs/{name}/labels", "labels_get", s.withEngine("labels_get", s.handleLabelsGet))
+	s.route("PATCH /v1/graphs/{name}/labels", "labels_patch", s.withEngine("labels_patch", s.handleLabelsPatch))
+	s.route("PATCH /v1/graphs/{name}/edges", "edges_patch", s.withEngine("edges_patch", s.handleEdgesPatch))
 
 	// Legacy single-graph aliases resolving to the default graph. They share
 	// the canonical route's metric series.
-	s.route("POST /v1/estimate", "estimate", s.withEngine(s.handleEstimate))
-	s.route("POST /v1/classify", "classify", s.withEngine(s.handleClassify))
-	s.route("GET /v1/labels", "labels_get", s.withEngine(s.handleLabelsGet))
-	s.route("PATCH /v1/labels", "labels_patch", s.withEngine(s.handleLabelsPatch))
+	s.route("POST /v1/estimate", "estimate", s.withEngine("estimate", s.handleEstimate))
+	s.route("POST /v1/classify", "classify", s.withEngine("classify", s.handleClassify))
+	s.route("GET /v1/labels", "labels_get", s.withEngine("labels_get", s.handleLabelsGet))
+	s.route("PATCH /v1/labels", "labels_patch", s.withEngine("labels_patch", s.handleLabelsPatch))
 
 	if o.Pprof {
 		// Unwrapped: profile downloads run for -seconds and would distort
@@ -198,6 +226,10 @@ func NewMulti(reg *registry.Registry, o Options) *Server {
 // graph through it before listening).
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
+// Close stops the flight recorder's background sampler. The Server holds
+// no listeners of its own; cmd/serve calls this during shutdown.
+func (s *Server) Close() { s.rec.timeline.Stop() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -207,8 +239,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // "default" on the legacy routes) through the registry — building the
 // engine if it is cold or was evicted — and pins it for the duration of the
 // handler via the registry refcount, so eviction can never close an engine
-// mid-request.
-func (s *Server) withEngine(fn func(http.ResponseWriter, *http.Request, *factorgraph.Engine)) http.HandlerFunc {
+// mid-request. It is also the flight recorder's capture point: a stage
+// trace rides the request context (handlers thread it into engine queries),
+// and the per-graph counters, latency histogram and slow-query threshold
+// check run on the way out. kind names the request class for the
+// query/patch/mutation counters and the slow-log entries.
+func (s *Server) withEngine(kind string, fn func(http.ResponseWriter, *http.Request, *factorgraph.Engine)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if name == "" {
@@ -220,7 +256,10 @@ func (s *Server) withEngine(fn func(http.ResponseWriter, *http.Request, *factorg
 			return
 		}
 		defer release()
-		fn(w, r, eng)
+		tr := telemetry.NewTrace()
+		start := time.Now()
+		fn(w, r.WithContext(telemetry.WithTrace(r.Context(), tr)), eng)
+		s.rec.observe(name, kind, time.Since(start), tr)
 	}
 }
 
@@ -457,15 +496,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 	}
 	gzipOK := acceptsGzip(r)
 	if !req.Stream {
-		// debug=1 threads a stage trace through the query: the engine
-		// records where the time went (overlay vs resolve vs emit) and the
-		// response carries the breakdown. Normal requests pass a nil trace
-		// and pay nothing.
-		var tr *telemetry.Trace
-		if r.URL.Query().Get("debug") == "1" {
-			tr = telemetry.NewTrace()
-			q.Trace = tr
-		}
+		// The middleware's stage trace threads through the query: the
+		// engine records where the time went (overlay vs resolve vs emit),
+		// the slow-query log captures it when the request lands beyond the
+		// adaptive threshold, and debug=1 additionally returns the
+		// breakdown in the response.
+		tr := telemetry.TraceFrom(r.Context())
+		q.Trace = tr
+		debug := r.URL.Query().Get("debug") == "1"
 		var results []factorgraph.NodeResult
 		if q.Nodes != nil {
 			results = make([]factorgraph.NodeResult, 0, len(q.Nodes))
@@ -484,7 +522,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, eng *fac
 			TouchedEdges: meta.TouchedEdges, ClonedRows: meta.ClonedRows,
 			Cached: meta.CacheHit,
 		}
-		if tr != nil {
+		if debug && tr != nil {
 			for _, sp := range tr.Spans() {
 				resp.Stages = append(resp.Stages, StageTiming{
 					Stage: sp.Name,

@@ -6,6 +6,7 @@ import (
 
 	"factorgraph"
 	"factorgraph/internal/registry"
+	"factorgraph/internal/telemetry"
 )
 
 // Wire types for the JSON HTTP API. Node ids inside JSON object keys are
@@ -360,4 +361,62 @@ type BuildResponse struct {
 // APIError is the uniform error body.
 type APIError struct {
 	Error string `json:"error"`
+}
+
+// TimelineResponse is the body of GET /v1/admin/timeline: the flight
+// recorder's rolling ring of sampled series, oldest point first. Series
+// without a "graph" key are process-wide.
+type TimelineResponse struct {
+	IntervalSeconds float64                    `json:"interval_seconds"`
+	Series          []telemetry.TimelineSeries `json:"series"`
+}
+
+// SlowLogEntry is one captured slow request: when, where, how far past the
+// threshold, and the engine's stage breakdown when the route threads one.
+type SlowLogEntry struct {
+	Time        string        `json:"time"`
+	Graph       string        `json:"graph,omitempty"`
+	Route       string        `json:"route"`
+	DurationUs  int64         `json:"duration_us"`
+	ThresholdUs int64         `json:"threshold_us"`
+	Stages      []StageTiming `json:"stages,omitempty"`
+}
+
+// SlowLogResponse is the body of GET /v1/admin/slowlog, newest entry first.
+// ThresholdUs is the adaptive capture threshold currently in force (p99 of
+// the tracked window times the configured factor); 0 entries with a huge
+// threshold means the log is still warming up.
+type SlowLogResponse struct {
+	ThresholdUs int64          `json:"threshold_us"`
+	Entries     []SlowLogEntry `json:"entries"`
+}
+
+// HealthCheck is one numeric-health reading with its warn threshold
+// applied. The comparison direction depends on the check (margin warns
+// low, everything else warns high); Status carries the verdict so clients
+// need not re-implement the thresholds.
+type HealthCheck struct {
+	Name   string  `json:"name"`
+	Status string  `json:"status"` // ok | warn
+	Value  float64 `json:"value"`
+	WarnAt float64 `json:"warn_at,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// GraphHealth is one graph's numeric-health rollup.
+type GraphHealth struct {
+	Graph       string        `json:"graph"`
+	Status      string        `json:"status"` // ok | warn: worst check
+	Incremental bool          `json:"incremental"`
+	Epoch       int64         `json:"epoch"`
+	Checks      []HealthCheck `json:"checks"`
+}
+
+// NumericHealthResponse is the body of GET /v1/admin/health. Cold lists
+// graphs that are registered but not resident — health polling never
+// builds an engine.
+type NumericHealthResponse struct {
+	Status string        `json:"status"` // ok | warn: worst graph
+	Graphs []GraphHealth `json:"graphs"`
+	Cold   []string      `json:"cold,omitempty"`
 }

@@ -271,6 +271,25 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return h
 }
 
+// RemoveSeries unregisters the series name{labels} from exposition. A
+// handle already held for it keeps accepting updates but is no longer
+// rendered; registering the same name+labels again creates a fresh series.
+// This is what lets bounded-cardinality vectors (vec.go) release a dynamic
+// label value when its owner goes away.
+func (r *Registry) RemoveSeries(name string, labels ...Labels) {
+	key := canonLabels(merge(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		return
+	}
+	delete(f.series, key)
+	if len(f.series) == 0 {
+		delete(r.fams, name)
+	}
+}
+
 func merge(ls []Labels) Labels {
 	switch len(ls) {
 	case 0:

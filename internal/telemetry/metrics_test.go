@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -154,6 +155,171 @@ func TestConcurrentMetrics(t *testing.T) {
 	hi := h.counts[1].Load()
 	if lo != hi || lo+hi != workers*perWorker {
 		t.Errorf("bucket split = %d/%d, want even halves of %d", lo, hi, workers*perWorker)
+	}
+}
+
+// TestParseTextTotalsTrailingTimestamp pins the retry-one-field-left
+// behaviour: a `name value timestamp` line must sum the value, not the
+// millisecond timestamp, while plain integer values keep parsing as
+// values.
+func TestParseTextTotalsTrailingTimestamp(t *testing.T) {
+	in := `ts_ops_total{kind="a"} 7 1754600000000
+ts_ops_total{kind="b"} 2.5 1754600000001
+ts_plain_total 5
+ts_big_gauge 1754600000000
+`
+	totals, err := ParseTextTotals(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totals["ts_ops_total"]; got != 9.5 {
+		t.Errorf("ts_ops_total = %v, want 9.5 (timestamps must not be summed)", got)
+	}
+	if got := totals["ts_plain_total"]; got != 5 {
+		t.Errorf("ts_plain_total = %v, want 5", got)
+	}
+	// A single epoch-magnitude field with no field to its left is a value.
+	if got := totals["ts_big_gauge"]; got != 1754600000000 {
+		t.Errorf("ts_big_gauge = %v, want 1754600000000", got)
+	}
+}
+
+// TestHistogramBucketEdges pins bound handling: an observation exactly on
+// a bucket bound lands in that bucket (bounds are upper-inclusive), and an
+// observation above the top bound lands only in the implicit +Inf bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "x", []float64{0.1, 1})
+	h.Observe(0.1) // exactly on the first bound
+	h.Observe(1)   // exactly on the top bound
+	h.Observe(1.5) // above every bound → +Inf only
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=0.1 = %d, want 1 (bound is inclusive)", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=1 = %d, want 1 (bound is inclusive)", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`edge_seconds_bucket{le="0.1"} 1`,
+		`edge_seconds_bucket{le="1"} 2`,
+		`edge_seconds_bucket{le="+Inf"} 3`,
+		`edge_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramConcurrentSnapshot scrapes while observers hammer the
+// histogram and checks every snapshot is internally coherent: parsed
+// totals are monotone non-decreasing across scrapes, and the final scrape
+// agrees exactly with the observation count.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap_seconds", "x", []float64{0.5})
+	const workers, perWorker = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var scrapeErr error
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		var lastCount float64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				scrapeErr = err
+				return
+			}
+			totals, err := ParseTextTotals(strings.NewReader(b.String()))
+			if err != nil {
+				scrapeErr = err
+				return
+			}
+			if c := totals["snap_seconds_count"]; c < lastCount {
+				scrapeErr = fmt.Errorf("count went backwards: %v after %v", c, lastCount)
+				return
+			} else {
+				lastCount = c
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%2)*0.75 + 0.1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	if scrapeErr != nil {
+		t.Fatal(scrapeErr)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	totals, err := ParseTextTotals(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totals["snap_seconds_count"]; got != workers*perWorker {
+		t.Errorf("final count = %v, want %d", got, workers*perWorker)
+	}
+}
+
+// TestRemoveSeries checks unregistration: the series leaves the
+// exposition, the family header goes with the last series, and stale
+// handles keep working without resurrecting the series.
+func TestRemoveSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("rm_total", "x", Labels{"graph": "a"})
+	r.Counter("rm_total", "x", Labels{"graph": "b"}).Inc()
+	a.Inc()
+	r.RemoveSeries("rm_total", Labels{"graph": "a"})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `graph="a"`) {
+		t.Error("removed series still exported")
+	}
+	a.Inc() // stale handle: harmless, invisible
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `graph="a"`) {
+		t.Error("stale handle resurrected the series")
+	}
+	r.RemoveSeries("rm_total", Labels{"graph": "b"})
+	r.RemoveSeries("rm_total", Labels{"graph": "b"}) // idempotent
+	r.RemoveSeries("never_registered")               // unknown family: no-op
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "rm_total") {
+		t.Errorf("empty family still exported:\n%s", b.String())
 	}
 }
 

@@ -32,6 +32,13 @@ func ParseTextTotals(r io.Reader) (map[string]float64, error) {
 		// A trailing timestamp would make valStr an integer millisecond
 		// stamp; WriteText never emits one, and exporters that do put it
 		// after the value — handle that by retrying one field left.
+		if looksLikeTimestamp(valStr) {
+			if sp2 := strings.LastIndexByte(line[:sp], ' '); sp2 >= 0 {
+				if _, err := strconv.ParseFloat(line[sp2+1:sp], 64); err == nil {
+					name, valStr = line[:sp2], line[sp2+1:sp]
+				}
+			}
+		}
 		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			continue
@@ -46,4 +53,14 @@ func ParseTextTotals(r io.Reader) (map[string]float64, error) {
 		totals[name] += v
 	}
 	return totals, sc.Err()
+}
+
+// looksLikeTimestamp reports whether a trailing field reads as a Prometheus
+// millisecond timestamp: a plain integer of epoch-milliseconds magnitude.
+// Metric values that large are conceivable but would be floats or counters
+// far beyond anything this stack emits; requiring ≥ 1e12 (Sep 2001 in ms)
+// keeps small integer values like "5" parsing as values.
+func looksLikeTimestamp(s string) bool {
+	n, err := strconv.ParseInt(s, 10, 64)
+	return err == nil && n >= 1e12
 }

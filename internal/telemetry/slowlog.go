@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog is the flight recorder's always-on slow-query capture. Every
+// request reports its duration; a request slower than the adaptive
+// threshold — the tracked p99 of a rolling window times a configurable
+// factor, floored at a minimum — has its full stage trace copied into a
+// bounded ring served at /v1/admin/slowlog. The fast path is two atomic
+// ops (a ring-slot store and a threshold load): no locks, no allocation,
+// and the reused *Trace means fast queries never render spans at all.
+//
+// The threshold self-tunes: an idle server's p99 drops and the log starts
+// catching its relative outliers; under load the p99 rises and only the
+// genuinely anomalous tail is kept. Until the window has seen at least
+// slowLogWarmup samples the threshold stays at +Inf (or the floor, when
+// one is configured), so a cold server doesn't log its first requests as
+// "slow" against an empty distribution.
+
+const (
+	// DefaultSlowLogFactor multiplies the tracked p99 into the capture
+	// threshold.
+	DefaultSlowLogFactor = 3.0
+	// DefaultSlowLogCapacity is the entry-ring size.
+	DefaultSlowLogCapacity = 64
+	// slowLogWindow is the rolling duration-sample window for p99 tracking.
+	slowLogWindow = 512
+	// slowLogWarmup is the minimum observations before the adaptive
+	// threshold activates.
+	slowLogWarmup = 16
+	// slowLogRefreshEvery re-derives the threshold every N observations.
+	slowLogRefreshEvery = 32
+)
+
+// SlowEntry is one captured slow query.
+type SlowEntry struct {
+	Time      time.Time
+	Scope     string // graph name ("" = none)
+	Route     string
+	Duration  time.Duration
+	Threshold time.Duration // the threshold in force at capture
+	Spans     []Span
+}
+
+// SlowLog captures stage traces of requests beyond an adaptive threshold.
+type SlowLog struct {
+	factor float64
+	floor  time.Duration
+
+	// Rolling duration window; racy slot overwrites are fine — the p99 is
+	// a control signal, not an accounting value.
+	window [slowLogWindow]atomic.Int64 // nanoseconds
+	seq    atomic.Uint64               // total observations
+	thresh atomic.Int64                // capture threshold in ns (MaxInt64 = off)
+
+	refreshMu sync.Mutex // serializes threshold recomputation
+
+	mu      sync.Mutex
+	entries []SlowEntry // ring; next is the write cursor
+	next    int
+	n       int
+}
+
+// NewSlowLog builds a slow-query log holding capacity entries (≤0 =
+// DefaultSlowLogCapacity). factor scales the tracked p99 into the capture
+// threshold (≤0 = DefaultSlowLogFactor); floor is the minimum threshold —
+// with a positive floor the log starts capturing immediately at the floor,
+// with floor 0 it stays off until the warmup window fills.
+func NewSlowLog(capacity int, factor float64, floor time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogCapacity
+	}
+	if factor <= 0 {
+		factor = DefaultSlowLogFactor
+	}
+	s := &SlowLog{
+		factor:  factor,
+		floor:   floor,
+		entries: make([]SlowEntry, capacity),
+	}
+	if floor > 0 {
+		s.thresh.Store(int64(floor))
+	} else {
+		s.thresh.Store(math.MaxInt64)
+	}
+	return s
+}
+
+// Threshold reports the capture threshold currently in force.
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.thresh.Load())
+}
+
+// Observe records one request duration and, when it beats the threshold,
+// captures the trace's spans into the ring. tr may be nil (the duration
+// still feeds the p99 window; nothing is captured). Safe on a nil SlowLog.
+func (s *SlowLog) Observe(scope, route string, d time.Duration, tr *Trace) {
+	if s == nil || !enabledFlag.Load() {
+		return
+	}
+	i := s.seq.Add(1)
+	s.window[(i-1)%slowLogWindow].Store(int64(d))
+	if i >= slowLogWarmup && (i == slowLogWarmup || i%slowLogRefreshEvery == 0) {
+		s.refresh(i)
+	}
+	thr := s.thresh.Load()
+	if int64(d) < thr {
+		return
+	}
+	e := SlowEntry{
+		Time:      time.Now(),
+		Scope:     scope,
+		Route:     route,
+		Duration:  d,
+		Threshold: time.Duration(thr),
+		Spans:     tr.Spans(),
+	}
+	s.mu.Lock()
+	s.entries[s.next] = e
+	s.next = (s.next + 1) % len(s.entries)
+	if s.n < len(s.entries) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// refresh re-derives the threshold from the window: max(floor, p99×factor).
+func (s *SlowLog) refresh(seen uint64) {
+	if !s.refreshMu.TryLock() {
+		return // another goroutine is already refreshing
+	}
+	defer s.refreshMu.Unlock()
+	n := int(seen)
+	if n > slowLogWindow {
+		n = slowLogWindow
+	}
+	durs := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		if v := s.window[i].Load(); v > 0 {
+			durs = append(durs, v)
+		}
+	}
+	if len(durs) == 0 {
+		return
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	idx := (len(durs)*99 + 99) / 100 // ceil(0.99·n): the p99 order statistic
+	if idx > len(durs) {
+		idx = len(durs)
+	}
+	p99 := durs[idx-1]
+	thr := int64(float64(p99) * s.factor)
+	if thr < int64(s.floor) {
+		thr = int64(s.floor)
+	}
+	s.thresh.Store(thr)
+}
+
+// Entries returns the captured slow queries, most recent first. Safe on
+// nil (returns nil).
+func (s *SlowLog) Entries() []SlowEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SlowEntry, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		idx := s.next - 1 - i
+		if idx < 0 {
+			idx += len(s.entries)
+		}
+		out = append(out, s.entries[idx])
+	}
+	return out
+}
+
+// Len reports the number of captured entries.
+func (s *SlowLog) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

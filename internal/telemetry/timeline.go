@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timeline is the in-process flight recorder's history layer: a background
+// sampler that reads a set of registered probes at a fixed interval and
+// keeps each one's last N samples in a ring, so trend data (queries/sec,
+// resident bytes, overlay fraction, per-graph load) is available from the
+// server itself — no external Prometheus needed for the admin timeline
+// endpoint, loadgen's report tail, or the future router's placement logic.
+//
+// Probes are cheap closures over metric handles (Counter.Value,
+// Gauge.Value, ...), grouped by scope — "" for process-global series, a
+// graph name for per-graph ones — so a scope's whole history can be
+// dropped when the registry forgets the graph.
+
+// TimelinePoint is one sample: wall-clock unix milliseconds and the
+// probe's value at that instant. Counters sample cumulatively; consumers
+// difference adjacent points for rates.
+type TimelinePoint struct {
+	UnixMs int64   `json:"t_ms"`
+	Value  float64 `json:"v"`
+}
+
+// TimelineSeries is one probe's recorded history, oldest point first.
+type TimelineSeries struct {
+	Scope  string          `json:"graph,omitempty"` // "" = process-global
+	Name   string          `json:"name"`
+	Points []TimelinePoint `json:"points"`
+}
+
+type timelineProbe struct {
+	read func() float64
+	ring []TimelinePoint // fixed capacity; next is the write cursor
+	next int
+	n    int
+}
+
+// Timeline samples registered probes every interval into rings of at most
+// samples points each.
+type Timeline struct {
+	interval time.Duration
+	samples  int
+
+	mu     sync.Mutex
+	probes map[string]map[string]*timelineProbe // scope → name → ring
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// Default timeline geometry: 90 samples at 10s covers the last 15 minutes.
+const (
+	DefaultTimelineInterval = 10 * time.Second
+	DefaultTimelineSamples  = 90
+)
+
+// NewTimeline builds a collector (interval ≤ 0 or samples ≤ 0 select the
+// defaults). It does not sample until Start.
+func NewTimeline(interval time.Duration, samples int) *Timeline {
+	if interval <= 0 {
+		interval = DefaultTimelineInterval
+	}
+	if samples <= 0 {
+		samples = DefaultTimelineSamples
+	}
+	return &Timeline{
+		interval: interval,
+		samples:  samples,
+		probes:   make(map[string]map[string]*timelineProbe),
+	}
+}
+
+// Interval reports the sampling period.
+func (t *Timeline) Interval() time.Duration { return t.interval }
+
+// Track registers a probe under (scope, name); scope "" is process-global.
+// Re-tracking an existing pair replaces the reader and keeps the history.
+// Safe on a nil Timeline (no-op), so wiring code can leave the collector
+// optional.
+func (t *Timeline) Track(scope, name string, read func() float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	byName := t.probes[scope]
+	if byName == nil {
+		byName = make(map[string]*timelineProbe)
+		t.probes[scope] = byName
+	}
+	if p, ok := byName[name]; ok {
+		p.read = read
+		return
+	}
+	byName[name] = &timelineProbe{read: read, ring: make([]TimelinePoint, t.samples)}
+}
+
+// Untrack drops every probe (and its history) under scope. Safe on nil.
+func (t *Timeline) Untrack(scope string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.probes, scope)
+	t.mu.Unlock()
+}
+
+// Sample takes one synchronous sampling pass over every probe. The
+// background loop calls this on its ticker; tests call it directly for
+// deterministic rings.
+func (t *Timeline) Sample() {
+	if t == nil {
+		return
+	}
+	now := time.Now().UnixMilli()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, byName := range t.probes {
+		for _, p := range byName {
+			p.ring[p.next] = TimelinePoint{UnixMs: now, Value: p.read()}
+			p.next = (p.next + 1) % len(p.ring)
+			if p.n < len(p.ring) {
+				p.n++
+			}
+		}
+	}
+}
+
+// Start launches the background sampler; Stop ends it. Safe on nil, and
+// idempotent while running.
+func (t *Timeline) Start() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.stop != nil {
+		t.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.stop, t.done = stop, done
+	t.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(t.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.Sample()
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler and waits for it to exit. Safe on nil
+// and when not started.
+func (t *Timeline) Stop() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	t.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Snapshot returns the recorded history. scope "" with all=false returns
+// only the process-global series; all=true returns every scope. Series are
+// sorted by (scope, name) and each ring is unrolled oldest-first. Safe on
+// nil (returns nil).
+func (t *Timeline) Snapshot(scope string, all bool) []TimelineSeries {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TimelineSeries
+	for sc, byName := range t.probes {
+		if !all && sc != scope {
+			continue
+		}
+		for name, p := range byName {
+			pts := make([]TimelinePoint, 0, p.n)
+			start := p.next - p.n
+			if start < 0 {
+				start += len(p.ring)
+			}
+			for i := 0; i < p.n; i++ {
+				pts = append(pts, p.ring[(start+i)%len(p.ring)])
+			}
+			out = append(out, TimelineSeries{Scope: sc, Name: name, Points: pts})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Scopes lists the tracked scopes (sorted; "" first when present). Safe on
+// nil.
+func (t *Timeline) Scopes() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.probes))
+	for sc := range t.probes {
+		out = append(out, sc)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimelineRing checks sampling into the ring, oldest-first unrolling
+// and wraparound once the ring fills.
+func TestTimelineRing(t *testing.T) {
+	tl := NewTimeline(time.Hour, 3) // manual sampling only
+	var v float64
+	tl.Track("", "qps", func() float64 { v++; return v })
+	for i := 0; i < 2; i++ {
+		tl.Sample()
+	}
+	snap := tl.Snapshot("", false)
+	if len(snap) != 1 || snap[0].Name != "qps" {
+		t.Fatalf("snapshot = %+v, want one series qps", snap)
+	}
+	if got := len(snap[0].Points); got != 2 {
+		t.Fatalf("points = %d, want 2", got)
+	}
+	if snap[0].Points[0].Value != 1 || snap[0].Points[1].Value != 2 {
+		t.Errorf("points out of order: %+v", snap[0].Points)
+	}
+	for i := 0; i < 4; i++ { // overflow the 3-slot ring
+		tl.Sample()
+	}
+	snap = tl.Snapshot("", false)
+	pts := snap[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("points after wrap = %d, want 3", len(pts))
+	}
+	if pts[0].Value != 4 || pts[1].Value != 5 || pts[2].Value != 6 {
+		t.Errorf("ring kept wrong window: %+v", pts)
+	}
+}
+
+// TestTimelineScopes checks per-scope filtering, the all=true union, and
+// Untrack dropping a scope's whole history.
+func TestTimelineScopes(t *testing.T) {
+	tl := NewTimeline(time.Hour, 4)
+	tl.Track("", "global", func() float64 { return 1 })
+	tl.Track("g1", "queries", func() float64 { return 2 })
+	tl.Track("g2", "queries", func() float64 { return 3 })
+	tl.Sample()
+
+	if got := len(tl.Snapshot("g1", false)); got != 1 {
+		t.Errorf("scope g1 series = %d, want 1", got)
+	}
+	all := tl.Snapshot("", true)
+	if len(all) != 3 {
+		t.Fatalf("all series = %d, want 3", len(all))
+	}
+	// Sorted by scope: global ("") first, then g1, g2.
+	if all[0].Scope != "" || all[1].Scope != "g1" || all[2].Scope != "g2" {
+		t.Errorf("scope order wrong: %+v", all)
+	}
+	if sc := tl.Scopes(); len(sc) != 3 || sc[0] != "" {
+		t.Errorf("scopes = %v", sc)
+	}
+	tl.Untrack("g1")
+	if got := len(tl.Snapshot("g1", false)); got != 0 {
+		t.Errorf("untracked scope still has %d series", got)
+	}
+	if got := len(tl.Snapshot("", true)); got != 2 {
+		t.Errorf("series after untrack = %d, want 2", got)
+	}
+}
+
+// TestTimelineStartStop smoke-tests the background sampler: it actually
+// samples, Stop halts it, and both are idempotent and nil-safe.
+func TestTimelineStartStop(t *testing.T) {
+	tl := NewTimeline(time.Millisecond, 8)
+	tl.Track("", "x", func() float64 { return 1 })
+	tl.Start()
+	tl.Start() // idempotent
+	deadline := time.After(2 * time.Second)
+	for {
+		if snap := tl.Snapshot("", false); len(snap) == 1 && len(snap[0].Points) > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background sampler never sampled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	tl.Stop()
+	tl.Stop() // idempotent
+	var nilTL *Timeline
+	nilTL.Track("", "x", nil)
+	nilTL.Untrack("")
+	nilTL.Sample()
+	nilTL.Start()
+	nilTL.Stop()
+	if nilTL.Snapshot("", true) != nil || nilTL.Scopes() != nil {
+		t.Error("nil timeline should return nil snapshots")
+	}
+}

@@ -47,7 +47,13 @@ func (t *Trace) Add(name string, d time.Duration) {
 	if t == nil {
 		return
 	}
-	t.add(name, time.Since(t.t0)-d, d)
+	// d can exceed the elapsed wall time when the caller's clock reads
+	// straddle a coarse-timer tick; clamp so Start never goes negative.
+	start := time.Since(t.t0) - d
+	if start < 0 {
+		start = 0
+	}
+	t.add(name, start, d)
 }
 
 func (t *Trace) add(name string, start, d time.Duration) {

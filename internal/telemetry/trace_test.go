@@ -42,6 +42,32 @@ func TestNilTrace(t *testing.T) {
 	}
 }
 
+// TestTraceAddClampsStart pins the clock-skew fix: when Add is handed a
+// duration longer than the wall time elapsed since the trace origin
+// (coarse timers can round that way), Start clamps at zero instead of
+// going negative.
+func TestTraceAddClampsStart(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("skewed", time.Hour) // far beyond elapsed wall time
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Start != 0 {
+		t.Errorf("Start = %v, want 0 (clamped)", spans[0].Start)
+	}
+	if spans[0].Dur != time.Hour {
+		t.Errorf("Dur = %v, want 1h (duration must be preserved)", spans[0].Dur)
+	}
+	// A plausible duration still records a positive offset.
+	time.Sleep(2 * time.Millisecond)
+	tr.Add("normal", time.Millisecond)
+	spans = tr.Spans()
+	if spans[1].Start <= 0 {
+		t.Errorf("normal span Start = %v, want > 0", spans[1].Start)
+	}
+}
+
 func TestTraceContext(t *testing.T) {
 	if TraceFrom(context.Background()) != nil {
 		t.Error("empty context should carry no trace")

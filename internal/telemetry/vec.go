@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"container/list"
+	"sync"
+)
+
+// This file adds the one controlled exception to the package's
+// "no dynamic labeling" rule: a Vec is a metric family with a single
+// dynamic label (in practice `graph`) whose values are resolved to
+// pre-registered handles through a small lock-guarded LRU. The hot path
+// after resolution is still a bare atomic on the returned handle; the
+// resolution itself is one mutex and one map lookup, paid once per
+// request, not per increment. Cardinality is bounded: when more than
+// `limit` distinct label values are live, the least-recently-used value's
+// series is unregistered from the exposition (the registry forgets it;
+// a stale handle keeps working but is no longer exported). Owners that
+// know a value's lifetime (the graph registry) call Delete eagerly on
+// eviction instead of waiting for LRU pressure.
+
+// DefaultVecCardinality bounds the number of live dynamic-label values a
+// Vec tracks before LRU-releasing the coldest. It is sized well above the
+// graph counts a single process serves under a sane memory budget, so in
+// practice eager Delete — not LRU pressure — is what releases series.
+const DefaultVecCardinality = 256
+
+// vecCore is the shared resolution machinery under CounterVec, GaugeVec
+// and HistogramVec: value → handle with LRU-bounded cardinality.
+type vecCore struct {
+	reg   *Registry
+	name  string
+	help  string
+	label string
+	limit int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // value → element in lru
+	lru     *list.List               // front = most recently used
+}
+
+type vecEntry struct {
+	value  string
+	handle any
+}
+
+func newVecCore(reg *Registry, name, help, label string, limit int) vecCore {
+	if reg == nil {
+		reg = Default()
+	}
+	if limit <= 0 {
+		limit = DefaultVecCardinality
+	}
+	return vecCore{
+		reg:     reg,
+		name:    name,
+		help:    help,
+		label:   label,
+		limit:   limit,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// resolve returns the handle for value, creating (and LRU-evicting) as
+// needed. make builds a fresh handle by registering the labeled series.
+func (c *vecCore) resolve(value string, make func(Labels) any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[value]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*vecEntry).handle
+	}
+	h := make(Labels{c.label: value})
+	c.entries[value] = c.lru.PushFront(&vecEntry{value: value, handle: h})
+	for len(c.entries) > c.limit {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*vecEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ev.value)
+		c.reg.RemoveSeries(c.name, Labels{c.label: ev.value})
+	}
+	return h
+}
+
+// delete drops value's series from the vector and the registry.
+func (c *vecCore) delete(value string) {
+	c.mu.Lock()
+	el, ok := c.entries[value]
+	if ok {
+		c.lru.Remove(el)
+		delete(c.entries, value)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.reg.RemoveSeries(c.name, Labels{c.label: value})
+	}
+}
+
+// len reports the number of live label values (tests and admin surfaces).
+func (c *vecCore) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CounterVec is a counter family with one dynamic label.
+type CounterVec struct{ core vecCore }
+
+// NewCounterVec registers a counter family on reg (nil = Default()) whose
+// series carry label={value}; at most limit (≤0 = DefaultVecCardinality)
+// distinct values are live at once.
+func NewCounterVec(reg *Registry, name, help, label string, limit int) *CounterVec {
+	return &CounterVec{core: newVecCore(reg, name, help, label, limit)}
+}
+
+func (v *CounterVec) With(value string) *Counter {
+	return v.core.resolve(value, func(l Labels) any {
+		return v.core.reg.Counter(v.core.name, v.core.help, l)
+	}).(*Counter)
+}
+
+// Delete releases value's series (call when the labeled object dies).
+func (v *CounterVec) Delete(value string) { v.core.delete(value) }
+
+// Len reports the number of live label values.
+func (v *CounterVec) Len() int { return v.core.len() }
+
+// GaugeVec is a gauge family with one dynamic label.
+type GaugeVec struct{ core vecCore }
+
+// NewGaugeVec registers a gauge family on reg (nil = Default()) whose
+// series carry label={value}; at most limit (≤0 = DefaultVecCardinality)
+// distinct values are live at once.
+func NewGaugeVec(reg *Registry, name, help, label string, limit int) *GaugeVec {
+	return &GaugeVec{core: newVecCore(reg, name, help, label, limit)}
+}
+
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.core.resolve(value, func(l Labels) any {
+		return v.core.reg.Gauge(v.core.name, v.core.help, l)
+	}).(*Gauge)
+}
+
+// Delete releases value's series (call when the labeled object dies).
+func (v *GaugeVec) Delete(value string) { v.core.delete(value) }
+
+// Len reports the number of live label values.
+func (v *GaugeVec) Len() int { return v.core.len() }
+
+// HistogramVec is a histogram family with one dynamic label; all series
+// share one set of bucket bounds.
+type HistogramVec struct {
+	core   vecCore
+	bounds []float64
+}
+
+// NewHistogramVec registers a histogram family on reg (nil = Default())
+// with the given bounds (nil = DefBuckets) whose series carry
+// label={value}; at most limit (≤0 = DefaultVecCardinality) distinct
+// values are live at once.
+func NewHistogramVec(reg *Registry, name, help, label string, bounds []float64, limit int) *HistogramVec {
+	return &HistogramVec{core: newVecCore(reg, name, help, label, limit), bounds: bounds}
+}
+
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.core.resolve(value, func(l Labels) any {
+		return v.core.reg.Histogram(v.core.name, v.core.help, v.bounds, l)
+	}).(*Histogram)
+}
+
+// Delete releases value's series (call when the labeled object dies).
+func (v *HistogramVec) Delete(value string) { v.core.delete(value) }
+
+// Len reports the number of live label values.
+func (v *HistogramVec) Len() int { return v.core.len() }

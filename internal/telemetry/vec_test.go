@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestVecResolveAndExport checks the basic contract: With resolves each
+// distinct label value to its own stable handle, and the series land in
+// the text exposition under the dynamic label.
+func TestVecResolveAndExport(t *testing.T) {
+	r := NewRegistry()
+	v := NewCounterVec(r, "vec_ops_total", "ops", "graph", 8)
+	a := v.With("alpha")
+	a.Add(3)
+	if b := v.With("alpha"); a != b {
+		t.Error("same value resolved to distinct handles")
+	}
+	v.With("beta").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`vec_ops_total{graph="alpha"} 3`,
+		`vec_ops_total{graph="beta"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVecCardinalityBound floods a vec past its limit and checks the
+// least-recently-used values are dropped from the exposition while the
+// hot ones survive — the no-cardinality-leak guarantee.
+func TestVecCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	v := NewGaugeVec(r, "vec_level", "level", "graph", 4)
+	for i := 0; i < 10; i++ {
+		v.With(fmt.Sprintf("g%d", i)).Set(float64(i))
+	}
+	if got := v.Len(); got != 4 {
+		t.Fatalf("live values = %d, want 4", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for i := 0; i < 6; i++ {
+		if s := fmt.Sprintf(`graph="g%d"`, i); strings.Contains(out, s) {
+			t.Errorf("evicted series %s still exported", s)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if s := fmt.Sprintf(`graph="g%d"`, i); !strings.Contains(out, s) {
+			t.Errorf("live series %s missing from exposition", s)
+		}
+	}
+	// Touching g6 must protect it from the next eviction round.
+	v.With("g6")
+	v.With("new1")
+	v.With("new2")
+	v.With("new3")
+	sb.Reset()
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `graph="g6"`) {
+		t.Error("recently-used value g6 was evicted before colder ones")
+	}
+}
+
+// TestVecDelete checks explicit release: the series disappears from the
+// exposition and from the live set, and an empty family drops entirely
+// (no dangling HELP/TYPE header).
+func TestVecDelete(t *testing.T) {
+	r := NewRegistry()
+	v := NewHistogramVec(r, "vec_dur_seconds", "dur", "graph", []float64{0.1, 1}, 8)
+	v.With("a").Observe(0.5)
+	v.With("b").Observe(0.5)
+	v.Delete("a")
+	if got := v.Len(); got != 1 {
+		t.Fatalf("live values after delete = %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `graph="a"`) {
+		t.Error("deleted series still exported")
+	}
+	if !strings.Contains(sb.String(), `graph="b"`) {
+		t.Error("surviving series missing")
+	}
+	v.Delete("b")
+	v.Delete("b") // idempotent
+	sb.Reset()
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "vec_dur_seconds") {
+		t.Errorf("empty family still exported:\n%s", sb.String())
+	}
+	// Re-registering after a full drop must work from scratch.
+	v.With("c").Observe(2)
+	sb.Reset()
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `vec_dur_seconds_count{graph="c"} 1`) {
+		t.Errorf("re-registered series missing:\n%s", sb.String())
+	}
+}
+
+// TestVecConcurrent resolves, updates and deletes from many goroutines
+// while a scraper renders — the -race acceptance for the vec layer.
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := NewCounterVec(r, "vec_cc_total", "ops", "graph", 16)
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				_ = r.WriteText(&sb)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				name := fmt.Sprintf("g%d", i%24)
+				v.With(name).Inc()
+				if i%100 == 0 {
+					v.Delete(name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := v.Len(); got > 16 {
+		t.Errorf("cardinality bound exceeded: %d live values", got)
+	}
+}

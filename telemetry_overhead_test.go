@@ -48,35 +48,45 @@ func classifyNsPerOp(eng *Engine, q Query) float64 {
 	return float64(r.NsPerOp())
 }
 
-// TestTelemetryOverheadClassify gates the instrumentation cost of the warm
-// classify path at ~2%. Shared-runner noise routinely exceeds that, so the
-// test first measures the telemetry-DISABLED path twice; if those two runs
-// disagree by more than 2% the machine cannot resolve the budget and the
-// test skips rather than flake. Otherwise the enabled run must stay within
-// budget + observed noise.
-func TestTelemetryOverheadClassify(t *testing.T) {
-	if testing.Short() {
-		t.Skip("benchmark-backed test; skipped in -short")
-	}
-	eng, q := newOverheadEngine(t)
+// gateOverhead gates the instrumentation cost of one hot path at ~2%.
+// Shared-runner noise routinely exceeds that, so it first measures the
+// telemetry-DISABLED path three times; if the spread exceeds 2% the
+// machine cannot resolve the budget and the test skips rather than flake.
+// The enabled run must stay within budget + observed noise, with one
+// retry: background load arriving between the baseline and the enabled
+// measurement shows up as a one-off spike that passes on re-measure,
+// while a real instrumentation regression fails both attempts.
+func gateOverhead(t *testing.T, measure func() float64) {
+	t.Helper()
 	defer telemetry.SetEnabled(true)
 
 	telemetry.SetEnabled(false)
-	off1 := classifyNsPerOp(eng, q)
-	off2 := classifyNsPerOp(eng, q)
-	base := min(off1, off2)
-	noise := (max(off1, off2) - base) / base
+	off1, off2, off3 := measure(), measure(), measure()
+	base := min(off1, off2, off3)
+	noise := (max(off1, off2, off3) - base) / base
 	if noise > 0.02 {
 		t.Skipf("runner too noisy to gate 2%% (disabled runs differ by %.1f%%)", noise*100)
 	}
 
 	telemetry.SetEnabled(true)
-	on := classifyNsPerOp(eng, q)
 	budget := 0.02 + noise
+	on := measure()
+	if on/base-1 > budget {
+		on = measure()
+	}
 	if overhead := on/base - 1; overhead > budget {
 		t.Errorf("telemetry overhead %.2f%% exceeds %.2f%% (off=%.0fns on=%.0fns)",
 			overhead*100, budget*100, base, on)
 	}
+}
+
+// TestTelemetryOverheadClassify gates the warm classify path.
+func TestTelemetryOverheadClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed test; skipped in -short")
+	}
+	eng, q := newOverheadEngine(t)
+	gateOverhead(t, func() float64 { return classifyNsPerOp(eng, q) })
 }
 
 // TestTelemetryOverheadPatch applies the same gate to the label-patch path.
@@ -112,24 +122,7 @@ func TestTelemetryOverheadPatch(t *testing.T) {
 		})
 		return float64(r.NsPerOp())
 	}
-	defer telemetry.SetEnabled(true)
-
-	telemetry.SetEnabled(false)
-	off1 := patchNsPerOp()
-	off2 := patchNsPerOp()
-	base := min(off1, off2)
-	noise := (max(off1, off2) - base) / base
-	if noise > 0.02 {
-		t.Skipf("runner too noisy to gate 2%% (disabled runs differ by %.1f%%)", noise*100)
-	}
-
-	telemetry.SetEnabled(true)
-	on := patchNsPerOp()
-	budget := 0.02 + noise
-	if overhead := on/base - 1; overhead > budget {
-		t.Errorf("telemetry overhead %.2f%% exceeds %.2f%% (off=%.0fns on=%.0fns)",
-			overhead*100, budget*100, base, on)
-	}
+	gateOverhead(t, patchNsPerOp)
 }
 
 // TestDebugTraceConsistency cross-checks the debug stage trace against the
