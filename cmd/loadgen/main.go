@@ -58,6 +58,8 @@ type workload struct {
 	TopK        int     `json:"top_k"`
 	Stream      bool    `json:"stream"`
 	Gzip        bool    `json:"gzip"`
+	F32         bool    `json:"f32,omitempty"`
+	Reorder     string  `json:"reorder,omitempty"`
 	PatchFrac   float64 `json:"patch_frac,omitempty"`
 	PatchBatch  int     `json:"patch_batch,omitempty"`
 	MutateFrac  float64 `json:"mutate_frac,omitempty"`
@@ -245,6 +247,8 @@ type params struct {
 	graphsEdges                   int
 	graphsIncremental, keepGraphs bool
 	graphsAsyncCompact            bool
+	f32                           bool
+	reorder                       string
 	conc, batch, topK             int
 	duration, warmup              time.Duration
 	requests                      int64
@@ -280,6 +284,8 @@ func run() error {
 	flag.BoolVar(&p.graphsIncremental, "graphs-incremental", true, "mixed-tenant: register graphs with the incremental residual subsystem")
 	flag.BoolVar(&p.graphsAsyncCompact, "async-compact", false, "mixed-tenant: register graphs with background topology compaction (epoch swap off the mutation path; implies -graphs-incremental)")
 	flag.BoolVar(&p.keepGraphs, "keep-graphs", false, "mixed-tenant: leave the registered graphs in place after the run")
+	flag.BoolVar(&p.f32, "f32", false, "mixed-tenant: register graphs with the float32 belief tier (forces -graphs-incremental=false)")
+	flag.StringVar(&p.reorder, "reorder", "", "mixed-tenant: locality reordering pass for registered graphs (degree, rcm)")
 	flag.IntVar(&p.conc, "c", 8, "concurrent closed-loop workers")
 	flag.DurationVar(&p.duration, "duration", 10*time.Second, "run length (ignored when -requests > 0)")
 	flag.Int64Var(&p.requests, "requests", 0, "per-run request budget (0 = duration-bound)")
@@ -336,7 +342,12 @@ func execute(ctx context.Context, p params) error {
 		if edges == 0 {
 			edges = 5 * p.graphsNodes
 		}
-		names, err := registerGraphs(ctx, base, p.graphs, p.graphsNodes, edges, p.graphsIncremental || p.graphsAsyncCompact, p.graphsAsyncCompact, uint64(p.seed))
+		incremental := p.graphsIncremental || p.graphsAsyncCompact
+		if p.f32 {
+			// The float32 tier requires a non-incremental engine.
+			incremental = false
+		}
+		names, err := registerGraphs(ctx, base, p.graphs, p.graphsNodes, edges, incremental, p.graphsAsyncCompact && !p.f32, p.f32, p.reorder, uint64(p.seed))
 		// The cleanup is registered BEFORE the error check: a partial
 		// registration (or a signal mid-burst) must still delete whatever
 		// was admitted. deleteGraphs is idempotent and detached from ctx —
@@ -429,6 +440,7 @@ func execute(ctx context.Context, p params) error {
 	wl := workload{
 		Concurrency: p.conc, Batch: p.batch, TopK: p.topK,
 		Stream: p.stream, Gzip: p.gz,
+		F32: p.f32, Reorder: p.reorder,
 		PatchFrac: p.patchFrac, PatchBatch: p.patchBatch,
 		MutateFrac: p.mutateFrac, MutateBatch: p.mutateBatch,
 		Repeat:    p.repeat,
@@ -618,7 +630,7 @@ func runOnce(ctx context.Context, cfg config, run int64) (runResult, error) {
 // excludes build cost) and returns the names admitted so far — on error or
 // cancellation the partial list is returned alongside, so the caller's
 // deferred cleanup can release them.
-func registerGraphs(ctx context.Context, base string, count, nodes, edges int, incremental, asyncCompact bool, seed uint64) ([]string, error) {
+func registerGraphs(ctx context.Context, base string, count, nodes, edges int, incremental, asyncCompact, f32 bool, reorder string, seed uint64) ([]string, error) {
 	names := make([]string, 0, count)
 	for i := 0; i < count; i++ {
 		if err := ctx.Err(); err != nil {
@@ -629,6 +641,8 @@ func registerGraphs(ctx context.Context, base string, count, nodes, edges int, i
 			"name":          name,
 			"incremental":   incremental,
 			"async_compact": asyncCompact,
+			"f32_beliefs":   f32,
+			"reorder":       reorder,
 			"warm":          true,
 			"synthetic": map[string]any{
 				"n": nodes, "m": edges, "f": 0.1, "seed": seed + uint64(i),

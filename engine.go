@@ -14,9 +14,12 @@ import (
 	"factorgraph/internal/core"
 	"factorgraph/internal/delta"
 	"factorgraph/internal/dense"
+	"factorgraph/internal/exec"
+	"factorgraph/internal/graph"
 	"factorgraph/internal/labels"
 	"factorgraph/internal/propagation"
 	"factorgraph/internal/residual"
+	"factorgraph/internal/sparse"
 	"factorgraph/internal/telemetry"
 )
 
@@ -80,6 +83,21 @@ type Engine struct {
 	// epoch's base CSR; ε is pinned to it between compactions.
 	topo *delta.Graph
 	rhoW float64
+
+	// perm maps external (wire) node ids to internal CSR rows when the
+	// locality-aware reordering pass is active (EngineOptions.Reorder).
+	// Everything the engine stores — g, seeds, x, topo, res, snapshots — is
+	// in internal order; external ids are translated exactly once at the
+	// boundaries (query nodes, extra seeds, label patches, edge mutations,
+	// emitted results). nil means identity (no reordering). Guarded by mu:
+	// synchronous compactions swap it together with everything indexed by it.
+	perm *sparse.Perm
+
+	// sched is the exec drain schedule pinned for the current topology
+	// epoch: measured by exec.Tune at build and at each compaction on
+	// incremental engines, static defaults otherwise. An atomic pointer so
+	// snapshot rebuilds (which run without mu) read a consistent value.
+	sched atomic.Pointer[exec.Schedule]
 
 	// compacting marks a background compactor building the next epoch
 	// (AsyncCompact engines only); mutations keep landing in fresh
@@ -145,10 +163,14 @@ type Engine struct {
 }
 
 // snapshot is an immutable (beliefs, labels) pair; readers that hold a
-// pointer to one can format responses without any lock.
+// pointer to one can format responses without any lock. perm is the id
+// mapping the rows are ordered by — carried along so a formatter racing a
+// compaction-time reorder still translates with the mapping its rows were
+// built under.
 type snapshot struct {
 	beliefs *dense.Matrix
 	labels  []int
+	perm    *sparse.Perm
 }
 
 // EngineOptions configures an Engine. The zero value estimates H with DCEr
@@ -204,6 +226,22 @@ type EngineOptions struct {
 	// build is ready. The contraction guard still compacts synchronously —
 	// convergence is never left to a pending build. Requires Incremental.
 	AsyncCompact bool
+	// Reorder selects a locality-aware node-reordering pass applied to the
+	// CSR at build time and again at every synchronous compaction: "degree"
+	// sorts rows by descending degree (hub rows become contiguous), "rcm"
+	// runs reverse Cuthill–McKee (bandwidth reduction). "" or "none"
+	// disables. Reordering is invisible on the wire: the engine keeps an
+	// external↔internal id map and every query, patch, mutation and emitted
+	// result uses external ids. Async compactions keep the previous epoch's
+	// ordering (the overlay rebase reuses frozen rows by id).
+	Reorder string
+	// F32Beliefs runs full propagations in float32 storage and arithmetic —
+	// half the belief-matrix bandwidth on the SpMM-bound round loop. Belief
+	// drift vs the float64 kernel is bounded by ~k·deg·2⁻²³ per round and
+	// observed ≤1e-3 end-to-end (pinned in tests); emitted beliefs are
+	// widened back to float64. Requires !Incremental: the residual
+	// subsystem's o(Δ) invariant needs float64 accumulation.
+	F32Beliefs bool
 }
 
 // EngineStats counts the expensive operations an Engine has performed;
@@ -344,13 +382,34 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 	if o.AsyncCompact && !o.Incremental {
 		return nil, fmt.Errorf("factorgraph: AsyncCompact set without Incremental (only incremental engines accept topology mutations)")
 	}
+	if !sparse.KnownReorder(o.Reorder) {
+		return nil, fmt.Errorf("factorgraph: unknown reorder mode %q (want \"\", %q, %q or %q)",
+			o.Reorder, sparse.ReorderNone, sparse.ReorderDegree, sparse.ReorderRCM)
+	}
+	if o.F32Beliefs && o.Incremental {
+		return nil, fmt.Errorf("factorgraph: F32Beliefs set with Incremental (the residual fixed-point invariant needs float64 accumulation)")
+	}
 	if h != nil && (h.Rows != k || h.Cols != k) {
 		return nil, fmt.Errorf("factorgraph: H is %d×%d, engine has k=%d", h.Rows, h.Cols, k)
 	}
 	if len(seeds) != g.N {
 		return nil, fmt.Errorf("factorgraph: %d seed labels for %d nodes", len(seeds), g.N)
 	}
-	e := &Engine{g: g, k: k, seeds: append([]int(nil), seeds...), eopts: o}
+	seedsUse := append([]int(nil), seeds...)
+	var perm *sparse.Perm
+	if newID := sparse.OrderBy(g.Adj, o.Reorder); newID != nil {
+		// Locality pass: permute the CSR — and everything row-indexed by
+		// it — into internal order before any preprocessing touches it.
+		// The caller's graph is left untouched.
+		g = graph.FromCSR(g.Adj.Permute(newID))
+		perm = sparse.NewPerm(newID)
+		ps := make([]int, len(seedsUse))
+		for ext, lab := range seedsUse {
+			ps[newID[ext]] = lab
+		}
+		seedsUse = ps
+	}
+	e := &Engine{g: g, k: k, seeds: seedsUse, perm: perm, eopts: o}
 	e.compactCond = sync.NewCond(&e.mu)
 	e.nLabeled = labels.NumLabeled(e.seeds)
 	x, err := labels.Matrix(e.seeds, k)
@@ -366,6 +425,13 @@ func newEngine(g *Graph, seeds []int, k int, h *Matrix, method string, opts []En
 	if o.Incremental {
 		e.topo = delta.New(g.Adj)
 	}
+	sched := exec.DefaultSchedule()
+	if o.Incremental {
+		// Measure the scatter/pull/delta-sweep crossovers on the live graph
+		// (~ms budget); the result is pinned until a compaction re-tunes it.
+		sched = exec.Tune(g.Adj, k, exec.Runner{}, exec.DefaultTuneBudget)
+	}
+	e.sched.Store(&sched)
 	est := &Estimate{H: nil, Method: method}
 	if h != nil {
 		est.H = h.Clone()
@@ -389,7 +455,16 @@ func (e *Engine) residualOptions() residual.Options {
 	return residual.Options{
 		S: lo.S, Tol: e.eopts.ResidualTol, SpectralIters: lo.SpectralIters,
 		EdgeBudgetFactor: e.eopts.ResidualEdgeBudget,
+		Schedule:         e.schedule(),
 	}
+}
+
+// schedule returns the exec drain schedule pinned for the current epoch.
+func (e *Engine) schedule() exec.Schedule {
+	if p := e.sched.Load(); p != nil {
+		return *p
+	}
+	return exec.DefaultSchedule()
 }
 
 func (e *Engine) linbpOptions() propagation.LinBPOptions {
@@ -401,6 +476,7 @@ func (e *Engine) linbpOptions() propagation.LinBPOptions {
 		o.Iterations = e.eopts.Iterations
 	}
 	o.SpectralIters = 50
+	o.F32 = e.eopts.F32Beliefs
 	if e.eopts.Incremental {
 		// The residual subsystem serves fixed-point beliefs (to
 		// ResidualTol); when a what-if overlay floods the graph and falls
@@ -640,11 +716,20 @@ func (e *Engine) Estimate() *Estimate {
 	return e.est
 }
 
-// Seeds returns a copy of the current seed labels.
+// Seeds returns a copy of the current seed labels, indexed by external
+// node id (the internal storage order is translated back when the
+// locality reordering pass is active).
 func (e *Engine) Seeds() []int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return append([]int(nil), e.seeds...)
+	if e.perm == nil {
+		return append([]int(nil), e.seeds...)
+	}
+	out := make([]int, len(e.seeds))
+	for ext := range out {
+		out[ext] = e.seeds[e.perm.ToInternal(ext)]
+	}
+	return out
 }
 
 // LabeledCount returns the number of labeled seeds without copying the
@@ -722,6 +807,14 @@ type NumericHealth struct {
 	// bound (no mutable topology).
 	SketchDrift      float64
 	SketchDriftLimit float64
+
+	// TunedDeltaDivisor and TunedMinPullWorkers are the exec drain-schedule
+	// thresholds pinned for the current epoch; ScheduleTuned reports whether
+	// they came from a live measurement (exec.Tune at build/compaction) or
+	// are the static defaults.
+	TunedDeltaDivisor   int
+	TunedMinPullWorkers int
+	ScheduleTuned       bool
 }
 
 // NumericHealth reads the engine's numeric-health signals. It takes the
@@ -766,6 +859,10 @@ func (e *Engine) NumericHealth() NumericHealth {
 	e.sumMu.Lock()
 	h.SketchDrift = e.sumDrift
 	e.sumMu.Unlock()
+	sched := e.schedule()
+	h.TunedDeltaDivisor = sched.DeltaDivisor
+	h.TunedMinPullWorkers = sched.MinPullWorkers
+	h.ScheduleTuned = sched.Tuned
 	return h
 }
 
@@ -902,8 +999,9 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 			// under the read lock so no patch can mutate rows mid-copy.
 			b := e.res.Beliefs().Clone()
 			gen := e.gen
+			perm := e.perm
 			e.mu.RUnlock()
-			snap := &snapshot{beliefs: b, labels: dense.ArgmaxRows(b)}
+			snap := &snapshot{beliefs: b, labels: dense.ArgmaxRows(b), perm: perm}
 			e.mu.Lock()
 			if e.gen == gen && !e.closed {
 				e.snap = snap
@@ -920,6 +1018,7 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 		gen := e.gen
 		topo := e.topo
 		rhoW := e.rhoW
+		perm := e.perm
 		e.mu.RUnlock()
 
 		if e.eopts.Incremental {
@@ -952,7 +1051,7 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		snap := &snapshot{beliefs: f, labels: dense.ArgmaxRows(f)}
+		snap := &snapshot{beliefs: f, labels: dense.ArgmaxRows(f), perm: perm}
 
 		e.mu.Lock()
 		if e.gen == gen {
@@ -1085,7 +1184,7 @@ func (e *Engine) ClassifyEachMeta(q Query, fn func(NodeResult) error) (QueryMeta
 	if tr != nil {
 		t0 = time.Now()
 	}
-	beliefs, lab, err := e.resolve(q)
+	beliefs, lab, perm, err := e.resolve(q)
 	if err != nil {
 		return QueryMeta{}, err
 	}
@@ -1093,7 +1192,7 @@ func (e *Engine) ClassifyEachMeta(q Query, fn func(NodeResult) error) (QueryMeta
 		tr.Add("resolve", time.Since(t0))
 		t0 = time.Now()
 	}
-	err = e.formatEach(q, beliefs, lab, fn)
+	err = e.formatEach(q, beliefs, lab, perm, fn)
 	if tr != nil {
 		tr.Add("emit", time.Since(t0))
 	}
@@ -1133,11 +1232,12 @@ func (e *Engine) residualDirect(q Query, fn func(NodeResult) error) (QueryMeta, 
 		return QueryMeta{}, false, nil
 	}
 	// Copy the queried rows out under the lock; formatting (and fn, which
-	// may write to a network) runs outside it.
+	// may write to a network) runs outside it. Node ids translate to
+	// internal rows under the same lock that freezes the mapping.
 	rows := make([][]float64, len(q.Nodes))
 	labs := make([]int, len(q.Nodes))
 	for i, node := range q.Nodes {
-		row := e.res.Row(node)
+		row := e.res.Row(e.perm.ToInternal(node))
 		labs[i] = argmaxRow(row)
 		if topk > 0 {
 			rows[i] = append([]float64(nil), row...)
@@ -1221,7 +1321,7 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 		engWhatifMisses.Inc()
 		ov := e.res.NewOverlay()
 		for node, c := range q.ExtraSeeds {
-			ov.SetSeed(node, c)
+			ov.SetSeed(e.perm.ToInternal(node), c)
 		}
 		st := ov.Flush()
 		e.nResidualPushes.Add(int64(st.Pushed))
@@ -1242,7 +1342,8 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 		})
 	}
 	// Materialize the answer under the read lock (overlay rows alias the
-	// base), then emit outside it.
+	// base, and the id mapping is frozen while we hold it), then emit
+	// outside it. Overlay rows and the cache are keyed by internal ids.
 	n := len(q.Nodes)
 	if q.Nodes == nil {
 		n = liveN
@@ -1254,7 +1355,7 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 		if q.Nodes != nil {
 			node = q.Nodes[i]
 		}
-		row := overlayRow(node)
+		row := overlayRow(e.perm.ToInternal(node))
 		labs[i] = argmaxRow(row)
 		if topk > 0 {
 			rows[i] = append([]float64(nil), row...)
@@ -1283,20 +1384,21 @@ func argmaxRow(row []float64) int {
 	return best
 }
 
-// resolve produces the belief matrix and labels answering q: the cached
-// snapshot for plain queries, a dedicated propagation for overlay queries.
-func (e *Engine) resolve(q Query) (*dense.Matrix, []int, error) {
+// resolve produces the belief matrix, labels and row-ordering permutation
+// answering q: the cached snapshot for plain queries, a dedicated
+// propagation for overlay queries.
+func (e *Engine) resolve(q Query) (*dense.Matrix, []int, *sparse.Perm, error) {
 	if len(q.ExtraSeeds) == 0 {
 		s, err := e.currentSnapshot()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return s.beliefs, s.labels, nil
+		return s.beliefs, s.labels, s.perm, nil
 	}
 	return e.overlayBeliefs(q)
 }
 
-func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, error) {
+func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, *sparse.Perm, error) {
 	// Capture the belief matrix and the pool (which pins H) under a short
 	// read lock, then propagate OUTSIDE the lock: a what-if propagation can
 	// take hundreds of milliseconds on a large graph, and holding the read
@@ -1306,16 +1408,17 @@ func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, error) {
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
-		return nil, nil, ErrEngineClosed
+		return nil, nil, nil, ErrEngineClosed
 	}
 	x := e.x.Clone()
 	pool := e.pool
+	perm := e.perm
 	e.mu.RUnlock()
 	for node, c := range q.ExtraSeeds {
 		if node < 0 || node >= x.Rows {
-			return nil, nil, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, x.Rows)
+			return nil, nil, nil, fmt.Errorf("factorgraph: extra seed node %d out of range n=%d", node, x.Rows)
 		}
-		row := x.Row(node)
+		row := x.Row(perm.ToInternal(node))
 		for j := range row {
 			row[j] = 0
 		}
@@ -1323,21 +1426,23 @@ func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, error) {
 			continue
 		}
 		if c < 0 || c >= e.k {
-			return nil, nil, fmt.Errorf("factorgraph: extra seed class %d outside [0,%d)", c, e.k)
+			return nil, nil, nil, fmt.Errorf("factorgraph: extra seed class %d outside [0,%d)", c, e.k)
 		}
 		row[c] = 1
 	}
 	f, err := e.propagateOn(pool, x)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return f, dense.ArgmaxRows(f), nil
+	return f, dense.ArgmaxRows(f), perm, nil
 }
 
 // formatEach renders the query response record by record. All queried
 // nodes are range-checked before the first fn call so callers streaming
 // over a network never emit a partial response for an invalid request.
-func (e *Engine) formatEach(q Query, beliefs *dense.Matrix, lab []int, fn func(NodeResult) error) error {
+// perm is the row ordering of beliefs/lab (nil = identity): emitted node
+// ids stay external, belief rows are looked up by internal id.
+func (e *Engine) formatEach(q Query, beliefs *dense.Matrix, lab []int, perm *sparse.Perm, fn func(NodeResult) error) error {
 	// Bound by the belief matrix actually answering the query: a node
 	// added after the snapshot was cut is out of range for THIS response.
 	for _, node := range q.Nodes {
@@ -1358,11 +1463,12 @@ func (e *Engine) formatEach(q Query, beliefs *dense.Matrix, lab []int, fn func(N
 		if q.Nodes != nil {
 			node = q.Nodes[i]
 		}
+		in := perm.ToInternal(node)
 		var row []float64
 		if topk > 0 {
-			row = beliefs.Row(node)
+			row = beliefs.Row(in)
 		}
-		if err := e.emitResult(node, row, lab[node], topk, fn); err != nil {
+		if err := e.emitResult(node, row, lab[in], topk, fn); err != nil {
 			return err
 		}
 	}
@@ -1490,11 +1596,14 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 	if res != nil {
 		patch = res.BeginPatch()
 	}
+	// External ids translate to internal rows under the write lock that
+	// freezes the mapping; seeds, x and the residual state are all in
+	// internal order.
 	for node, c := range set {
-		e.setSeedLocked(node, c, patch)
+		e.setSeedLocked(e.perm.ToInternal(node), c, patch)
 	}
 	for _, node := range remove {
-		e.setSeedLocked(node, Unlabeled, patch)
+		e.setSeedLocked(e.perm.ToInternal(node), Unlabeled, patch)
 	}
 	e.snap = nil
 	e.gen++
@@ -1539,6 +1648,8 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 	return PatchMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, FellBack: st.FellBack}, nil
 }
 
+// setSeedLocked installs seed class c on a node given by INTERNAL row id
+// (callers translate external ids first).
 func (e *Engine) setSeedLocked(node, c int, patch *residual.Patch) {
 	old := e.seeds[node]
 	if old == Unlabeled && c != Unlabeled {

@@ -9,6 +9,7 @@ import (
 
 	"factorgraph/internal/delta"
 	"factorgraph/internal/dense"
+	"factorgraph/internal/exec"
 	"factorgraph/internal/graph"
 	"factorgraph/internal/propagation"
 	"factorgraph/internal/residual"
@@ -156,6 +157,18 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 		next.AddNodes(addNodes)
 		e.growLocked(n)
 		meta.AddedNodes = addNodes
+	}
+	if e.perm != nil {
+		// Translate endpoints to internal rows once, after the grown perm
+		// identity-extends over the added nodes. The caller's slice is not
+		// mutated.
+		tmuts := make([]EdgeMutation, len(muts))
+		copy(tmuts, muts)
+		for i := range tmuts {
+			tmuts[i].U = e.perm.ToInternal(tmuts[i].U)
+			tmuts[i].V = e.perm.ToInternal(tmuts[i].V)
+		}
+		muts = tmuts
 	}
 	res := e.res
 	var patch *residual.Patch
@@ -364,6 +377,10 @@ func (e *Engine) growLocked(n int) {
 	grown := dense.New(n, e.k)
 	copy(grown.Data, e.x.Data)
 	e.x = grown
+	if e.perm != nil {
+		// Added nodes map identically until the next reordering compaction.
+		e.perm = e.perm.Grown(n)
+	}
 }
 
 // fillTopoDims stamps the live dimensions and overlay fraction on meta.
@@ -443,9 +460,14 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 		return false, false, nil
 	}
 	start := telemetry.Now()
-	csr := topo.Compact()
+	// Only the synchronous path reorders: the compaction is built from the
+	// live (frozen-by-patchMu) overlay, so the install below composes the
+	// id map atomically with the epoch swap. Async builds keep the previous
+	// ordering (Rebase reuses frozen rows keyed by node id).
+	csr, order := topo.CompactOrdered(e.eopts.Reorder)
 	rhoNew := csr.SpectralRadiusCached(e.linbpOptions().SpectralIters)
-	installed, rescaled := e.installEpoch(topo, csr, rhoNew)
+	sched := exec.Tune(csr, e.k, exec.Runner{}, exec.DefaultTuneBudget)
+	installed, rescaled := e.installEpoch(topo, csr, rhoNew, order, &sched)
 	if !installed {
 		// patchMu (held by the caller) excludes every other epoch producer,
 		// so a refused install means the engine closed mid-build.
@@ -469,7 +491,16 @@ func (e *Engine) compactNow() (compacted, rescaled bool, err error) {
 // an empty overlay. Returns installed=false when the engine closed or a
 // competing compaction already replaced the base epoch (the caller's
 // build is stale and simply discarded). The caller must hold patchMu.
-func (e *Engine) installEpoch(frozen *delta.Graph, csr *sparse.CSR, rhoNew float64) (installed, rescaled bool) {
+//
+// order, when non-nil, is the reordering the caller already applied to csr
+// (newID[old] = new, over the pre-compaction internal space): the id map,
+// the seed/belief vectors and the residual state are permuted to match
+// under the same write lock, so readers never observe mixed orderings.
+// Only synchronous compactions pass it — the rebase of an async build
+// reuses frozen rows keyed by node id, which a renumbering would break.
+// sched, when non-nil, is the freshly measured exec schedule to pin for
+// the new epoch.
+func (e *Engine) installEpoch(frozen *delta.Graph, csr *sparse.CSR, rhoNew float64, order []int32, sched *exec.Schedule) (installed, rescaled bool) {
 	newGraph := graph.FromCSR(csr)
 	e.mu.Lock()
 	if e.closed || e.topo == nil || e.topo.Base() != frozen.Base() {
@@ -490,6 +521,28 @@ func (e *Engine) installEpoch(frozen *delta.Graph, csr *sparse.CSR, rhoNew float
 	e.nCompactions.Add(1)
 	e.pool = e.lazyIncrementalPool(newTopo, rhoNew, e.est.H)
 	res := e.res
+	if order != nil {
+		e.perm = e.perm.ComposedWith(order)
+		ns := make([]int, len(e.seeds))
+		nx := dense.New(e.x.Rows, e.k)
+		for old, lab := range e.seeds {
+			ns[order[old]] = lab
+			copy(nx.Row(int(order[old])), e.x.Row(old))
+		}
+		e.seeds = ns
+		e.x = nx
+		if res != nil {
+			// Carry the resident fixed point across the renumbering instead
+			// of dropping it; SetAdj below rebuilds the drain machinery.
+			res.Permute(order)
+		}
+	}
+	if sched != nil {
+		e.sched.Store(sched)
+		if res != nil {
+			res.SetSchedule(*sched)
+		}
+	}
 	if res != nil {
 		switch {
 		case rhoNew == rhoOld:
@@ -568,8 +621,11 @@ func (e *Engine) runAsyncCompact(frozen *delta.Graph) {
 	start := telemetry.Now()
 	csr := frozen.Compact()
 	rhoNew := csr.SpectralRadiusCached(e.linbpOptions().SpectralIters)
+	// No reordering off-thread (the rebase needs stable node ids), but the
+	// schedule is still re-measured on the compacted CSR.
+	sched := exec.Tune(csr, e.k, exec.Runner{}, exec.DefaultTuneBudget)
 	e.patchMu.Lock()
-	installed, _ := e.installEpoch(frozen, csr, rhoNew)
+	installed, _ := e.installEpoch(frozen, csr, rhoNew, nil, &sched)
 	e.patchMu.Unlock()
 	if installed {
 		e.nAsyncCompactions.Add(1)

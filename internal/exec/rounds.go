@@ -65,12 +65,18 @@ type PullPass struct {
 	tol float64
 	run Runner
 
+	// sched holds the drain thresholds; NewPullPass seeds the static
+	// defaults and SetSchedule installs a tuned one. Both schedules drain
+	// to the same tolerance, so swapping mid-life is safe.
+	sched Schedule
+
 	activeIdx []int32  // node → slot in rh, -1 when inactive (pull)
 	mark      []uint32 // candidate-claim words (pull) / in-queue flags (scatter)
 	rh        []float64
 	cand      [][]int32
 	next      [][]int32
 	candBuf   []int32
+	buckets   [][]int32 // sticky gather: candidates bucketed by node range
 
 	fh, wfh *dense.Matrix // delta-sweep scratch, allocated on first use
 
@@ -89,6 +95,7 @@ func NewPullPass(w RowIterator, hScaled, f, r *dense.Matrix, norms []float64, to
 	p := &PullPass{
 		w: w, n: n, hs: hScaled.Data, k: hScaled.Rows,
 		f: f, r: r, nrm: norms, tol: tol, run: run,
+		sched:     DefaultSchedule(),
 		activeIdx: make([]int32, n),
 		mark:      make([]uint32, n),
 		cand:      make([][]int32, run.MaxChunks()),
@@ -100,6 +107,13 @@ func NewPullPass(w RowIterator, hScaled, f, r *dense.Matrix, norms []float64, to
 	return p
 }
 
+// SetSchedule installs drain thresholds (zero fields fall back to the
+// static defaults). The engine calls this when the per-epoch tuner runs;
+// it must not race a Drain in flight.
+func (p *PullPass) SetSchedule(s Schedule) {
+	p.sched = s.normalized()
+}
+
 // Drain runs rounds until the frontier empties or edge traversals exceed
 // edgeBudget (<= 0 = unbounded). It returns the push work performed, the
 // number of rounds run and, when the budget was exceeded, the still-dirty
@@ -107,7 +121,7 @@ func NewPullPass(w RowIterator, hScaled, f, r *dense.Matrix, norms []float64, to
 // The schedule — parallel pull vs sequential scatter — is chosen by the
 // available worker count; both produce a frontier drained to tolerance.
 func (p *PullPass) Drain(active []int32, edgeBudget int) (pushed, edges, rounds int, remaining []int32) {
-	if p.run.MaxChunks() >= minPullWorkers {
+	if p.run.MaxChunks() >= p.sched.MinPullWorkers {
 		return p.drainPull(active, edgeBudget)
 	}
 	return p.drainScatter(active, edgeBudget)
@@ -117,7 +131,7 @@ func (p *PullPass) drainPull(active []int32, edgeBudget int) (pushed, edges, rou
 	for len(active) > 0 {
 		rounds++
 		pushed += len(active)
-		if len(active) > p.n/deltaDivisor {
+		if len(active) > p.n/p.sched.DeltaDivisor {
 			p.deltaRounds++
 			mRoundsDelta.Inc()
 			active, edges = p.deltaRound(active, edges)
@@ -184,48 +198,47 @@ func (p *PullPass) pullRound(active []int32, edges int) ([]int32, int) {
 		edges += edgeCh[c]
 	}
 
-	// Phase 2: candidates gather their incoming mass and re-norm.
+	// Phase 2: candidates gather their incoming mass and re-norm. Under a
+	// sticky schedule candidates are first bucketed by node range so chunk
+	// c gathers the same belief/residual range round after round — repeat
+	// rounds touch cache-warm rows instead of an arbitrary slice of the
+	// discovery order. Each row is gathered exactly once either way, so
+	// the two layouts produce identical results.
 	p.candBuf = p.candBuf[:0]
 	for c := range p.cand {
 		p.candBuf = append(p.candBuf, p.cand[c]...)
 	}
-	p.run.RowsIndexed(len(p.candBuf), func(chunk, lo, hi int) {
-		next := p.next[chunk][:0]
-		for i := lo; i < hi; i++ {
-			v := int(p.candBuf[i])
-			p.mark[v] = 0
-			rRow := p.r.Data[v*k : (v+1)*k]
-			cols, wts := p.w.Row(v)
-			for q, u := range cols {
-				idx := p.activeIdx[u]
-				if idx < 0 {
-					continue
-				}
-				wv := 1.0
-				if wts != nil {
-					wv = wts[q]
-				}
-				msg := rh[int(idx)*k : (int(idx)+1)*k]
-				for j := 0; j < k; j++ {
-					rRow[j] += wv * msg[j]
-				}
-			}
-			norm := 0.0
-			for _, a := range rRow {
-				if a < 0 {
-					a = -a
-				}
-				if a > norm {
-					norm = a
-				}
-			}
-			p.nrm[v] = norm
-			if norm > p.tol {
-				next = append(next, int32(v))
-			}
+	if p.sched.Sticky {
+		nChunks := p.run.MaxChunks()
+		if len(p.buckets) != nChunks {
+			p.buckets = make([][]int32, nChunks)
 		}
-		p.next[chunk] = next
-	})
+		for b := range p.buckets {
+			p.buckets[b] = p.buckets[b][:0]
+		}
+		span := (p.n + nChunks - 1) / nChunks
+		for _, v := range p.candBuf {
+			b := int(v) / span
+			p.buckets[b] = append(p.buckets[b], v)
+		}
+		p.run.RowsIndexed(nChunks, func(chunk, lo, hi int) {
+			next := p.next[chunk][:0]
+			for b := lo; b < hi; b++ {
+				for _, v := range p.buckets[b] {
+					next = p.gatherOne(int(v), rh, next)
+				}
+			}
+			p.next[chunk] = next
+		})
+	} else {
+		p.run.RowsIndexed(len(p.candBuf), func(chunk, lo, hi int) {
+			next := p.next[chunk][:0]
+			for i := lo; i < hi; i++ {
+				next = p.gatherOne(int(p.candBuf[i]), rh, next)
+			}
+			p.next[chunk] = next
+		})
+	}
 
 	// Phase 3: clear the slot map, install the survivors.
 	p.run.Rows(len(active), func(lo, hi int) {
@@ -238,6 +251,44 @@ func (p *PullPass) pullRound(active []int32, edges int) ([]int32, int) {
 		nextActive = append(nextActive, p.next[c]...)
 	}
 	return nextActive, edges
+}
+
+// gatherOne folds the active neighbors' messages into candidate v's
+// residual row (phase 2 of a tracked round), re-norms it and appends v to
+// next when it stays above tolerance.
+func (p *PullPass) gatherOne(v int, rh []float64, next []int32) []int32 {
+	k := p.k
+	p.mark[v] = 0
+	rRow := p.r.Data[v*k : (v+1)*k]
+	cols, wts := p.w.Row(v)
+	for q, u := range cols {
+		idx := p.activeIdx[u]
+		if idx < 0 {
+			continue
+		}
+		wv := 1.0
+		if wts != nil {
+			wv = wts[q]
+		}
+		msg := rh[int(idx)*k : (int(idx)+1)*k]
+		for j := 0; j < k; j++ {
+			rRow[j] += wv * msg[j]
+		}
+	}
+	norm := 0.0
+	for _, a := range rRow {
+		if a < 0 {
+			a = -a
+		}
+		if a > norm {
+			norm = a
+		}
+	}
+	p.nrm[v] = norm
+	if norm > p.tol {
+		next = append(next, int32(v))
+	}
+	return next
 }
 
 // deltaRound is one whole-matrix Jacobi round: F += R, then R ← εW·R·H̃

@@ -160,3 +160,73 @@ func TestPullPassSchedulesAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestTunedSchedulesConverge is the property test behind the auto-tuner:
+// ANY schedule the tuner can emit — DeltaDivisor across its full clamp
+// range, MinPullWorkers across its clamp range, sticky on or off — must
+// drain to the same fixed point as the sequential Gauss–Seidel reference.
+// The tuner is free to pick whatever the microbenchmark measured; it can
+// only ever change performance, never beliefs.
+func TestTunedSchedulesConverge(t *testing.T) {
+	const n, k = 96, 2
+	w := ringCSR(t, n)
+	h := dense.New(k, k)
+	h.Data[0], h.Data[1], h.Data[2], h.Data[3] = 0.2, -0.1, -0.1, 0.2
+	build := func(workers int, sched Schedule, active int) (*PullPass, *dense.Matrix, []int32) {
+		f := dense.New(n, k)
+		r := dense.New(n, k)
+		norms := make([]float64, n)
+		list := make([]int32, active)
+		for i := 0; i < active; i++ {
+			r.Data[i*k] = 1
+			norms[i] = 1
+			list[i] = int32(i)
+		}
+		p := NewPullPass(w, h, f, r, norms, 1e-10, Runner{Workers: workers})
+		p.SetSchedule(sched)
+		return p, f, list
+	}
+	// Sequential reference: one worker forces the scatter schedule.
+	pSeq, fSeq, aSeq := build(1, DefaultSchedule(), 24)
+	pSeq.Drain(aSeq, 0)
+	if pSeq.scatterRounds == 0 {
+		t.Fatal("sequential reference did not run the scatter schedule")
+	}
+	for _, dd := range []int{minTunedDeltaDivisor, deltaDivisor, maxTunedDeltaDivisor} {
+		for _, mpw := range []int{minTunedPullWorkers, maxTunedPullWorkers} {
+			for _, sticky := range []bool{false, true} {
+				sched := Schedule{DeltaDivisor: dd, MinPullWorkers: mpw, Sticky: sticky, Tuned: true}
+				p, f, active := build(0, sched, 24)
+				pushed, _, _, remaining := p.Drain(active, 0)
+				if remaining != nil || pushed == 0 {
+					t.Fatalf("sched %+v: drain = pushed %d remaining %v", sched, pushed, remaining)
+				}
+				for i := range fSeq.Data {
+					if d := math.Abs(fSeq.Data[i] - f.Data[i]); d > 1e-9 {
+						t.Fatalf("sched %+v disagrees with sequential at %d by %g", sched, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTuneEmitsClampedSchedule pins that Tune only ever emits schedules
+// inside the clamp ranges TestTunedSchedulesConverge proves safe, and that
+// tiny graphs fall back to the static defaults.
+func TestTuneEmitsClampedSchedule(t *testing.T) {
+	s := Tune(ringCSR(t, 4096), 4, Runner{}, DefaultTuneBudget)
+	if !s.Tuned {
+		t.Fatal("Tune on a 4096-node graph returned the untuned defaults")
+	}
+	if s.DeltaDivisor < minTunedDeltaDivisor || s.DeltaDivisor > maxTunedDeltaDivisor {
+		t.Errorf("DeltaDivisor %d outside [%d,%d]", s.DeltaDivisor, minTunedDeltaDivisor, maxTunedDeltaDivisor)
+	}
+	if s.MinPullWorkers < minTunedPullWorkers || s.MinPullWorkers > maxTunedPullWorkers {
+		t.Errorf("MinPullWorkers %d outside [%d,%d]", s.MinPullWorkers, minTunedPullWorkers, maxTunedPullWorkers)
+	}
+	small := Tune(ringCSR(t, 16), 4, Runner{}, DefaultTuneBudget)
+	if small.Tuned || small != DefaultSchedule() {
+		t.Errorf("Tune on a 16-node graph = %+v, want untuned defaults %+v", small, DefaultSchedule())
+	}
+}

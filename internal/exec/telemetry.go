@@ -16,3 +16,13 @@ var (
 	mDenseRounds = telemetry.Default().Counter("fg_exec_dense_rounds_total",
 		"Full-matrix dense Jacobi rounds (sweeps and delta-round cores).")
 )
+
+// Tuner gauges: the thresholds the most recent Tune emitted (last tune
+// wins process-wide; per-graph pinned values are reported through the
+// engine's numeric health and /v1/admin/health).
+var (
+	gTunedDeltaDivisor = telemetry.Default().Gauge("fg_exec_tuned_delta_divisor",
+		"DeltaDivisor chosen by the most recent exec schedule tune.")
+	gTunedMinPullWorkers = telemetry.Default().Gauge("fg_exec_tuned_min_pull_workers",
+		"MinPullWorkers chosen by the most recent exec schedule tune.")
+)

@@ -6,6 +6,7 @@ import (
 	"factorgraph"
 	"factorgraph/internal/graph"
 	"factorgraph/internal/labels"
+	"factorgraph/internal/sparse"
 )
 
 // SyntheticSpec plants a partition graph with the paper's generator
@@ -110,6 +111,13 @@ func (s *Spec) validate() error {
 	}
 	if (s.Options.ResidualTol > 0 || s.Options.ResidualEdgeBudget > 0 || s.Options.CompactFraction > 0 || s.Options.AsyncCompact) && !s.Options.Incremental {
 		return fmt.Errorf("registry: residual_tol/residual_edge_budget/compact_fraction/async_compact require incremental")
+	}
+	if !sparse.KnownReorder(s.Options.Reorder) {
+		return fmt.Errorf("registry: unknown reorder mode %q (want \"\", %q, %q or %q)",
+			s.Options.Reorder, sparse.ReorderNone, sparse.ReorderDegree, sparse.ReorderRCM)
+	}
+	if s.Options.F32Beliefs && s.Options.Incremental {
+		return fmt.Errorf("registry: f32_beliefs requires a non-incremental engine (the residual subsystem accumulates in float64)")
 	}
 	switch {
 	case s.Synthetic != nil:

@@ -107,6 +107,10 @@ type Options struct {
 	// sweeps (0 = all available workers, 1 = sequential). Benchmarks use 1
 	// as the like-for-like sequential baseline.
 	Workers int
+	// Schedule sets the drain-schedule thresholds of saturated drains. The
+	// zero value uses the static defaults; the engine passes the per-epoch
+	// measured schedule from exec.Tune.
+	Schedule exec.Schedule
 }
 
 func (o *Options) defaults() {
@@ -288,8 +292,71 @@ func (s *State) SetAdj(w exec.RowIterator) {
 		// adjacency (and sizes its scratch from it): rebuild it over the
 		// new epoch. A preceding Grow discarded the old pass, so this is
 		// also where a grown state gets its correctly-sized scratch.
-		s.pull = exec.NewPullPass(s.w, s.hScaled, s.f, s.r, s.norms, s.opts.Tol, s.run)
+		s.pull = s.newPull()
 	}
+}
+
+// SetSchedule installs new drain thresholds (per-epoch tuner output). The
+// caller must serialize against flushes, same as SetAdj.
+func (s *State) SetSchedule(sched exec.Schedule) {
+	s.opts.Schedule = sched
+	if s.pull != nil {
+		s.pull.SetSchedule(sched)
+	}
+}
+
+// newPull builds a PullPass over the current adjacency/storage with the
+// state's schedule applied.
+func (s *State) newPull() *exec.PullPass {
+	p := exec.NewPullPass(s.w, s.hScaled, s.f, s.r, s.norms, s.opts.Tol, s.run)
+	p.SetSchedule(s.opts.Schedule)
+	return p
+}
+
+// Permute renumbers every node-indexed structure of the state by
+// newID[old] = new — the locality-aware compaction path re-orders the
+// graph at an epoch swap and carries the resident solver state across
+// instead of discarding the o(Δ) machinery. The dense-tier PullPass is
+// dropped; the caller must follow with SetAdj (the permuted epoch), which
+// rebuilds it — the same contract Grow has. Beliefs, residuals and the
+// fixed point are unchanged up to row order.
+func (s *State) Permute(newID []int32) {
+	if len(newID) != s.n {
+		panic(fmt.Sprintf("residual: Permute map length %d, want %d", len(newID), s.n))
+	}
+	s.x = permuteMatrix(s.x, newID)
+	s.f = permuteMatrix(s.f, newID)
+	if s.r != nil {
+		s.r = permuteMatrix(s.r, newID)
+		norms := make([]float64, s.n)
+		for old, nn := range newID {
+			norms[nn] = s.norms[old]
+		}
+		s.norms = norms
+		s.pull = nil
+	}
+	if len(s.sRows) > 0 {
+		rows := make(map[int32][]float64, len(s.sRows))
+		for node, row := range s.sRows {
+			rows[newID[node]] = row
+		}
+		s.sRows = rows
+	}
+	// The frontier stores node ids; rebuild it from the renumbered rows.
+	s.front.Reset()
+	for node, row := range s.sRows {
+		s.front.Add(node, infNorm(row))
+	}
+}
+
+// permuteMatrix returns m with row i moved to newID[i].
+func permuteMatrix(m *dense.Matrix, newID []int32) *dense.Matrix {
+	out := dense.New(m.Rows, m.Cols)
+	k := m.Cols
+	for old := 0; old < m.Rows; old++ {
+		copy(out.Data[int(newID[old])*k:(int(newID[old])+1)*k], m.Data[old*k:(old+1)*k])
+	}
+	return out
 }
 
 // Grow extends the state to n nodes (appended ids, no edges yet — the
@@ -432,7 +499,7 @@ func (s *State) promote() {
 		return
 	}
 	s.promoteForSweep()
-	s.pull = exec.NewPullPass(s.w, s.hScaled, s.f, s.r, s.norms, s.opts.Tol, s.run)
+	s.pull = s.newPull()
 }
 
 // promoteForSweep is the cheap promotion for a drain that goes straight to

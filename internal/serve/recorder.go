@@ -330,11 +330,14 @@ func (s *Server) handleNumericHealth(w http.ResponseWriter, r *http.Request) {
 		h := eng.NumericHealth()
 		release()
 		gh := GraphHealth{
-			Graph:       info.Name,
-			Status:      healthOK,
-			Incremental: h.Incremental,
-			Epoch:       h.Epoch,
-			Checks:      numericChecks(h),
+			Graph:               info.Name,
+			Status:              healthOK,
+			Incremental:         h.Incremental,
+			Epoch:               h.Epoch,
+			ScheduleTuned:       h.ScheduleTuned,
+			TunedDeltaDivisor:   h.TunedDeltaDivisor,
+			TunedMinPullWorkers: h.TunedMinPullWorkers,
+			Checks:              numericChecks(h),
 		}
 		for _, c := range gh.Checks {
 			if c.Status == healthWarn {

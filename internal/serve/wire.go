@@ -48,6 +48,16 @@ type CreateGraphRequest struct {
 	// mutations keep landing in a fresh overlay meanwhile. Requires
 	// incremental.
 	AsyncCompact bool `json:"async_compact"`
+	// Reorder selects the locality-aware node-reordering pass applied at
+	// build and at synchronous compactions: "degree" (descending-degree),
+	// "rcm" (reverse Cuthill–McKee), or ""/"none" (off). Invisible on the
+	// wire — node ids in every request and response stay the external ids
+	// the graph was loaded with.
+	Reorder string `json:"reorder"`
+	// F32Beliefs runs propagations in float32 (half the belief-matrix
+	// bandwidth; belief drift vs float64 ≤1e-3 end-to-end). Requires a
+	// non-incremental graph.
+	F32Beliefs bool `json:"f32_beliefs"`
 	// Synthetic plants a partition graph with the paper's generator.
 	Synthetic *SyntheticGraphSpec `json:"synthetic"`
 	// Files loads TSV files from the server's filesystem.
@@ -97,6 +107,8 @@ func (r *CreateGraphRequest) Spec() registry.Spec {
 			ResidualEdgeBudget: r.ResidualEdgeBudget,
 			CompactFraction:    r.CompactFraction,
 			AsyncCompact:       r.AsyncCompact,
+			Reorder:            r.Reorder,
+			F32Beliefs:         r.F32Beliefs,
 		},
 	}
 	if r.Synthetic != nil {
@@ -403,13 +415,19 @@ type HealthCheck struct {
 	Detail string  `json:"detail,omitempty"`
 }
 
-// GraphHealth is one graph's numeric-health rollup.
+// GraphHealth is one graph's numeric-health rollup. The tuned_* fields are
+// the exec drain-schedule thresholds pinned for the graph's current epoch;
+// schedule_tuned reports whether they came from a live measurement
+// (build/compaction auto-tune) or are the static defaults.
 type GraphHealth struct {
-	Graph       string        `json:"graph"`
-	Status      string        `json:"status"` // ok | warn: worst check
-	Incremental bool          `json:"incremental"`
-	Epoch       int64         `json:"epoch"`
-	Checks      []HealthCheck `json:"checks"`
+	Graph               string        `json:"graph"`
+	Status              string        `json:"status"` // ok | warn: worst check
+	Incremental         bool          `json:"incremental"`
+	Epoch               int64         `json:"epoch"`
+	ScheduleTuned       bool          `json:"schedule_tuned"`
+	TunedDeltaDivisor   int           `json:"tuned_delta_divisor,omitempty"`
+	TunedMinPullWorkers int           `json:"tuned_min_pull_workers,omitempty"`
+	Checks              []HealthCheck `json:"checks"`
 }
 
 // NumericHealthResponse is the body of GET /v1/admin/health. Cold lists

@@ -181,61 +181,52 @@ func (c *CSR) MulDense(x *dense.Matrix) *dense.Matrix {
 	return out
 }
 
-// MulDenseInto computes out = W × X. out must not alias x.
+// MulDenseInto computes out = W × X. out must not alias x. The dispatch is
+// by shape, every path bit-identical to the flat scan: narrow X (k ≤ 4, the
+// LinBP class counts) runs the register-blocked kernel (mulDenseReg); wide
+// X that outgrows L2 runs the column-tiled kernel (mulDenseTiled); the rest
+// — where X is cache-resident anyway — takes the simple row scan.
 func (c *CSR) MulDenseInto(out, x *dense.Matrix) {
-	if x.Rows != c.N {
-		panic(fmt.Sprintf("sparse: MulDense shape mismatch: W is %d×%d, X has %d rows", c.N, c.N, x.Rows))
+	c.checkMulDenseShapes(out, x)
+	switch {
+	case x.Cols >= 2 && x.Cols <= spmmRegMaxCols:
+		c.mulDenseReg(out, x)
+	case c.N*x.Cols*8 > spmmTiledMinXBytes && c.NNZ() >= spmmTiledMinNNZ:
+		c.mulDenseTiled(out, x)
+	default:
+		c.MulDenseIntoSimple(out, x)
 	}
-	if out.Rows != c.N || out.Cols != x.Cols {
-		panic(fmt.Sprintf("sparse: MulDenseInto bad out shape %d×%d, want %d×%d", out.Rows, out.Cols, c.N, x.Cols))
-	}
-	k := x.Cols
-	defaultPool.parallelRows(c.N, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*k : (i+1)*k]
-			for j := range orow {
-				orow[j] = 0
-			}
-			start, end := c.IndPtr[i], c.IndPtr[i+1]
-			if c.Data == nil {
-				for _, col := range c.Indices[start:end] {
-					xrow := x.Data[int(col)*k : int(col+1)*k]
-					for j, v := range xrow {
-						orow[j] += v
-					}
-				}
-			} else {
-				for p := start; p < end; p++ {
-					wv := c.Data[p]
-					xrow := x.Data[int(c.Indices[p])*k : int(c.Indices[p]+1)*k]
-					for j, v := range xrow {
-						orow[j] += wv * v
-					}
-				}
-			}
-		}
-	})
 }
 
-// MulVec returns W × v for a length-n vector.
+// MulVec returns W × v for a length-n vector. Rows are independent sums, so
+// past a size cutoff the scan runs row-parallel on the shared pool with
+// bit-identical results — the ρ(W) power iteration calls this on every
+// compaction, which sits on the async-compact critical path.
 func (c *CSR) MulVec(v []float64) []float64 {
 	if len(v) != c.N {
 		panic(fmt.Sprintf("sparse: MulVec length %d, want %d", len(v), c.N))
 	}
 	out := make([]float64, c.N)
-	for i := 0; i < c.N; i++ {
-		var s float64
-		start, end := c.IndPtr[i], c.IndPtr[i+1]
-		if c.Data == nil {
-			for _, col := range c.Indices[start:end] {
-				s += v[col]
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			start, end := c.IndPtr[i], c.IndPtr[i+1]
+			if c.Data == nil {
+				for _, col := range c.Indices[start:end] {
+					s += v[col]
+				}
+			} else {
+				for p := start; p < end; p++ {
+					s += c.Data[p] * v[c.Indices[p]]
+				}
 			}
-		} else {
-			for p := start; p < end; p++ {
-				s += c.Data[p] * v[c.Indices[p]]
-			}
+			out[i] = s
 		}
-		out[i] = s
+	}
+	if c.NNZ() >= mulVecParallelNNZ {
+		defaultPool.parallelRows(c.N, rows)
+	} else {
+		rows(0, c.N)
 	}
 	return out
 }

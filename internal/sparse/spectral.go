@@ -13,7 +13,13 @@ func (c *CSR) SpectralRadius(iters int) float64 {
 	}
 	v := make([]float64, n)
 	for i := range v {
-		v[i] = 1 + float64(i%13)/13 // deterministic, not orthogonal to the lead eigenvector in practice
+		// All-ones start: deterministic, not orthogonal to the (nonnegative)
+		// lead eigenvector in practice, and — unlike any index-dependent
+		// start — invariant under node reordering, so a permuted graph
+		// derives the same ρ(W) as its unordered twin up to float
+		// reassociation noise. Belief parity across reorderings relies on ε
+		// matching this tightly.
+		v[i] = 1
 	}
 	normalize(v)
 	var lambda float64
