@@ -108,7 +108,13 @@ type report struct {
 	// sampled points per series, enough for benchdiff to see trends
 	// (ramping RSS, growing overlay) without an external Prometheus.
 	ServerTimeline []timelineSeriesTail `json:"server_timeline,omitempty"`
-	Timestamp      string               `json:"timestamp"`
+	// TraceparentSent / TraceparentEchoed count the synthetic traceparent
+	// headers injected on measured requests and the responses that carried
+	// the same trace id back; echoed == sent means every request's trace
+	// context propagated through the server.
+	TraceparentSent   int64  `json:"traceparent_sent,omitempty"`
+	TraceparentEchoed int64  `json:"traceparent_echoed,omitempty"`
+	Timestamp         string `json:"timestamp"`
 }
 
 // scrapeKeys is the subset of server series worth embedding in the report.
@@ -125,6 +131,9 @@ var scrapeKeys = []string{
 	"fg_residual_pushes_total",
 	"fg_residual_edges_traversed_total",
 	"fg_residual_fallback_sweeps_total",
+	"fg_graph_cost_pushes_total",
+	"fg_graph_cost_edges_traversed_total",
+	"fg_graph_cost_rows_cloned_total",
 	"fg_exec_rounds_total",
 	"fg_delta_epochs_published_total",
 	"fg_registry_builds_total",
@@ -466,6 +475,11 @@ func execute(ctx context.Context, p params) error {
 		ServerMetrics:  metricsDelta(metricsBefore, metricsAfter),
 		ServerTimeline: timelineTail(base),
 		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+	}
+	rep.TraceparentSent = tracesSent.Load()
+	rep.TraceparentEchoed = tracesEchoed.Load()
+	if rep.TraceparentSent > 0 && rep.TraceparentEchoed == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no response echoed a traceparent (server predates tracing, or telemetry is disabled)")
 	}
 	if scrapeErr != nil {
 		rep.ServerMetricsError = scrapeErr.Error()
@@ -809,6 +823,11 @@ func oneMutate(client *http.Client, url string, rng *rand.Rand, n, mutateBatch i
 	return timedDo(client, "PATCH", url, body, false)
 }
 
+// traceparent round-trip accounting: timedDo injects a synthetic W3C
+// traceparent on every measured request and counts the responses that echo
+// the same trace id back, proving trace-context propagation end to end.
+var tracesSent, tracesEchoed atomic.Int64
+
 func timedDo(client *http.Client, method, url string, body []byte, gz bool) (time.Duration, error) {
 	req, err := http.NewRequestWithContext(context.Background(), method, url, bytes.NewReader(body))
 	if err != nil {
@@ -818,10 +837,20 @@ func timedDo(client *http.Client, method, url string, body []byte, gz bool) (tim
 	if gz {
 		req.Header.Set("Accept-Encoding", "gzip")
 	}
+	// Inject an unsampled traceparent: the server keeps the trace id (its
+	// response header proves the round trip) but its own head sampler
+	// decides capture, so injection never distorts the measured workload by
+	// forcing every request into the trace store.
+	tid := telemetry.NewTraceID()
+	req.Header.Set("traceparent", telemetry.Traceparent(tid, telemetry.NewSpanID(), false))
+	tracesSent.Add(1)
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
+	}
+	if rtid, _, _, ok := telemetry.ParseTraceparent(resp.Header.Get("traceparent")); ok && rtid == tid {
+		tracesEchoed.Add(1)
 	}
 	_, copyErr := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()

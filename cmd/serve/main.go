@@ -19,7 +19,8 @@
 //
 // Endpoints: GET /healthz, GET /metrics, GET /v1/admin/registry,
 // GET /v1/admin/build, GET /v1/admin/timeline, GET /v1/admin/slowlog,
-// GET /v1/admin/health, POST|GET /v1/graphs, GET|DELETE /v1/graphs/{name},
+// GET /v1/admin/health, GET /v1/admin/traces, GET /v1/admin/tenants,
+// POST|GET /v1/graphs, GET|DELETE /v1/graphs/{name},
 // POST /v1/graphs/{name}/estimate|classify, GET|PATCH
 // /v1/graphs/{name}/labels|edges, plus the legacy default-graph aliases.
 // See internal/serve for the wire format.
@@ -31,7 +32,12 @@
 // logs). Non-streaming classify accepts ?debug=1 for a per-stage timing
 // breakdown. The flight recorder adds per-graph series to /metrics, a
 // rolling timeline ring (-timeline-interval, -timeline-samples), and an
-// adaptive slow-query log (-slowlog-factor, -slowlog-floor).
+// adaptive slow-query log (-slowlog-factor, -slowlog-floor). Distributed
+// tracing: engine-backed requests extract and echo W3C traceparent
+// headers, a head sampler (-trace-sample, plus forced capture on errors
+// and slow requests) feeds the bounded trace ring behind /v1/admin/traces
+// (-trace-capacity), latency histograms carry exemplar trace ids, and the
+// per-tenant cost report is served at /v1/admin/tenants.
 package main
 
 import (
@@ -87,6 +93,8 @@ func run() error {
 	timelineSamples := flag.Int("timeline-samples", 0, "flight recorder: ring length per timeline series (0 = default 90)")
 	slowFactor := flag.Float64("slowlog-factor", 0, "flight recorder: capture requests slower than this multiple of the tracked p99 (0 = default 3)")
 	slowFloor := flag.Duration("slowlog-floor", 0, "flight recorder: hard minimum slow-query threshold, also active during p99 warmup (0 = adaptive only)")
+	traceSample := flag.Float64("trace-sample", 0, "tracing: head-sampling fraction of requests captured into /v1/admin/traces (0 = default 0.01, negative = off; errors and slow requests are always captured)")
+	traceCapacity := flag.Int("trace-capacity", 0, "tracing: in-process trace ring size behind /v1/admin/traces (0 = default 256)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat, *logLevel)
@@ -114,13 +122,15 @@ func run() error {
 
 	reg := registry.New(registry.Options{MemoryBudget: *budgetMB << 20})
 	srvHandler := serve.NewMulti(reg, serve.Options{
-		FlushEvery:       *flushEvery,
-		Logger:           logger,
-		Pprof:            *pprofFlag,
-		TimelineInterval: *timelineInterval,
-		TimelineSamples:  *timelineSamples,
-		SlowLogFactor:    *slowFactor,
-		SlowLogFloor:     *slowFloor,
+		FlushEvery:         *flushEvery,
+		Logger:             logger,
+		Pprof:              *pprofFlag,
+		TimelineInterval:   *timelineInterval,
+		TimelineSamples:    *timelineSamples,
+		SlowLogFactor:      *slowFactor,
+		SlowLogFloor:       *slowFloor,
+		TraceSampleRate:    *traceSample,
+		TraceStoreCapacity: *traceCapacity,
 	})
 	defer srvHandler.Close()
 

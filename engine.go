@@ -1,6 +1,7 @@
 package factorgraph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -972,7 +973,7 @@ func (e *Engine) Close() {
 // under a short read lock, and installs the result only if no write landed
 // in between — otherwise it retries on the fresher state. rebuildMu keeps
 // concurrent cold queries from duplicating the propagation.
-func (e *Engine) currentSnapshot() (*snapshot, error) {
+func (e *Engine) currentSnapshot(tr *telemetry.Trace) (*snapshot, error) {
 	e.mu.RLock()
 	s := e.snap
 	e.mu.RUnlock()
@@ -1034,9 +1035,12 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 			e.nPropagations.Add(1)
 			engPropagations.Inc()
 			start := telemetry.Now()
+			doneInit := tr.Start("residual.init")
 			if _, err := rs.Init(x); err != nil {
+				doneInit()
 				return nil, fmt.Errorf("factorgraph: %w: %v", ErrEngineInternal, err)
 			}
+			doneInit()
 			hPropagation.ObserveSince(start)
 			e.mu.Lock()
 			if e.gen == gen && !e.closed {
@@ -1047,7 +1051,7 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 			continue // the res branch above builds (or retries) the snapshot
 		}
 
-		f, err := e.propagateOn(pool, x)
+		f, err := e.propagateOn(pool, x, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -1069,7 +1073,7 @@ func (e *Engine) currentSnapshot() (*snapshot, error) {
 // (which pins a specific H) and returns an owned copy of the beliefs (the
 // state's buffer goes back to the pool). Callers either hold a lock or own
 // a pool reference captured under one.
-func (e *Engine) propagateOn(pool *sync.Pool, x *dense.Matrix) (*dense.Matrix, error) {
+func (e *Engine) propagateOn(pool *sync.Pool, x *dense.Matrix, tr *telemetry.Trace) (*dense.Matrix, error) {
 	st, _ := pool.Get().(*propagation.State)
 	if st == nil {
 		return nil, fmt.Errorf("factorgraph: %w: could not build propagation state", ErrEngineInternal)
@@ -1078,7 +1082,9 @@ func (e *Engine) propagateOn(pool *sync.Pool, x *dense.Matrix) (*dense.Matrix, e
 	e.nPropagations.Add(1)
 	engPropagations.Inc()
 	start := telemetry.Now()
+	donePropagation := tr.Start("propagation")
 	f, err := st.Run(x)
+	donePropagation()
 	hPropagation.ObserveSince(start)
 	if err != nil {
 		return nil, err
@@ -1147,55 +1153,54 @@ func (e *Engine) ClassifyEach(q Query, fn func(NodeResult) error) error {
 func (e *Engine) ClassifyEachMeta(q Query, fn func(NodeResult) error) (QueryMeta, error) {
 	e.nQueries.Add(1)
 	engQueries.Inc()
-	tr := q.Trace // nil on untraced queries: every clock read below is gated
+	tr := q.Trace // nil on untraced queries: every span call below is inert
+	done := tr.Start("engine.classify")
+	meta, err := e.classifyEachMeta(q, tr, fn)
+	done()
+	tr.AddWork(meta.PushedNodes, meta.TouchedEdges, meta.ClonedRows)
+	return meta, err
+}
+
+// classifyEachMeta is the body of ClassifyEachMeta under its
+// "engine.classify" span: the residual fast paths record themselves as
+// deferred-name child spans (the stage only learns what it was — cached,
+// flushed, rerouted — after the fact), and the slow path nests resolve and
+// emit under the same parent.
+func (e *Engine) classifyEachMeta(q Query, tr *telemetry.Trace, fn func(NodeResult) error) (QueryMeta, error) {
 	if e.eopts.Incremental {
-		var t0 time.Time
-		if tr != nil {
-			t0 = time.Now()
-		}
 		if len(q.ExtraSeeds) > 0 {
-			meta, handled, err := e.overlayResidual(q, fn)
+			end := tr.StartSpan()
+			meta, handled, err := e.overlayResidual(q, tr, fn)
 			if handled || err != nil {
-				if tr != nil {
-					name := "overlay_flush"
-					if meta.CacheHit {
-						name = "overlay_cached"
-					}
-					tr.Add(name, time.Since(t0))
+				name := "overlay_flush"
+				if meta.CacheHit {
+					name = "overlay_cached"
 				}
+				end(name)
 				return meta, err
 			}
 			// Declined: the overlay flooded (or raced an H change) and the
 			// full propagation below serves the query.
-			if tr != nil {
-				tr.Add("overlay_reroute", time.Since(t0))
-			}
+			end("overlay_reroute")
 		} else {
-			meta, handled, err := e.residualDirect(q, fn)
+			end := tr.StartSpan()
+			meta, handled, err := e.residualDirect(q, tr, fn)
 			if handled || err != nil {
-				if tr != nil {
-					tr.Add("residual_direct", time.Since(t0))
-				}
+				end("residual_direct")
 				return meta, err
 			}
+			end("") // declined without doing work: no span
 		}
 	}
-	var t0 time.Time
-	if tr != nil {
-		t0 = time.Now()
-	}
-	beliefs, lab, perm, err := e.resolve(q)
+	doneResolve := tr.Start("resolve")
+	beliefs, lab, perm, err := e.resolve(q, tr)
+	doneResolve()
 	if err != nil {
 		return QueryMeta{}, err
 	}
-	if tr != nil {
-		tr.Add("resolve", time.Since(t0))
-		t0 = time.Now()
-	}
+	doneEmit := tr.Start("emit")
 	err = e.formatEach(q, beliefs, lab, perm, fn)
-	if tr != nil {
-		tr.Add("emit", time.Since(t0))
-	}
+	doneEmit()
 	return QueryMeta{}, err
 }
 
@@ -1208,7 +1213,7 @@ const residualDirectMax = 1024
 // beliefs under the read lock — no snapshot rebuild, no propagation. It
 // declines (handled=false) when a fresh snapshot already exists (serving
 // from it is zero-copy) or the residual state is cold.
-func (e *Engine) residualDirect(q Query, fn func(NodeResult) error) (QueryMeta, bool, error) {
+func (e *Engine) residualDirect(q Query, tr *telemetry.Trace, fn func(NodeResult) error) (QueryMeta, bool, error) {
 	if q.Nodes == nil || len(q.Nodes) == 0 || len(q.Nodes) > residualDirectMax {
 		return QueryMeta{}, false, nil
 	}
@@ -1244,6 +1249,8 @@ func (e *Engine) residualDirect(q Query, fn func(NodeResult) error) (QueryMeta, 
 		}
 	}
 	e.mu.RUnlock()
+	doneEmit := tr.Start("emit")
+	defer doneEmit()
 	for i, node := range q.Nodes {
 		if err := e.emitResult(node, rows[i], labs[i], topk, fn); err != nil {
 			return QueryMeta{Residual: true}, true, err
@@ -1263,7 +1270,7 @@ func (e *Engine) residualDirect(q Query, fn func(NodeResult) error) (QueryMeta, 
 // bounded by the edge budget — a flooding overlay stops at the budget and
 // reroutes to the pooled propagation, which runs lock-free as always. Keep
 // ResidualEdgeBudget modest on latency-sensitive deployments.
-func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta, bool, error) {
+func (e *Engine) overlayResidual(q Query, tr *telemetry.Trace, fn func(NodeResult) error) (QueryMeta, bool, error) {
 	// Validate before any work, exactly like the full overlay path.
 	liveN := e.liveN()
 	for node, c := range q.ExtraSeeds {
@@ -1281,7 +1288,7 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 	}
 	// Ensure the residual base exists (first query per (graph, H) pays the
 	// one full solve).
-	if _, err := e.currentSnapshot(); err != nil {
+	if _, err := e.currentSnapshot(tr); err != nil {
 		return QueryMeta{}, true, err
 	}
 	topk := q.TopK
@@ -1320,6 +1327,7 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 	} else {
 		engWhatifMisses.Inc()
 		ov := e.res.NewOverlay()
+		ov.Trace = tr
 		for node, c := range q.ExtraSeeds {
 			ov.SetSeed(e.perm.ToInternal(node), c)
 		}
@@ -1362,6 +1370,8 @@ func (e *Engine) overlayResidual(q Query, fn func(NodeResult) error) (QueryMeta,
 		}
 	}
 	e.mu.RUnlock()
+	doneEmit := tr.Start("emit")
+	defer doneEmit()
 	for i := 0; i < n; i++ {
 		node := i
 		if q.Nodes != nil {
@@ -1387,18 +1397,18 @@ func argmaxRow(row []float64) int {
 // resolve produces the belief matrix, labels and row-ordering permutation
 // answering q: the cached snapshot for plain queries, a dedicated
 // propagation for overlay queries.
-func (e *Engine) resolve(q Query) (*dense.Matrix, []int, *sparse.Perm, error) {
+func (e *Engine) resolve(q Query, tr *telemetry.Trace) (*dense.Matrix, []int, *sparse.Perm, error) {
 	if len(q.ExtraSeeds) == 0 {
-		s, err := e.currentSnapshot()
+		s, err := e.currentSnapshot(tr)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		return s.beliefs, s.labels, s.perm, nil
 	}
-	return e.overlayBeliefs(q)
+	return e.overlayBeliefs(q, tr)
 }
 
-func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, *sparse.Perm, error) {
+func (e *Engine) overlayBeliefs(q Query, tr *telemetry.Trace) (*dense.Matrix, []int, *sparse.Perm, error) {
 	// Capture the belief matrix and the pool (which pins H) under a short
 	// read lock, then propagate OUTSIDE the lock: a what-if propagation can
 	// take hundreds of milliseconds on a large graph, and holding the read
@@ -1430,7 +1440,7 @@ func (e *Engine) overlayBeliefs(q Query) (*dense.Matrix, []int, *sparse.Perm, er
 		}
 		row[c] = 1
 	}
-	f, err := e.propagateOn(pool, x)
+	f, err := e.propagateOn(pool, x, tr)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -1538,6 +1548,11 @@ type PatchMeta struct {
 	// cloned view — still outside the engine's locks, so readers were
 	// never stalled and the residual state survives the flood.
 	FellBack bool
+	// LockWaitSeconds / FlushSeconds attribute the update's time to its two
+	// expensive phases — waiting behind the patch/write locks and the
+	// residual flush itself — for per-request cost accounting.
+	LockWaitSeconds float64
+	FlushSeconds    float64
 }
 
 // UpdateLabels applies an incremental seed-label update without rebuilding
@@ -1564,11 +1579,35 @@ func (e *Engine) UpdateLabels(set map[int]int, remove []int) error {
 // if they had arrived just before the patch. patchMu serializes patch
 // sessions so two concurrent updates cannot interleave their base views.
 func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, error) {
+	return e.UpdateLabelsMetaCtx(context.Background(), set, remove)
+}
+
+// UpdateLabelsMetaCtx is UpdateLabelsMeta carrying the request context: a
+// trace attached to ctx (telemetry.WithTrace) records the update as an
+// "engine.patch" span tree — lock_wait, the residual flush (with the exec
+// drain nested under it) and the apply swap.
+func (e *Engine) UpdateLabelsMetaCtx(ctx context.Context, set map[int]int, remove []int) (PatchMeta, error) {
+	tr := telemetry.TraceFrom(ctx)
+	done := tr.Start("engine.patch")
+	meta, err := e.updateLabelsMeta(set, remove, tr)
+	done()
+	tr.AddWork(meta.PushedNodes, meta.TouchedEdges, 0)
+	tr.AddWait(meta.FlushSeconds, meta.LockWaitSeconds)
+	return meta, err
+}
+
+func (e *Engine) updateLabelsMeta(set map[int]int, remove []int, tr *telemetry.Trace) (PatchMeta, error) {
 	lockStart := telemetry.Now()
+	doneLock := tr.Start("lock_wait")
 	e.patchMu.Lock()
 	defer e.patchMu.Unlock()
 	e.mu.Lock()
+	doneLock()
 	hPatchLockWaitLabel.ObserveSince(lockStart)
+	var lockWaitSec float64
+	if !lockStart.IsZero() {
+		lockWaitSec = time.Since(lockStart).Seconds()
+	}
 	if e.closed {
 		e.mu.Unlock()
 		return PatchMeta{}, ErrEngineClosed
@@ -1595,6 +1634,7 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 	var patch *residual.Patch
 	if res != nil {
 		patch = res.BeginPatch()
+		patch.Trace = tr
 	}
 	// External ids translate to internal rows under the write lock that
 	// freezes the mapping; seeds, x and the residual state are all in
@@ -1612,7 +1652,7 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 	engLabelPatches.Inc()
 	e.mu.Unlock()
 	if patch == nil {
-		return PatchMeta{}, nil
+		return PatchMeta{LockWaitSeconds: lockWaitSec}, nil
 	}
 	// Flush OUTSIDE the engine locks: a wide patch promotes to parallel
 	// pull rounds (and dense sweeps past the edge budget) without stalling
@@ -1621,12 +1661,17 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 	flushStart := telemetry.Now()
 	st := patch.Flush()
 	hPatchFlushLabel.ObserveSince(flushStart)
+	var flushSec float64
+	if !flushStart.IsZero() {
+		flushSec = time.Since(flushStart).Seconds()
+	}
 	e.nResidualPatches.Add(1)
 	e.nResidualPushes.Add(int64(st.Pushed))
 	if st.FellBack {
 		e.nResidualFallbacks.Add(1)
 	}
 	applyStart := telemetry.Now()
+	doneApply := tr.Start("apply")
 	e.mu.Lock()
 	applied := e.res == res && !e.closed
 	if applied {
@@ -1637,6 +1682,7 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 		e.gen++
 	}
 	e.mu.Unlock()
+	doneApply()
 	hPatchApplyLabel.ObserveSince(applyStart)
 	if !applied {
 		// An H change, ReleaseTransient or Close replaced (or dropped) the
@@ -1645,7 +1691,10 @@ func (e *Engine) UpdateLabelsMeta(set map[int]int, remove []int) (PatchMeta, err
 		// releases a promoted session's O(n·k) clones eagerly.
 		patch.Abort()
 	}
-	return PatchMeta{Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, FellBack: st.FellBack}, nil
+	return PatchMeta{
+		Residual: true, PushedNodes: st.Pushed, TouchedEdges: st.Edges, FellBack: st.FellBack,
+		LockWaitSeconds: lockWaitSec, FlushSeconds: flushSec,
+	}, nil
 }
 
 // setSeedLocked installs seed class c on a node given by INTERNAL row id

@@ -1,6 +1,7 @@
 package factorgraph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -70,6 +71,10 @@ type MutateMeta struct {
 	OverlayFraction float64
 	// Nodes / Edges are the post-batch live dimensions.
 	Nodes, Edges int
+	// LockWaitSeconds / FlushSeconds attribute the batch's time to lock
+	// acquisition and the residual flush, for per-request cost accounting.
+	LockWaitSeconds float64
+	FlushSeconds    float64
 }
 
 // defaultCompactFraction is the overlay share of stored entries past which
@@ -103,6 +108,25 @@ const contractionGuard = 0.95
 // compacted mutated engine is indistinguishable from a cold engine on the
 // final edge set (the parity tests pin this to 1e-6).
 func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateMeta, err error) {
+	return e.MutateTopologyCtx(context.Background(), addNodes, muts)
+}
+
+// MutateTopologyCtx is MutateTopology carrying the request context: a trace
+// attached to ctx (telemetry.WithTrace) records the batch as an
+// "engine.mutate" span tree — lock_wait, the residual flush (with the exec
+// tiers nested under it), the apply swap and any compaction the batch
+// triggered.
+func (e *Engine) MutateTopologyCtx(ctx context.Context, addNodes int, muts []EdgeMutation) (MutateMeta, error) {
+	tr := telemetry.TraceFrom(ctx)
+	done := tr.Start("engine.mutate")
+	meta, err := e.mutateTopology(addNodes, muts, tr)
+	done()
+	tr.AddWork(meta.PushedNodes, meta.TouchedEdges, 0)
+	tr.AddWait(meta.FlushSeconds, meta.LockWaitSeconds)
+	return meta, err
+}
+
+func (e *Engine) mutateTopology(addNodes int, muts []EdgeMutation, tr *telemetry.Trace) (meta MutateMeta, err error) {
 	// Stamp the live dimensions on EVERY return path — error metas
 	// included, so a compaction failure surfaced over HTTP still reports
 	// the real node/edge counts instead of zeros. Every return below runs
@@ -115,11 +139,16 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 		return MutateMeta{}, fmt.Errorf("factorgraph: negative node addition %d", addNodes)
 	}
 	lockStart := telemetry.Now()
+	doneLock := tr.Start("lock_wait")
 	e.patchMu.Lock()
 	defer e.patchMu.Unlock()
 
 	e.mu.Lock()
+	doneLock()
 	hPatchLockWaitTopo.ObserveSince(lockStart)
+	if !lockStart.IsZero() {
+		meta.LockWaitSeconds = time.Since(lockStart).Seconds()
+	}
 	if e.closed {
 		e.mu.Unlock()
 		return MutateMeta{}, ErrEngineClosed
@@ -179,6 +208,7 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 		res.Grow(n)
 		res.SetAdj(next)
 		patch = res.BeginPatch()
+		patch.Trace = tr
 	}
 	var skDeltas []sketchDelta
 	for _, m := range muts {
@@ -248,6 +278,9 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 		flushStart := telemetry.Now()
 		st := patch.Flush()
 		hPatchFlushTopo.ObserveSince(flushStart)
+		if !flushStart.IsZero() {
+			meta.FlushSeconds = time.Since(flushStart).Seconds()
+		}
 		meta.Residual = true
 		meta.PushedNodes, meta.TouchedEdges, meta.FellBack = st.Pushed, st.Edges, st.FellBack
 		e.nResidualPushes.Add(int64(st.Pushed))
@@ -255,6 +288,7 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 			e.nResidualFallbacks.Add(1)
 		}
 		applyStart := telemetry.Now()
+		doneApply := tr.Start("apply")
 		e.mu.Lock()
 		applied := e.res == res && !e.closed
 		if applied {
@@ -263,6 +297,7 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 			e.gen++
 		}
 		e.mu.Unlock()
+		doneApply()
 		hPatchApplyTopo.ObserveSince(applyStart)
 		if !applied {
 			patch.Abort() // base replaced mid-flush; discard the session
@@ -272,7 +307,9 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 	switch {
 	case force:
 		// Convergence is at stake: never defer to a background build.
+		doneCompact := tr.Start("delta.compact")
 		compacted, rescaled, cerr := e.compactNow()
+		doneCompact()
 		if cerr != nil {
 			return meta, cerr
 		}
@@ -281,7 +318,9 @@ func (e *Engine) MutateTopology(addNodes int, muts []EdgeMutation) (meta MutateM
 		if e.eopts.AsyncCompact {
 			meta.CompactPending = e.startAsyncCompact()
 		} else {
+			doneCompact := tr.Start("delta.compact")
 			compacted, rescaled, cerr := e.compactNow()
+			doneCompact()
 			if cerr != nil {
 				return meta, cerr
 			}

@@ -1,6 +1,9 @@
 package residual
 
-import "factorgraph/internal/exec"
+import (
+	"factorgraph/internal/exec"
+	"factorgraph/internal/telemetry"
+)
 
 // Overlay is a copy-on-write view over a base State for what-if queries:
 // ephemeral seed changes land as residual deltas in the overlay, and the
@@ -27,6 +30,10 @@ type Overlay struct {
 	rhBuf  []float64
 
 	edges int
+
+	// Trace, when set by the query path, records the flush as a
+	// "residual.flush" span with the exec drain nested under it.
+	Trace *telemetry.Trace
 }
 
 // NewOverlay returns an empty overlay over the state. The base must be
@@ -111,7 +118,9 @@ func (o *Overlay) Flush() Stats {
 		}
 		return st
 	}
-	pushed, edges, outcome := exec.Drain(o.front, overlayKernel{o}, budget)
+	doneFlush := o.Trace.Start("residual.flush")
+	pushed, edges, outcome := exec.DrainTraced(o.Trace, o.front, overlayKernel{o}, budget)
+	doneFlush()
 	o.edges += edges
 	st.Pushed, st.Edges = pushed, edges
 	if outcome == exec.BudgetExceeded {

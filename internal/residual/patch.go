@@ -3,6 +3,7 @@ package residual
 import (
 	"factorgraph/internal/dense"
 	"factorgraph/internal/exec"
+	"factorgraph/internal/telemetry"
 )
 
 // Patch is a copy-on-write flush session over a base State for label
@@ -46,6 +47,10 @@ type Patch struct {
 	dx     *dense.Matrix // cloned X̃ with deltas applied; built only for sweeps
 	norms  []float64
 	pull   *exec.PullPass
+
+	// Trace, when set by the mutation path, records the flush tiers as
+	// "residual.flush" / "exec.drain" / "exec.pull" spans.
+	Trace *telemetry.Trace
 }
 
 // BeginPatch opens a patch session. If the base's dense residual tier is
@@ -231,8 +236,10 @@ func (p *Patch) Flush() Stats {
 	s := p.base
 	var st Stats
 	defer func() { recordStats(st) }()
+	doneFlush := p.Trace.Start("residual.flush")
+	defer doneFlush()
 	if p.df == nil {
-		pushed, edges, outcome := exec.Drain(p.front, patchKernel{p}, s.edgeBudget)
+		pushed, edges, outcome := exec.DrainTraced(p.Trace, p.front, patchKernel{p}, s.edgeBudget)
 		st.Pushed += pushed
 		st.Edges += edges
 		switch outcome {
@@ -255,7 +262,9 @@ func (p *Patch) Flush() Stats {
 	if budget < 1 {
 		budget = 1
 	}
+	donePull := p.Trace.Start("exec.pull")
 	pushed, edges, rounds, remaining := p.pull.Drain(active, budget)
+	donePull()
 	st.Pushed += pushed
 	st.Edges += edges
 	st.Rounds += rounds

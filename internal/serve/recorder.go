@@ -33,8 +33,23 @@ type recorder struct {
 	epochAge *telemetry.GaugeVec
 	drift    *telemetry.GaugeVec
 
+	// Per-tenant cost accounting, labelled {graph}: work attribution
+	// accumulated on the request trace, rolled up on the way out and
+	// served both as fg_graph_cost_* series and via /v1/admin/tenants.
+	costPushes   *telemetry.CounterVec
+	costEdges    *telemetry.CounterVec
+	costRows     *telemetry.CounterVec
+	costFlush    *telemetry.FloatCounterVec
+	costLockWait *telemetry.FloatCounterVec
+
 	timeline *telemetry.Timeline
 	slowlog  *telemetry.SlowLog
+
+	// Distributed-tracing tail: the head sampler decides which requests
+	// record into the bounded trace ring behind /v1/admin/traces; errors
+	// and slow-log threshold exceedances are force-captured regardless.
+	sampler *telemetry.Sampler
+	traces  *telemetry.TraceStore
 
 	// tracked remembers which graphs have timeline probes installed, so
 	// the per-request path is one sync.Map load after the first request.
@@ -46,6 +61,11 @@ type recorder struct {
 // evicted from /metrics (the counters themselves survive in the handles of
 // any in-flight request, they just stop being exported).
 const graphCardinality = 512
+
+// DefaultTraceSampleRate is the head-sampling fraction when
+// Options.TraceSampleRate is zero: 1% keeps the trace ring representative
+// without letting tracing cost show up in the latency distribution.
+const DefaultTraceSampleRate = 0.01
 
 func newRecorder(o Options) *recorder {
 	reg := telemetry.Default()
@@ -64,6 +84,13 @@ func newRecorder(o Options) *recorder {
 	capacity := o.SlowLogCapacity
 	if capacity <= 0 {
 		capacity = telemetry.DefaultSlowLogCapacity
+	}
+	rate := o.TraceSampleRate
+	switch {
+	case rate == 0:
+		rate = DefaultTraceSampleRate
+	case rate < 0:
+		rate = 0 // explicit off: only errors and slow requests are captured
 	}
 	return &recorder{
 		requests: telemetry.NewCounterVec(reg, "fg_graph_requests_total",
@@ -90,8 +117,21 @@ func newRecorder(o Options) *recorder {
 		drift: telemetry.NewGaugeVec(reg, "fg_graph_sketch_drift_fraction",
 			"Estimator-sketch drift as a fraction of the drop threshold.", "graph", graphCardinality),
 
+		costPushes: telemetry.NewCounterVec(reg, "fg_graph_cost_pushes_total",
+			"Residual pushes attributed to requests, by graph.", "graph", graphCardinality),
+		costEdges: telemetry.NewCounterVec(reg, "fg_graph_cost_edges_traversed_total",
+			"Edges traversed by request-attributed push work, by graph.", "graph", graphCardinality),
+		costRows: telemetry.NewCounterVec(reg, "fg_graph_cost_rows_cloned_total",
+			"Copy-on-write belief rows cloned for requests, by graph.", "graph", graphCardinality),
+		costFlush: telemetry.NewFloatCounterVec(reg, "fg_graph_cost_flush_seconds_total",
+			"Residual-flush time attributed to requests, by graph.", "graph", graphCardinality),
+		costLockWait: telemetry.NewFloatCounterVec(reg, "fg_graph_cost_lock_wait_seconds_total",
+			"Engine-lock wait time attributed to requests, by graph.", "graph", graphCardinality),
+
 		timeline: telemetry.NewTimeline(interval, samples),
 		slowlog:  telemetry.NewSlowLog(capacity, factor, o.SlowLogFloor),
+		sampler:  telemetry.NewSampler(rate),
+		traces:   telemetry.NewTraceStore(o.TraceStoreCapacity),
 	}
 }
 
@@ -106,13 +146,84 @@ func (c *recorder) trackGlobals(s *Server) {
 	})
 }
 
+// startTrace begins the request trace for one engine-backed request: the
+// inbound W3C traceparent (when present and well-formed) supplies the trace
+// id and remote parent span, otherwise a fresh id is minted; the head
+// sampler (or an upstream sampled flag) decides whether the trace is
+// destined for the trace store. Returns nil — the fully inert trace — when
+// telemetry is disabled.
+func (c *recorder) startTrace(r *http.Request) *telemetry.Trace {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	tid, parent, parentSampled, ok := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		tid, parent, parentSampled = telemetry.NewTraceID(), telemetry.SpanID{}, false
+	}
+	sampled := parentSampled || c.sampler.Sample(tid)
+	return telemetry.NewRequestTrace(tid, parent, parentSampled, sampled)
+}
+
+// capture is the tail of the tracing pipeline: it decides whether the
+// finished request's trace lands in the trace store (errors always, sampled
+// traces always, slow-log threshold exceedances always), synthesizes the
+// request root span, and returns the stored trace id (hex) for exemplar
+// linkage — "" when nothing was captured.
+func (c *recorder) capture(graph, kind string, d time.Duration, status int, tr *telemetry.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	var reason string
+	switch {
+	case status >= http.StatusInternalServerError:
+		reason = "error"
+	case tr.Sampled():
+		reason = "head"
+		if tr.RemoteSampled() {
+			reason = "parent"
+		}
+	case d >= c.slowlog.Threshold():
+		reason = "slow"
+	default:
+		return ""
+	}
+	// The request itself becomes the root span, so the stored tree is
+	// self-contained: every engine span's Parent chain terminates at it,
+	// and it links onward to the remote parent when one came in.
+	spans := tr.Spans()
+	tree := make([]telemetry.Span, 0, len(spans)+1)
+	tree = append(tree, telemetry.Span{
+		Name: kind, ID: tr.RootSpanID(), Parent: tr.RemoteParent(), Dur: d,
+	})
+	tree = append(tree, spans...)
+	c.traces.Put(telemetry.StoredTrace{
+		ID:           tr.TraceID(),
+		Root:         tr.RootSpanID(),
+		RemoteParent: tr.RemoteParent(),
+		Graph:        graph,
+		Kind:         kind,
+		Start:        tr.StartTime(),
+		Duration:     d,
+		Status:       status,
+		Reason:       reason,
+		Spans:        tree,
+		Cost:         tr.Cost(),
+	})
+	return tr.TraceID().String()
+}
+
 // observe is the per-request tail of withEngine: per-graph counters and
-// latency, the slow-query threshold check, and (on a graph's first
-// request) timeline probe installation. The fast path is a handful of
-// LRU-map resolutions plus one atomic threshold compare.
-func (c *recorder) observe(graph, kind string, d time.Duration, tr *telemetry.Trace) {
+// latency (exemplar-linked when the request's trace was captured), the
+// per-tenant cost rollup, the slow-query threshold check, and (on a
+// graph's first request) timeline probe installation. The fast path is a
+// handful of LRU-map resolutions plus one atomic threshold compare.
+func (c *recorder) observe(graph, kind string, d time.Duration, tr *telemetry.Trace, exemplar string) {
 	c.requests.With(graph).Inc()
-	c.latency.With(graph).Observe(d.Seconds())
+	if exemplar != "" {
+		c.latency.With(graph).ObserveExemplar(d.Seconds(), exemplar)
+	} else {
+		c.latency.With(graph).Observe(d.Seconds())
+	}
 	switch kind {
 	case "classify", "estimate":
 		c.queries.With(graph).Inc()
@@ -120,6 +231,19 @@ func (c *recorder) observe(graph, kind string, d time.Duration, tr *telemetry.Tr
 		c.patches.With(graph).Inc()
 	case "edges_patch":
 		c.mutations.With(graph).Inc()
+	}
+	if cost := tr.Cost(); cost != (telemetry.Cost{}) {
+		if cost.Pushes > 0 {
+			c.costPushes.With(graph).Add(cost.Pushes)
+		}
+		if cost.EdgesTraversed > 0 {
+			c.costEdges.With(graph).Add(cost.EdgesTraversed)
+		}
+		if cost.RowsCloned > 0 {
+			c.costRows.With(graph).Add(cost.RowsCloned)
+		}
+		c.costFlush.With(graph).Add(cost.FlushSeconds)
+		c.costLockWait.With(graph).Add(cost.LockWaitSeconds)
 	}
 	c.slowlog.Observe(graph, kind, d, tr)
 	c.ensureProbes(graph)
@@ -176,6 +300,11 @@ func (c *recorder) forget(graph string) {
 	c.overlay.Delete(graph)
 	c.epochAge.Delete(graph)
 	c.drift.Delete(graph)
+	c.costPushes.Delete(graph)
+	c.costEdges.Delete(graph)
+	c.costRows.Delete(graph)
+	c.costFlush.Delete(graph)
+	c.costLockWait.Delete(graph)
 }
 
 // Numeric-health rollup thresholds. The warn levels are deliberately

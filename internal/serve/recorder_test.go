@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -350,5 +351,142 @@ func TestNumericChecksThresholds(t *testing.T) {
 		if c.Status != "ok" {
 			t.Errorf("check %s = %q, want ok (value %v, warn_at %v)", c.Name, c.Status, c.Value, c.WarnAt)
 		}
+	}
+}
+
+// TestPerGraphSeriesLifecycleConcurrent races live writers against DELETE
+// and the admin read paths: classify goroutines hammer two graphs while
+// the main goroutine deletes one mid-burst and scrapers walk /metrics,
+// /v1/admin/tenants and /v1/admin/traces. A request that acquired its
+// engine before the DELETE re-creates series in observe(); the registry
+// re-forgets on the last pin's release, so once the writers drain, the
+// deleted graph's series — including the fg_graph_cost_* families — must
+// be gone for good, and the read paths' Each() snapshots must never have
+// resurrected them. The -race acceptance for the recorder lifecycle.
+func TestPerGraphSeriesLifecycleConcurrent(t *testing.T) {
+	srv := newMultiServer(0, Options{TraceSampleRate: 1})
+	// Incremental graphs so label patches do attributable o(Δ) push work —
+	// on a snapshot engine a patch bills only lock-wait time.
+	for _, name := range []string{"racedel", "racekeep"} {
+		rec, _ := doJSON(t, srv, "POST", "/v1/graphs", incrementalBody(name, 200, 1000))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", name, rec.Code)
+		}
+		classifyGraph(t, srv, name)
+	}
+
+	do := func(method, path, body string) int {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	stopRead := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, path := range []string{"/metrics", "/v1/admin/tenants", "/v1/admin/traces"} {
+		readers.Add(1)
+		go func(path string) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+					do("GET", path, "")
+				}
+			}
+		}(path)
+	}
+
+	stopWrite := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			name := "racedel"
+			if w%2 == 1 {
+				name = "racekeep"
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stopWrite:
+					return
+				default:
+				}
+				// Mostly classify, with label patches mixed in so the
+				// survivor accrues attributable cost (a warm classify with
+				// no pending work legitimately bills zero). Writers on the
+				// deleted graph flip to 404 once the DELETE lands; anything
+				// else is a real failure.
+				method, path, body := "POST", "/v1/graphs/"+name+"/classify", `{"nodes":[0,1]}`
+				if i%4 == 0 {
+					method, path, body = "PATCH", "/v1/graphs/"+name+"/labels",
+						fmt.Sprintf(`{"set":{"%d":%d}}`, (w*37+i)%200, i%3)
+				}
+				if code := do(method, path, body); code != http.StatusOK && code != http.StatusNotFound {
+					t.Errorf("%s %s: status %d", method, path, code)
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(10 * time.Millisecond) // writers in flight before the DELETE
+	if code := do("DELETE", "/v1/graphs/racedel", ""); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	time.Sleep(10 * time.Millisecond) // and still in flight after it
+	close(stopWrite)
+	writers.Wait()
+	close(stopRead)
+	readers.Wait()
+
+	// One synchronous survivor patch after the burst drains: under -race a
+	// short run can end before any concurrent racekeep patch lands, and the
+	// cost assertions below need at least one attributed write.
+	rec, _ := doJSON(t, srv, "PATCH", "/v1/graphs/racekeep/labels", `{"set":{"42":1}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-burst patch: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	text := rawScrape(t, srv)
+	if strings.Contains(text, `graph="racedel"`) {
+		t.Errorf("deleted graph's series resurrected:\n%s", grepLines(text, "racedel"))
+	}
+	for _, fam := range []string{
+		"fg_graph_requests_total", "fg_graph_cost_pushes_total",
+		"fg_graph_cost_edges_traversed_total",
+	} {
+		if !strings.Contains(text, fam+`{graph="racekeep"}`) {
+			t.Errorf("%s missing for surviving graph", fam)
+		}
+	}
+
+	// The cost report agrees: the deleted tenant is gone, the survivor is
+	// billed.
+	hrec, _ := doJSON(t, srv, "GET", "/v1/admin/tenants", "")
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("tenants: status %d", hrec.Code)
+	}
+	var tenants TenantsResponse
+	if err := json.Unmarshal(hrec.Body.Bytes(), &tenants); err != nil {
+		t.Fatal(err)
+	}
+	var keep *TenantCost
+	for i := range tenants.Tenants {
+		switch tenants.Tenants[i].Graph {
+		case "racedel":
+			t.Errorf("deleted tenant still in cost report: %+v", tenants.Tenants[i])
+		case "racekeep":
+			keep = &tenants.Tenants[i]
+		}
+	}
+	if keep == nil {
+		t.Fatal("surviving tenant missing from cost report")
+	}
+	if keep.Requests == 0 || keep.WorkUnits == 0 {
+		t.Errorf("surviving tenant has no accounted work: %+v", keep)
 	}
 }

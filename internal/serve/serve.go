@@ -111,6 +111,17 @@ type Options struct {
 	SlowLogFactor   float64
 	SlowLogFloor    time.Duration
 	SlowLogCapacity int
+
+	// TraceSampleRate is the head-sampling fraction of requests whose
+	// span trees are captured into the in-process trace store behind
+	// GET /v1/admin/traces (0 = the 1% default, negative = off). The
+	// decision is deterministic on the trace id, so an inbound W3C
+	// traceparent sampled upstream is honored regardless of the local
+	// rate, and errors (5xx) and slow-log threshold exceedances are
+	// force-captured even at rate 0. TraceStoreCapacity bounds the trace
+	// ring (default 256 entries; the oldest is evicted).
+	TraceSampleRate    float64
+	TraceStoreCapacity int
 }
 
 // Adaptive flush bounds: a flush slower than slowFlushLatency doubles the
@@ -186,6 +197,8 @@ func NewMulti(reg *registry.Registry, o Options) *Server {
 	s.route("GET /v1/admin/timeline", "admin_timeline", s.handleTimeline)
 	s.route("GET /v1/admin/slowlog", "admin_slowlog", s.handleSlowLog)
 	s.route("GET /v1/admin/health", "admin_health", s.handleNumericHealth)
+	s.route("GET /v1/admin/traces", "admin_traces", s.handleTraces)
+	s.route("GET /v1/admin/tenants", "admin_tenants", s.handleTenants)
 
 	metrics := telemetry.Handler(telemetry.Default())
 	s.route("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -239,11 +252,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // "default" on the legacy routes) through the registry — building the
 // engine if it is cold or was evicted — and pins it for the duration of the
 // handler via the registry refcount, so eviction can never close an engine
-// mid-request. It is also the flight recorder's capture point: a stage
-// trace rides the request context (handlers thread it into engine queries),
-// and the per-graph counters, latency histogram and slow-query threshold
-// check run on the way out. kind names the request class for the
-// query/patch/mutation counters and the slow-log entries.
+// mid-request. It is also the tracing boundary and the flight recorder's
+// capture point: the inbound W3C traceparent (when present) is extracted
+// into the request trace that rides the context (handlers thread it into
+// engine queries), the response carries a traceparent naming this request's
+// root span, and on the way out the trace is captured into the trace store
+// when sampled (or forced by an error or the slow-log threshold), the
+// per-graph counters and cost rollup land, and the latency histograms gain
+// an exemplar linking to the captured trace. kind names the request class
+// for the query/patch/mutation counters, the slow-log entries and the
+// synthesized root span.
 func (s *Server) withEngine(kind string, fn func(http.ResponseWriter, *http.Request, *factorgraph.Engine)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
@@ -256,10 +274,27 @@ func (s *Server) withEngine(kind string, fn func(http.ResponseWriter, *http.Requ
 			return
 		}
 		defer release()
-		tr := telemetry.NewTrace()
+		tr := s.rec.startTrace(r)
+		if tr != nil {
+			// Inject before the handler writes the header: the client learns
+			// this request's root span id and the sampling verdict, so a
+			// round-tripped traceparent proves context propagation.
+			w.Header().Set("traceparent",
+				telemetry.Traceparent(tr.TraceID(), tr.RootSpanID(), tr.Sampled()))
+		}
 		start := time.Now()
 		fn(w, r.WithContext(telemetry.WithTrace(r.Context(), tr)), eng)
-		s.rec.observe(name, kind, time.Since(start), tr)
+		d := time.Since(start)
+		status := http.StatusOK
+		sw, _ := w.(*statusWriter)
+		if sw != nil && sw.status != 0 {
+			status = sw.status
+		}
+		exemplar := s.rec.capture(name, kind, d, status, tr)
+		if sw != nil {
+			sw.exemplar = exemplar
+		}
+		s.rec.observe(name, kind, d, tr, exemplar)
 	}
 }
 
@@ -697,7 +732,10 @@ func (s *Server) handleEdgesPatch(w http.ResponseWriter, r *http.Request, eng *f
 	var meta factorgraph.MutateMeta
 	var err error
 	if addNodes > 0 || len(muts) > 0 {
-		meta, err = eng.MutateTopology(addNodes, muts)
+		// The Ctx variant threads the middleware's trace into the engine:
+		// sampled mutations record the engine.mutate span tree and their
+		// push work lands in the per-tenant cost rollup.
+		meta, err = eng.MutateTopologyCtx(r.Context(), addNodes, muts)
 	} else {
 		meta, err = eng.CompactTopology()
 		compact = false // already done
@@ -777,7 +815,10 @@ func (s *Server) handleLabelsPatch(w http.ResponseWriter, r *http.Request, eng *
 	var meta factorgraph.PatchMeta
 	if len(set) > 0 || len(req.Remove) > 0 {
 		var err error
-		if meta, err = eng.UpdateLabelsMeta(set, req.Remove); err != nil {
+		// The Ctx variant threads the middleware's trace into the engine:
+		// sampled patches record the engine.patch span tree and their push
+		// work lands in the per-tenant cost rollup.
+		if meta, err = eng.UpdateLabelsMetaCtx(r.Context(), set, req.Remove); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}

@@ -57,10 +57,13 @@ func newRouteMetrics(route string) *routeMetrics {
 // statusWriter records the response status for metrics and access logs. It
 // forwards Flush — the streaming classify handler type-asserts http.Flusher
 // on the writer it receives, so losing the interface here would silently
-// disable incremental delivery.
+// disable incremental delivery. exemplar carries the captured trace id (hex)
+// back from withEngine to the route middleware, which attaches it to the
+// route latency histogram as an OpenMetrics exemplar.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status   int
+	exemplar string
 }
 
 func (sw *statusWriter) WriteHeader(status int) {
@@ -100,7 +103,11 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 			status = http.StatusOK // handler wrote nothing: implicit 200
 		}
 		rm.requests.Inc()
-		rm.latency.Observe(dur.Seconds())
+		if sw.exemplar != "" {
+			rm.latency.ObserveExemplar(dur.Seconds(), sw.exemplar)
+		} else {
+			rm.latency.Observe(dur.Seconds())
+		}
 		switch {
 		case status >= 500:
 			rm.err5xx.Inc()

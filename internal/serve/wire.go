@@ -403,6 +403,92 @@ type SlowLogResponse struct {
 	Entries     []SlowLogEntry `json:"entries"`
 }
 
+// TraceSummary is one retained trace in the GET /v1/admin/traces listing.
+// TraceID is the 32-hex W3C trace id — the same id the /metrics exemplars
+// carry and the ?id= parameter accepts. Reason says why the trace was
+// captured: "head" (the local sampler), "parent" (an upstream traceparent
+// arrived sampled), "slow" (the request beat the slow-log threshold) or
+// "error" (5xx). Depth is the longest parent chain in the span tree (the
+// request root span is depth 1).
+type TraceSummary struct {
+	TraceID    string  `json:"trace_id"`
+	Graph      string  `json:"graph"`
+	Kind       string  `json:"kind"`
+	Time       string  `json:"time"`
+	DurationUs float64 `json:"duration_us"`
+	Status     int     `json:"status"`
+	Reason     string  `json:"reason"`
+	SpanCount  int     `json:"span_count"`
+	Depth      int     `json:"depth"`
+	// Remote is true when the trace context arrived on the request (the
+	// trace originated upstream) rather than being minted here.
+	Remote bool `json:"remote,omitempty"`
+}
+
+// TracesResponse is the body of GET /v1/admin/traces (no ?id): retained
+// traces newest first, plus the sampler rate and ring capacity in force.
+type TracesResponse struct {
+	SampleRate float64        `json:"sample_rate"`
+	Capacity   int            `json:"capacity"`
+	Count      int            `json:"count"`
+	Traces     []TraceSummary `json:"traces"`
+}
+
+// SpanWire is one span of a GET /v1/admin/traces?id= response. ParentID
+// links the tree: every span's chain terminates at the request root span,
+// whose own parent is the remote traceparent's span id (or all zeros when
+// the trace originated here).
+type SpanWire struct {
+	Name       string  `json:"name"`
+	SpanID     string  `json:"span_id"`
+	ParentID   string  `json:"parent_span_id"`
+	StartUs    float64 `json:"start_us"`
+	DurationUs float64 `json:"duration_us"`
+}
+
+// CostWire is the per-request work attribution of one stored trace.
+type CostWire struct {
+	Pushes          int64   `json:"pushes"`
+	EdgesTraversed  int64   `json:"edges_traversed"`
+	RowsCloned      int64   `json:"rows_cloned"`
+	FlushSeconds    float64 `json:"flush_seconds"`
+	LockWaitSeconds float64 `json:"lock_wait_seconds"`
+}
+
+// TraceDetail is the body of GET /v1/admin/traces?id=: the summary plus
+// the full span tree and the request's cost attribution.
+type TraceDetail struct {
+	TraceSummary
+	RootSpanID     string     `json:"root_span_id"`
+	RemoteParentID string     `json:"remote_parent_id,omitempty"`
+	Cost           CostWire   `json:"cost"`
+	Spans          []SpanWire `json:"spans"`
+}
+
+// TenantCost is one graph's row of the GET /v1/admin/tenants cost report:
+// cumulative request-attributed work since the graph's series were created.
+// WorkUnits is the scalar cost score (pushes + edges traversed + rows
+// cloned) and CostShare that graph's fraction of the total across tenants.
+type TenantCost struct {
+	Graph           string  `json:"graph"`
+	Requests        int64   `json:"requests"`
+	Pushes          int64   `json:"pushes"`
+	EdgesTraversed  int64   `json:"edges_traversed"`
+	RowsCloned      int64   `json:"rows_cloned"`
+	FlushSeconds    float64 `json:"flush_seconds"`
+	LockWaitSeconds float64 `json:"lock_wait_seconds"`
+	WorkUnits       int64   `json:"work_units"`
+	CostShare       float64 `json:"cost_share"`
+}
+
+// TenantsResponse is the body of GET /v1/admin/tenants, most expensive
+// tenant first.
+type TenantsResponse struct {
+	Count          int          `json:"count"`
+	TotalWorkUnits int64        `json:"total_work_units"`
+	Tenants        []TenantCost `json:"tenants"`
+}
+
 // HealthCheck is one numeric-health reading with its warn threshold
 // applied. The comparison direction depends on the check (margin warns
 // low, everything else warns high); Status carries the verdict so clients

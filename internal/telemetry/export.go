@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync/atomic"
 )
 
 // WriteText renders the registry in the Prometheus text exposition format
@@ -16,15 +17,32 @@ import (
 // concurrent increments may land between two series — which is the usual
 // scrape contract.
 func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot families AND their series maps under the lock: RemoveSeries
+	// (vec eviction, graph DELETE) mutates f.series concurrently with
+	// scrapes. The series handles themselves are atomic, so rendering
+	// outside the lock stays safe once the map contents are copied.
+	type famSnap struct {
+		name, help, kind string
+		keys             []string
+		series           map[string]any
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	for name := range r.fams {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
+	fams := make([]famSnap, len(names))
 	for i, name := range names {
-		fams[i] = r.fams[name]
+		f := r.fams[name]
+		snap := famSnap{name: f.name, help: f.help, kind: f.kind,
+			keys:   make([]string, 0, len(f.series)),
+			series: make(map[string]any, len(f.series))}
+		for k, s := range f.series {
+			snap.keys = append(snap.keys, k)
+			snap.series[k] = s
+		}
+		fams[i] = snap
 	}
 	r.mu.Unlock()
 
@@ -34,25 +52,26 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
+		keys := f.keys
 		sort.Strings(keys)
 		for _, key := range keys {
 			switch s := f.series[key].(type) {
 			case *Counter:
 				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(key), formatFloat(float64(s.Value())))
+			case *FloatCounter:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(key), formatFloat(s.Value()))
 			case *Gauge:
 				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(key), formatFloat(s.Value()))
 			case *Histogram:
 				cum := int64(0)
-				for i, b := range s.bounds {
+				for i := range s.counts {
+					le := "+Inf"
+					if i < len(s.bounds) {
+						le = formatFloat(s.bounds[i])
+					}
 					cum += s.counts[i].Load()
-					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, bracedLE(key, formatFloat(b)), cum)
+					fmt.Fprintf(bw, "%s_bucket%s %d%s\n", f.name, bracedLE(key, le), cum, exemplarSuffix(s.exemplars, i))
 				}
-				cum += s.counts[len(s.bounds)].Load()
-				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, bracedLE(key, "+Inf"), cum)
 				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, braced(key), formatFloat(s.Sum()))
 				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, braced(key), s.Count())
 			}
@@ -77,6 +96,22 @@ func bracedLE(labels, le string) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// exemplarSuffix renders bucket i's exemplar, OpenMetrics-style
+// (` # {trace_id="..."} <value> <unix-seconds>`), or "" when the bucket has
+// none. The suffix rides on the Prometheus 0.0.4 text line; parsers that
+// predate exemplars must split on '#' (ParseTextTotals does).
+func exemplarSuffix(exemplars []atomic.Pointer[exemplar], i int) string {
+	if i >= len(exemplars) {
+		return ""
+	}
+	e := exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %s %s`, e.traceID, formatFloat(e.value),
+		strconv.FormatFloat(float64(e.ts.UnixNano())/1e9, 'f', 3, 64))
 }
 
 // Handler returns an http.Handler serving the registry in the Prometheus

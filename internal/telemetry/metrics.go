@@ -83,6 +83,29 @@ func (c *Counter) Add(n int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// FloatCounter is a monotonically increasing float64 series — for
+// accumulated seconds (flush time, lock-wait time) where an int64 counter
+// would lose the fraction. Exported with kind "counter".
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v (v must be non-negative to keep the series monotone;
+// negative values are dropped).
+func (c *FloatCounter) Add(v float64) {
+	if v <= 0 || !enabledFlag.Load() {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
 // Gauge is a float64 value that can go up and down (resident bytes,
 // in-flight requests, overlay fraction).
 type Gauge struct{ bits atomic.Uint64 }
@@ -111,10 +134,31 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // per-bucket (cumulated only at export), so concurrent observations touch
 // exactly one bucket counter plus the sum and count.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last is +Inf
-	sum    atomic.Uint64  // float64 bits, CAS-accumulated
-	count  atomic.Int64
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum       atomic.Uint64  // float64 bits, CAS-accumulated
+	count     atomic.Int64
+	exemplars []atomic.Pointer[exemplar] // len(bounds)+1, lazily populated
+}
+
+// exemplar links one observed value in a bucket to the trace that produced
+// it, rendered OpenMetrics-style after the bucket line. The newest
+// observation with a trace id wins — the point is "give me ONE concrete
+// trace behind this bucket", not a reservoir.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      time.Time
+}
+
+// bucketIdx returns the index of the bucket v falls into.
+func (h *Histogram) bucketIdx(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
 }
 
 // Observe records one value.
@@ -122,14 +166,7 @@ func (h *Histogram) Observe(v float64) {
 	if !enabledFlag.Load() {
 		return
 	}
-	idx := len(h.bounds)
-	for i, b := range h.bounds {
-		if v <= b {
-			idx = i
-			break
-		}
-	}
-	h.counts[idx].Add(1)
+	h.counts[h.bucketIdx(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -138,6 +175,19 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty, tags
+// the bucket it lands in with an exemplar linking to that trace. An empty
+// traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if !enabledFlag.Load() {
+		return
+	}
+	if traceID != "" {
+		h.exemplars[h.bucketIdx(v)].Store(&exemplar{traceID: traceID, value: v, ts: time.Now()})
+	}
+	h.Observe(v)
 }
 
 // ObserveSince records the seconds elapsed since start; a zero start (from
@@ -266,9 +316,28 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if s, ok := f.series[key]; ok {
 		return s.(*Histogram)
 	}
-	h := &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+	h := &Histogram{
+		bounds:    f.bounds,
+		counts:    make([]atomic.Int64, len(f.bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(f.bounds)+1),
+	}
 	f.series[key] = h
 	return h
+}
+
+// FloatCounter registers (or returns the existing) float counter series
+// name{labels}.
+func (r *Registry) FloatCounter(name, help string, labels ...Labels) *FloatCounter {
+	key := canonLabels(merge(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "counter", nil)
+	if s, ok := f.series[key]; ok {
+		return s.(*FloatCounter)
+	}
+	c := &FloatCounter{}
+	f.series[key] = c
+	return c
 }
 
 // RemoveSeries unregisters the series name{labels} from exposition. A

@@ -13,6 +13,11 @@ import (
 // _bucket/_sum/_count names). cmd/loadgen uses it to fold server-side
 // counters into bench reports; it ignores comment lines and skips lines it
 // cannot parse rather than failing the whole scrape.
+//
+// It is robust to the exposition features the exporter actually emits:
+// escaped label values (`\"`, `\\`, `\n` — a `}` or `#` inside a quoted
+// label must not end the label block or start an exemplar), OpenMetrics
+// exemplar suffixes after `#`, and trailing millisecond timestamps.
 func ParseTextTotals(r io.Reader) (map[string]float64, error) {
 	totals := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -22,29 +27,33 @@ func ParseTextTotals(r io.Reader) (map[string]float64, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		// name{labels} value [timestamp] — labels may contain spaces inside
-		// quoted values, so find the value by scanning from the last space.
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
+		// name[{labels}] value [timestamp] [# exemplar] — the label block
+		// is skipped with full quote/escape awareness so quoted values may
+		// contain spaces, braces, escaped quotes and hashes.
+		name := line
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			end := closingBrace(line, i)
+			if end < 0 {
+				continue // unterminated label block: not a series line
+			}
+			name, rest = line[:i], line[end+1:]
+		} else if sp := strings.IndexByte(line, ' '); sp >= 0 {
+			name, rest = line[:sp], line[sp:]
+		} else {
 			continue
 		}
-		name, valStr := line[:sp], line[sp+1:]
-		// A trailing timestamp would make valStr an integer millisecond
-		// stamp; WriteText never emits one, and exporters that do put it
-		// after the value — handle that by retrying one field left.
-		if looksLikeTimestamp(valStr) {
-			if sp2 := strings.LastIndexByte(line[:sp], ' '); sp2 >= 0 {
-				if _, err := strconv.ParseFloat(line[sp2+1:sp], 64); err == nil {
-					name, valStr = line[:sp2], line[sp2+1:sp]
-				}
-			}
+		// Everything from an (unquoted) '#' on is an exemplar annotation.
+		if h := strings.IndexByte(rest, '#'); h >= 0 {
+			rest = rest[:h]
 		}
-		v, err := strconv.ParseFloat(valStr, 64)
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue // no value (any trailing timestamp sits AFTER it)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil {
 			continue
-		}
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			name = name[:i]
 		}
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -55,12 +64,21 @@ func ParseTextTotals(r io.Reader) (map[string]float64, error) {
 	return totals, sc.Err()
 }
 
-// looksLikeTimestamp reports whether a trailing field reads as a Prometheus
-// millisecond timestamp: a plain integer of epoch-milliseconds magnitude.
-// Metric values that large are conceivable but would be floats or counters
-// far beyond anything this stack emits; requiring ≥ 1e12 (Sep 2001 in ms)
-// keeps small integer values like "5" parsing as values.
-func looksLikeTimestamp(s string) bool {
-	n, err := strconv.ParseInt(s, 10, 64)
-	return err == nil && n >= 1e12
+// closingBrace returns the index of the '}' terminating the label block
+// opened at s[open] ('{'), honoring double-quoted label values with
+// backslash escapes — a '}' inside quotes does not close the block.
+// Returns -1 when the block never closes.
+func closingBrace(s string, open int) int {
+	inQuotes := false
+	for i := open + 1; i < len(s); i++ {
+		switch {
+		case inQuotes && s[i] == '\\':
+			i++ // skip the escaped character
+		case s[i] == '"':
+			inQuotes = !inQuotes
+		case !inQuotes && s[i] == '}':
+			return i
+		}
+	}
+	return -1
 }

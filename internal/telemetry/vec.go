@@ -106,6 +106,22 @@ func (c *vecCore) len() int {
 	return len(c.entries)
 }
 
+// each calls fn for every live (value, handle) pair, iterating over a
+// snapshot taken under the lock so fn runs unlocked. Crucially it does NOT
+// resolve: reading a report through each never creates or resurrects a
+// series for a value that was deleted.
+func (c *vecCore) each(fn func(value string, handle any)) {
+	c.mu.Lock()
+	snap := make([]*vecEntry, 0, len(c.entries))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		snap = append(snap, el.Value.(*vecEntry))
+	}
+	c.mu.Unlock()
+	for _, e := range snap {
+		fn(e.value, e.handle)
+	}
+}
+
 // CounterVec is a counter family with one dynamic label.
 type CounterVec struct{ core vecCore }
 
@@ -128,6 +144,40 @@ func (v *CounterVec) Delete(value string) { v.core.delete(value) }
 // Len reports the number of live label values.
 func (v *CounterVec) Len() int { return v.core.len() }
 
+// Each visits every live (value, counter) pair without resolving — reading
+// never creates or resurrects a series.
+func (v *CounterVec) Each(fn func(value string, c *Counter)) {
+	v.core.each(func(value string, h any) { fn(value, h.(*Counter)) })
+}
+
+// FloatCounterVec is a float counter family with one dynamic label —
+// seconds-valued per-graph cost accumulation.
+type FloatCounterVec struct{ core vecCore }
+
+// NewFloatCounterVec registers a float counter family on reg (nil =
+// Default()) whose series carry label={value}; at most limit (≤0 =
+// DefaultVecCardinality) distinct values are live at once.
+func NewFloatCounterVec(reg *Registry, name, help, label string, limit int) *FloatCounterVec {
+	return &FloatCounterVec{core: newVecCore(reg, name, help, label, limit)}
+}
+
+func (v *FloatCounterVec) With(value string) *FloatCounter {
+	return v.core.resolve(value, func(l Labels) any {
+		return v.core.reg.FloatCounter(v.core.name, v.core.help, l)
+	}).(*FloatCounter)
+}
+
+// Delete releases value's series (call when the labeled object dies).
+func (v *FloatCounterVec) Delete(value string) { v.core.delete(value) }
+
+// Len reports the number of live label values.
+func (v *FloatCounterVec) Len() int { return v.core.len() }
+
+// Each visits every live (value, counter) pair without resolving.
+func (v *FloatCounterVec) Each(fn func(value string, c *FloatCounter)) {
+	v.core.each(func(value string, h any) { fn(value, h.(*FloatCounter)) })
+}
+
 // GaugeVec is a gauge family with one dynamic label.
 type GaugeVec struct{ core vecCore }
 
@@ -149,6 +199,11 @@ func (v *GaugeVec) Delete(value string) { v.core.delete(value) }
 
 // Len reports the number of live label values.
 func (v *GaugeVec) Len() int { return v.core.len() }
+
+// Each visits every live (value, gauge) pair without resolving.
+func (v *GaugeVec) Each(fn func(value string, g *Gauge)) {
+	v.core.each(func(value string, h any) { fn(value, h.(*Gauge)) })
+}
 
 // HistogramVec is a histogram family with one dynamic label; all series
 // share one set of bucket bounds.
